@@ -1,0 +1,98 @@
+// Experiment E5 (DESIGN.md): the space claims. Wall-clock cannot observe
+// memory bounds, so this harness reads the engines' instrumented
+// context-value-table cell counts (EvalStats::cells_peak) and prints one
+// table per query class:
+//   E↑  ~ |D|³ rows per scalar expression   ([11] §2.3)
+//   E↓  ~ |D|² pair cells without relevance restriction
+//   MINCONTEXT ~ |D|² (Theorem 7)
+//   OPTMINCONTEXT on Wadler queries ~ |D|   (Theorem 10)
+// The printed `growth` column is the log₂ cell ratio between successive
+// |D| doublings: ≈1 linear, ≈2 quadratic, ≈3 cubic.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace xpe::bench {
+namespace {
+
+struct Series {
+  const char* label;
+  EngineKind engine;
+  const char* query;
+  std::vector<int> widths;  // generator parameter sweep
+  /// Document family; defaults to the grown Figure 2 corpus (wide &
+  /// shallow). Chains (deep & narrow) expose the quadratic pair
+  /// relations that wide documents hide.
+  xml::Document (*make_doc)(int) = &xml::MakeGrownPaperDocument;
+};
+
+void PrintSeries(const Series& series) {
+  printf("\n%s\n  engine=%s\n  query=%s\n", series.label,
+         EngineKindToString(series.engine), series.query);
+  printf("  %8s %14s %8s\n", "|D|", "cells_peak", "growth");
+  xpath::CompiledQuery query = MustCompile(series.query);
+  double prev_cells = 0;
+  for (int width : series.widths) {
+    xml::Document doc = series.make_doc(width);
+    EvalStats stats;
+    MustEvaluate(query, doc, series.engine, &stats);
+    const double cells = static_cast<double>(stats.cells_peak);
+    if (prev_cells > 0) {
+      printf("  %8u %14.0f %8.2f\n", doc.size(), cells,
+             std::log2(cells / prev_cells));
+    } else {
+      printf("  %8u %14.0f %8s\n", doc.size(), cells, "-");
+    }
+    prev_cells = cells;
+  }
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main() {
+  using xpe::EngineKind;
+  using xpe::bench::PrintSeries;
+  using xpe::bench::Series;
+
+  // One positional predicate so every engine builds real tables.
+  constexpr const char* kFullQuery =
+      "/descendant::*/descendant::*[position() > last()*0.5 or "
+      "self::* = 100]";
+  // Example 9 (Wadler fragment), adapted to the grown document.
+  constexpr const char* kWadlerQuery =
+      "/child::r/child::a/descendant::*[boolean(following::d[(position() != "
+      "last()) and (preceding-sibling::*/preceding::* = 100)]/"
+      "following::d)]";
+
+  printf("E5: peak context-value-table cells vs |D| "
+         "(growth: log2 ratio per |D| doubling)\n");
+
+  PrintSeries(Series{"E-up (full tables, expect growth ~3)",
+                     EngineKind::kBottomUp, kFullQuery, {1, 2, 4}});
+  PrintSeries(Series{"E-down, wide documents (pair sets stay linear here)",
+                     EngineKind::kTopDown, kFullQuery, {2, 4, 8, 16, 32}});
+  PrintSeries(Series{"MINCONTEXT, wide documents (relevance-restricted)",
+                     EngineKind::kMinContext, kFullQuery, {2, 4, 8, 16, 32}});
+  // Deep chains: descendant steps relate Θ(|D|²) pairs. E↓ materializes
+  // them; MINCONTEXT's outermost paths stay sets (§3.1's "special
+  // treatment of location paths on the outermost level").
+  PrintSeries(Series{"E-down, chain documents (expect growth ~2)",
+                     EngineKind::kTopDown, kFullQuery,
+                     {32, 64, 128, 256},
+                     &xpe::xml::MakeChainDocument});
+  PrintSeries(Series{"MINCONTEXT, chain documents (expect growth ~1)",
+                     EngineKind::kMinContext, kFullQuery,
+                     {32, 64, 128, 256},
+                     &xpe::xml::MakeChainDocument});
+  PrintSeries(Series{"OPTMINCONTEXT on a Wadler query (expect growth ~1)",
+                     EngineKind::kOptMinContext, kWadlerQuery,
+                     {2, 4, 8, 16, 32, 64}});
+  PrintSeries(Series{"MINCONTEXT on the same Wadler query (expect ~2)",
+                     EngineKind::kMinContext, kWadlerQuery,
+                     {2, 4, 8, 16, 32}});
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef XPE_BENCH_BENCH_UTIL_H_
+#define XPE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/xpe.h"
+
+namespace xpe::bench {
+
+/// Compiles or aborts (benchmark setup must not fail silently).
+inline xpath::CompiledQuery MustCompile(std::string_view query) {
+  StatusOr<xpath::CompiledQuery> compiled = xpath::Compile(query);
+  if (!compiled.ok()) {
+    fprintf(stderr, "compile(%.*s): %s\n", static_cast<int>(query.size()),
+            query.data(), compiled.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(compiled).value();
+}
+
+/// Evaluates or aborts; returns the result for sink purposes.
+inline Value MustEvaluate(const xpath::CompiledQuery& query,
+                          const xml::Document& doc, EngineKind engine,
+                          EvalStats* stats = nullptr) {
+  EvalOptions options;
+  options.engine = engine;
+  options.stats = stats;
+  StatusOr<Value> v = Evaluate(query, doc, EvalContext{}, options);
+  if (!v.ok()) {
+    fprintf(stderr, "eval(%s, %s): %s\n", query.source().c_str(),
+            EngineKindToString(engine), v.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(v).value();
+}
+
+/// Median-of-three wall-clock timing of one evaluation, in microseconds.
+inline double TimeEvalUs(const xpath::CompiledQuery& query,
+                         const xml::Document& doc, EngineKind engine) {
+  double best[3];
+  for (double& sample : best) {
+    auto t0 = std::chrono::steady_clock::now();
+    MustEvaluate(query, doc, engine);
+    auto t1 = std::chrono::steady_clock::now();
+    sample = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  }
+  // median of three
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  if (best[1] > best[2]) std::swap(best[1], best[2]);
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  return best[1];
+}
+
+}  // namespace xpe::bench
+
+#endif  // XPE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// engine_lab — run one query through all six engines side by side:
+// verifies they agree, then reports wall-clock time and the instrumented
+// context-value-table footprint of each. A hands-on version of the
+// paper's complexity story.
+//
+//   ./build/examples/engine_lab                      demo query
+//   ./build/examples/engine_lab '<xpath>' [width]    your query on the
+//                                                    grown Figure 2 corpus
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/xpe.h"
+
+int main(int argc, char** argv) {
+  const std::string query_text =
+      argc > 1 ? argv[1]
+               : "/descendant::*/descendant::*[position() > last()*0.5 or "
+                 "self::* = 100]";
+  const int width = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  xpe::xml::Document doc = xpe::xml::MakeGrownPaperDocument(width);
+  printf("document: %d copies of the paper's Figure 2 subtree, |dom| = %u\n",
+         width, doc.size());
+
+  xpe::StatusOr<xpe::xpath::CompiledQuery> query =
+      xpe::xpath::Compile(query_text);
+  if (!query.ok()) {
+    fprintf(stderr, "compile: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  printf("query:    %s\nfragment: %s\n\n", query->source().c_str(),
+         xpe::xpath::FragmentToString(query->fragment()));
+
+  printf("%-14s %12s %14s %12s %10s  %s\n", "engine", "time", "cells_peak",
+         "contexts", "axis_evals", "result");
+  std::string reference;
+  bool all_agree = true;
+  for (xpe::EngineKind engine : xpe::AllEngines()) {
+    xpe::EvalStats stats;
+    xpe::EvalOptions options;
+    options.engine = engine;
+    options.stats = &stats;
+    options.budget = 500'000'000;  // bound the naive engine's exponential runs
+
+    auto t0 = std::chrono::steady_clock::now();
+    xpe::StatusOr<xpe::Value> value =
+        xpe::Evaluate(*query, doc, xpe::EvalContext{}, options);
+    auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    if (!value.ok()) {
+      printf("%-14s %12s %14s %12s %10s  (%s)\n",
+             xpe::EngineKindToString(engine), "-", "-", "-", "-",
+             value.status().ToString().c_str());
+      continue;
+    }
+    std::string repr = value->Repr();
+    if (repr.size() > 40) repr = repr.substr(0, 37) + "...";
+    printf("%-14s %10.0fus %14llu %12llu %10llu  %s\n",
+           xpe::EngineKindToString(engine), us,
+           static_cast<unsigned long long>(stats.cells_peak),
+           static_cast<unsigned long long>(stats.contexts_evaluated),
+           static_cast<unsigned long long>(stats.axis_evals), repr.c_str());
+    if (reference.empty()) {
+      reference = value->Repr();
+    } else if (value->Repr() != reference) {
+      all_agree = false;
+    }
+  }
+  printf("\nengines agree: %s\n", all_agree ? "yes" : "NO — bug!");
+  return all_agree ? 0 : 1;
+}

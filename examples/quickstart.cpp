@@ -1,0 +1,56 @@
+// Quickstart: parse a document, compile a query, evaluate it, inspect
+// the result — the whole public API in ~60 lines.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/xpe.h"
+
+int main() {
+  // 1. Parse an XML document (or build one with xml::DocumentBuilder).
+  const char* xml_text = R"(<library>
+    <book id="b1" year="1999"><title>Data on the Web</title></book>
+    <book id="b2" year="2002"><title>XPath Essentials</title></book>
+    <book id="b3" year="2003"><title>Efficient XPath</title></book>
+  </library>)";
+  xpe::StatusOr<xpe::xml::Document> doc = xpe::xml::Parse(xml_text);
+  if (!doc.ok()) {
+    fprintf(stderr, "XML error: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Compile an XPath 1.0 query. Compilation parses, normalizes,
+  //    types, and classifies the query into its fragment.
+  xpe::StatusOr<xpe::xpath::CompiledQuery> query =
+      xpe::xpath::Compile("//book[@year > 2000]/title");
+  if (!query.ok()) {
+    fprintf(stderr, "XPath error: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  printf("query:     %s\n", query->source().c_str());
+  printf("canonical: %s\n", query->tree().ToString().c_str());
+  printf("fragment:  %s\n",
+         xpe::xpath::FragmentToString(query->fragment()));
+
+  // 3. Evaluate. The default engine is OPTMINCONTEXT (the paper's
+  //    Algorithm 8); EvalOptions selects others.
+  xpe::StatusOr<xpe::NodeSet> result = xpe::EvaluateNodeSet(*query, *doc);
+  if (!result.ok()) {
+    fprintf(stderr, "eval error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Walk the result node-set (always in document order).
+  printf("matches:   %zu\n", result->size());
+  for (xpe::xml::NodeId node : *result) {
+    printf("  <%s> \"%s\"\n", std::string(doc->name(node)).c_str(),
+           doc->StringValue(node).c_str());
+  }
+
+  // Scalar queries yield scalar values.
+  xpe::StatusOr<xpe::Value> count =
+      xpe::Evaluate(*xpe::xpath::Compile("count(//book)"), *doc, {});
+  printf("count(//book) = %g\n", count->number());
+  return 0;
+}

@@ -1,0 +1,145 @@
+// xpath_grep — a command-line XPath matcher in the spirit of
+// `xmllint --xpath`, built on the xpe public API.
+//
+// Usage:
+//   xpath_grep '<query>' [file.xml]        read from a file
+//   xpath_grep '<query>' - < doc.xml       read from stdin
+//   xpath_grep --engine=naive '<q>' f.xml  pick an engine
+//   xpath_grep --stats '<q>' f.xml         print evaluation statistics
+//   xpath_grep --explain '<q>'             print the query analysis
+//                                          (fragment, Relev, bounds)
+//
+// With no file argument a small built-in demo document is used.
+// Node-set results print one serialized node per line; scalar results
+// print their XPath string value.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/xpe.h"
+
+namespace {
+
+constexpr const char* kDemoDocument = R"(<inventory>
+  <item id="i1" price="12">bolt</item>
+  <item id="i2" price="100">anvil</item>
+  <item id="i3" price="7">washer</item>
+</inventory>)";
+
+void PrintUsage() {
+  fprintf(stderr,
+          "usage: xpath_grep [--engine=E] [--stats] '<xpath>' [file.xml|-]\n"
+          "  engines: naive bottom-up top-down mincontext optmincontext "
+          "corexpath\n");
+}
+
+std::optional<xpe::EngineKind> EngineByName(const std::string& name) {
+  for (xpe::EngineKind engine : xpe::AllEngines()) {
+    if (name == xpe::EngineKindToString(engine)) return engine;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xpe::EngineKind engine = xpe::EngineKind::kOptMinContext;
+  bool want_stats = false;
+  bool want_explain = false;
+  std::string query_text;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--engine=", 0) == 0) {
+      std::optional<xpe::EngineKind> parsed = EngineByName(arg.substr(9));
+      if (!parsed) {
+        fprintf(stderr, "unknown engine '%s'\n", arg.substr(9).c_str());
+        return 2;
+      }
+      engine = *parsed;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--explain") {
+      want_explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (query_text.empty()) {
+      query_text = arg;
+    } else {
+      file = arg;
+    }
+  }
+  if (query_text.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string xml_text;
+  if (file.empty()) {
+    xml_text = kDemoDocument;
+  } else if (file == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    xml_text = buffer.str();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    xml_text = buffer.str();
+  }
+
+  xpe::StatusOr<xpe::xml::Document> doc = xpe::xml::Parse(xml_text);
+  if (!doc.ok()) {
+    fprintf(stderr, "XML: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+
+  xpe::StatusOr<xpe::xpath::CompiledQuery> query =
+      xpe::xpath::Compile(query_text);
+  if (!query.ok()) {
+    fprintf(stderr, "XPath: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  if (want_explain) {
+    fputs(xpe::xpath::Explain(*query).c_str(), stderr);
+  }
+
+  xpe::EvalStats stats;
+  xpe::EvalOptions options;
+  options.engine = engine;
+  options.stats = want_stats ? &stats : nullptr;
+  xpe::StatusOr<xpe::Value> value =
+      xpe::Evaluate(*query, *doc, xpe::EvalContext{}, options);
+  if (!value.ok()) {
+    fprintf(stderr, "eval: %s\n", value.status().ToString().c_str());
+    return 1;
+  }
+
+  if (value->is_node_set()) {
+    for (xpe::xml::NodeId node : value->node_set()) {
+      printf("%s\n", xpe::xml::SerializeNode(*doc, node).c_str());
+    }
+    fprintf(stderr, "-- %zu node(s), fragment=%s, engine=%s\n",
+            value->node_set().size(),
+            xpe::xpath::FragmentToString(query->fragment()),
+            xpe::EngineKindToString(engine));
+  } else {
+    printf("%s\n", value->ToString(*doc).c_str());
+  }
+  if (want_stats) {
+    fprintf(stderr, "-- stats: %s\n", stats.ToString().c_str());
+  }
+  return 0;
+}

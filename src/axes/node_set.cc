@@ -1,0 +1,72 @@
+#include "src/axes/node_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xpe {
+
+NodeSet::NodeSet(std::vector<xml::NodeId> ids) : ids_(std::move(ids)) {
+  if (!std::is_sorted(ids_.begin(), ids_.end())) {
+    std::sort(ids_.begin(), ids_.end());
+  }
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+NodeSet NodeSet::Universe(xml::NodeId size) {
+  std::vector<xml::NodeId> ids(size);
+  std::iota(ids.begin(), ids.end(), 0);
+  NodeSet out;
+  out.ids_ = std::move(ids);  // already sorted and unique
+  return out;
+}
+
+bool NodeSet::Contains(xml::NodeId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+NodeSet NodeSet::Union(const NodeSet& other) const {
+  NodeSet out;
+  out.ids_.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+NodeSet NodeSet::Intersect(const NodeSet& other) const {
+  NodeSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+NodeSet NodeSet::Difference(const NodeSet& other) const {
+  NodeSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+void NodeSet::PushBackOrdered(xml::NodeId id) {
+  if (!ids_.empty() && ids_.back() == id) return;
+  ids_.push_back(id);
+}
+
+std::string NodeSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+NodeSet NodeBitmap::ToNodeSet() const {
+  NodeSet out;
+  for (xml::NodeId id = 0; id < bits_.size(); ++id) {
+    if (bits_[id]) out.PushBackOrdered(id);
+  }
+  return out;
+}
+
+}  // namespace xpe

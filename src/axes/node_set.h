@@ -1,0 +1,85 @@
+#ifndef XPE_AXES_NODE_SET_H_
+#define XPE_AXES_NODE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xml/node.h"
+
+namespace xpe {
+
+/// A set of nodes of one document, stored as a sorted (= document-ordered,
+/// see xml::NodeId) duplicate-free vector. This is the 2^dom element the
+/// paper's set-valued semantics ranges over; keeping it sorted makes
+/// first<doc O(1), set algebra O(n), and membership O(log n).
+class NodeSet {
+ public:
+  NodeSet() = default;
+  /// Takes ownership of `ids`, sorting and deduplicating as needed.
+  explicit NodeSet(std::vector<xml::NodeId> ids);
+
+  static NodeSet Single(xml::NodeId id) { return NodeSet({id}); }
+  /// All ids in [0, size): the paper's `dom` (attributes included; callers
+  /// that need tree-only sets filter by kind).
+  static NodeSet Universe(xml::NodeId size);
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  xml::NodeId operator[](size_t i) const { return ids_[i]; }
+
+  /// First node in document order — the paper's first<doc. Set must be
+  /// non-empty.
+  xml::NodeId First() const { return ids_.front(); }
+
+  bool Contains(xml::NodeId id) const;
+
+  /// Set algebra; operands may belong to the same document only.
+  NodeSet Union(const NodeSet& other) const;
+  NodeSet Intersect(const NodeSet& other) const;
+  NodeSet Difference(const NodeSet& other) const;
+
+  bool operator==(const NodeSet& other) const { return ids_ == other.ids_; }
+
+  /// Appends an id known to be larger than all current members.
+  void PushBackOrdered(xml::NodeId id);
+
+  const std::vector<xml::NodeId>& ids() const { return ids_; }
+
+  std::vector<xml::NodeId>::const_iterator begin() const {
+    return ids_.begin();
+  }
+  std::vector<xml::NodeId>::const_iterator end() const { return ids_.end(); }
+
+  /// "{1, 5, 7}" — for test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<xml::NodeId> ids_;
+};
+
+/// A dense membership bitmap over one document's nodes. The O(|D|) axis
+/// algorithms of axis.h use it for their single-pass marking phases.
+class NodeBitmap {
+ public:
+  explicit NodeBitmap(xml::NodeId universe_size)
+      : bits_(universe_size, 0) {}
+  NodeBitmap(xml::NodeId universe_size, const NodeSet& init)
+      : NodeBitmap(universe_size) {
+    for (xml::NodeId id : init) bits_[id] = 1;
+  }
+
+  bool Test(xml::NodeId id) const { return bits_[id] != 0; }
+  void Set(xml::NodeId id) { bits_[id] = 1; }
+  void Clear(xml::NodeId id) { bits_[id] = 0; }
+  xml::NodeId size() const { return static_cast<xml::NodeId>(bits_.size()); }
+
+  /// Converts to the sorted NodeSet representation in O(|D|).
+  NodeSet ToNodeSet() const;
+
+ private:
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace xpe
+
+#endif  // XPE_AXES_NODE_SET_H_

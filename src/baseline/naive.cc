@@ -1,0 +1,174 @@
+#include "src/core/engine_internal.h"
+#include "src/core/functions.h"
+#include "src/core/step_common.h"
+
+namespace xpe::internal {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xpath::AstId;
+using xpath::AstNode;
+using xpath::BinOp;
+using xpath::ExprKind;
+using xpath::FunctionId;
+using xpath::QueryTree;
+
+/// Textbook recursive evaluator. Deliberately memoization-free: each
+/// (subexpression, context) pair is recomputed from scratch, which is why
+/// nested path predicates cost time exponential in the query size — the
+/// behaviour [11] measured in XALAN, XT and Internet Explorer 6.
+class NaiveEvaluator {
+ public:
+  NaiveEvaluator(const QueryTree& tree, const Document& doc, EvalStats* stats,
+                 uint64_t budget)
+      : tree_(tree), doc_(doc), stats_(stats), budget_(budget) {}
+
+  StatusOr<Value> Eval(AstId id, NodeId cn, uint32_t cp, uint32_t cs) {
+    if (budget_ > 0 && used_ >= budget_) {
+      return StatusOr<Value>(
+          Status::ResourceExhausted("evaluation budget exceeded"));
+    }
+    ++used_;
+    if (stats_ != nullptr) ++stats_->contexts_evaluated;
+
+    const AstNode& n = tree_.node(id);
+    switch (n.kind) {
+      case ExprKind::kNumberLiteral:
+        return Value::Number(n.number);
+      case ExprKind::kStringLiteral:
+        return Value::String(n.string);
+      case ExprKind::kVariable:
+        return StatusOr<Value>(
+            Status::Internal("variable survived normalization"));
+      case ExprKind::kFunctionCall: {
+        if (n.fn == FunctionId::kPosition) {
+          return Value::Number(static_cast<double>(cp));
+        }
+        if (n.fn == FunctionId::kLast) {
+          return Value::Number(static_cast<double>(cs));
+        }
+        std::vector<Value> args;
+        args.reserve(n.children.size());
+        for (AstId child : n.children) {
+          XPE_ASSIGN_OR_RETURN(Value v, Eval(child, cn, cp, cs));
+          args.push_back(std::move(v));
+        }
+        return ApplyFunction(doc_, n.fn, args);
+      }
+      case ExprKind::kBinaryOp: {
+        if (n.op == BinOp::kAnd || n.op == BinOp::kOr) {
+          // Short-circuit, as real-world engines do.
+          XPE_ASSIGN_OR_RETURN(Value lhs, Eval(n.children[0], cn, cp, cs));
+          const bool l = lhs.boolean();
+          if (n.op == BinOp::kAnd && !l) return Value::Boolean(false);
+          if (n.op == BinOp::kOr && l) return Value::Boolean(true);
+          XPE_ASSIGN_OR_RETURN(Value rhs, Eval(n.children[1], cn, cp, cs));
+          return Value::Boolean(rhs.boolean());
+        }
+        XPE_ASSIGN_OR_RETURN(Value lhs, Eval(n.children[0], cn, cp, cs));
+        XPE_ASSIGN_OR_RETURN(Value rhs, Eval(n.children[1], cn, cp, cs));
+        if (BinOpIsComparison(n.op)) {
+          return Value::Boolean(EvalComparison(doc_, n.op, lhs, rhs));
+        }
+        return Value::Number(EvalArithmetic(n.op, lhs.number(), rhs.number()));
+      }
+      case ExprKind::kUnaryMinus: {
+        XPE_ASSIGN_OR_RETURN(Value v, Eval(n.children[0], cn, cp, cs));
+        return Value::Number(-v.number());
+      }
+      case ExprKind::kUnion: {
+        NodeSet out;
+        for (AstId child : n.children) {
+          XPE_ASSIGN_OR_RETURN(Value v, Eval(child, cn, cp, cs));
+          out = out.Union(v.node_set());
+        }
+        return Value::Nodes(std::move(out));
+      }
+      case ExprKind::kPath:
+        return EvalPath(id, cn, cp, cs);
+      case ExprKind::kFilter:
+        return EvalFilter(id, cn, cp, cs);
+      case ExprKind::kStep:
+        return StatusOr<Value>(
+            Status::Internal("step evaluated outside a path"));
+    }
+    return StatusOr<Value>(Status::Internal("unhandled kind in naive eval"));
+  }
+
+ private:
+  /// Filters `candidates` (already axis- and test-selected, in step
+  /// order) through one predicate list, re-ordering positions after each
+  /// predicate as Definition 2 / [18] §2.4 require.
+  StatusOr<std::vector<NodeId>> FilterByPredicates(
+      const std::vector<AstId>& preds, std::vector<NodeId> candidates) {
+    for (AstId pred : preds) {
+      std::vector<NodeId> kept;
+      const uint32_t m = static_cast<uint32_t>(candidates.size());
+      for (uint32_t j = 0; j < m; ++j) {
+        XPE_ASSIGN_OR_RETURN(Value v, Eval(pred, candidates[j], j + 1, m));
+        if (v.boolean()) kept.push_back(candidates[j]);
+      }
+      candidates = std::move(kept);
+    }
+    return candidates;
+  }
+
+  StatusOr<Value> EvalPath(AstId id, NodeId cn, uint32_t cp, uint32_t cs) {
+    const AstNode& n = tree_.node(id);
+    NodeSet current;
+    size_t step_begin = 0;
+    if (n.has_head) {
+      XPE_ASSIGN_OR_RETURN(Value head, Eval(n.children[0], cn, cp, cs));
+      current = head.node_set();
+      step_begin = 1;
+    } else if (n.absolute) {
+      current = NodeSet::Single(doc_.root());
+    } else {
+      current = NodeSet::Single(cn);
+    }
+    for (size_t i = step_begin; i < n.children.size(); ++i) {
+      const AstNode& step = tree_.node(n.children[i]);
+      if (stats_ != nullptr) ++stats_->axis_evals;
+      NodeSet result;
+      for (NodeId x : current) {
+        NodeSet candidates = StepCandidates(doc_, step.axis, step.test, x);
+        XPE_ASSIGN_OR_RETURN(
+            std::vector<NodeId> kept,
+            FilterByPredicates(step.children,
+                               OrderForAxis(step.axis, candidates)));
+        result = result.Union(NodeSet(std::move(kept)));
+      }
+      current = std::move(result);
+    }
+    return Value::Nodes(std::move(current));
+  }
+
+  StatusOr<Value> EvalFilter(AstId id, NodeId cn, uint32_t cp, uint32_t cs) {
+    const AstNode& n = tree_.node(id);
+    XPE_ASSIGN_OR_RETURN(Value head, Eval(n.children[0], cn, cp, cs));
+    // Filter positions run in document order (forward axis semantics).
+    std::vector<NodeId> list(head.node_set().ids());
+    std::vector<AstId> preds(n.children.begin() + 1, n.children.end());
+    XPE_ASSIGN_OR_RETURN(list, FilterByPredicates(preds, std::move(list)));
+    return Value::Nodes(NodeSet(std::move(list)));
+  }
+
+  const QueryTree& tree_;
+  const Document& doc_;
+  EvalStats* stats_;
+  uint64_t budget_;
+  uint64_t used_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> EvalNaive(const xpath::CompiledQuery& query,
+                          const xml::Document& doc, const EvalContext& ctx,
+                          EvalStats* stats, uint64_t budget) {
+  NaiveEvaluator evaluator(query.tree(), doc, stats, budget);
+  return evaluator.Eval(query.root(), ctx.node, ctx.position, ctx.size);
+}
+
+}  // namespace xpe::internal

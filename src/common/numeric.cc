@@ -1,0 +1,142 @@
+#include "src/common/numeric.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace xpe {
+
+namespace {
+
+bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Rewrites a to_chars "general" result that uses exponent notation into
+/// plain positional notation, as required by XPath string(number).
+std::string ExpandExponent(std::string_view mantissa_exp) {
+  // Split into sign, digits, fractional digits and exponent.
+  std::string_view s = mantissa_exp;
+  bool negative = false;
+  if (!s.empty() && s[0] == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  size_t epos = s.find_first_of("eE");
+  std::string_view mant = s.substr(0, epos);
+  int exp = 0;
+  {
+    std::string_view es = s.substr(epos + 1);
+    bool eneg = false;
+    if (!es.empty() && (es[0] == '+' || es[0] == '-')) {
+      eneg = es[0] == '-';
+      es.remove_prefix(1);
+    }
+    for (char c : es) exp = exp * 10 + (c - '0');
+    if (eneg) exp = -exp;
+  }
+  std::string digits;
+  int point = 0;  // number of digits before the decimal point
+  bool seen_point = false;
+  for (char c : mant) {
+    if (c == '.') {
+      seen_point = true;
+    } else {
+      digits.push_back(c);
+      if (!seen_point) ++point;
+    }
+  }
+  point += exp;
+
+  std::string out;
+  if (negative) out.push_back('-');
+  if (point <= 0) {
+    out += "0.";
+    out.append(static_cast<size_t>(-point), '0');
+    out += digits;
+  } else if (static_cast<size_t>(point) >= digits.size()) {
+    out += digits;
+    out.append(static_cast<size_t>(point) - digits.size(), '0');
+  } else {
+    out.append(digits, 0, static_cast<size_t>(point));
+    out.push_back('.');
+    out.append(digits, static_cast<size_t>(point), std::string::npos);
+  }
+  return out;
+}
+
+}  // namespace
+
+double XPathStringToNumber(std::string_view s) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  size_t b = 0, e = s.size();
+  while (b < e && IsXmlWhitespace(s[b])) ++b;
+  while (e > b && IsXmlWhitespace(s[e - 1])) --e;
+  s = s.substr(b, e - b);
+  if (s.empty()) return nan;
+
+  size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    i = 1;
+  }
+  // Grammar: Digits ('.' Digits?)? | '.' Digits
+  size_t int_begin = i;
+  while (i < s.size() && IsDigit(s[i])) ++i;
+  size_t int_len = i - int_begin;
+  size_t frac_len = 0;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    size_t frac_begin = i;
+    while (i < s.size() && IsDigit(s[i])) ++i;
+    frac_len = i - frac_begin;
+  }
+  if (i != s.size()) return nan;            // trailing garbage
+  if (int_len == 0 && frac_len == 0) return nan;  // "-", ".", "-."
+
+  // The validated text is a strict subset of strtod syntax; delegate the
+  // actual base-10 conversion for correct rounding.
+  std::string buf(s);
+  double v = std::strtod(buf.c_str(), nullptr);
+  // strtod already consumed the '-'; `negative` only matters for "-0".
+  if (negative && v == 0.0) return -0.0;
+  return v;
+}
+
+std::string XPathNumberToString(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  if (v == 0.0) return "0";  // covers -0 as well
+  if (IsXPathInteger(v) && std::fabs(v) < 1e17) {
+    // Integral and exactly representable in decimal digits: print without
+    // a decimal point.
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  std::string_view shortest(buf, static_cast<size_t>(ptr - buf));
+  if (shortest.find_first_of("eE") == std::string_view::npos) {
+    return std::string(shortest);
+  }
+  return ExpandExponent(shortest);
+}
+
+double XPathRound(double v) {
+  if (std::isnan(v) || std::isinf(v)) return v;
+  if (v >= -0.5 && v < 0.0) return -0.0;
+  return std::floor(v + 0.5);
+}
+
+bool IsXPathInteger(double v) {
+  return std::isfinite(v) && v == std::trunc(v);
+}
+
+}  // namespace xpe

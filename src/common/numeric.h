@@ -1,0 +1,36 @@
+#ifndef XPE_COMMON_NUMERIC_H_
+#define XPE_COMMON_NUMERIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace xpe {
+
+/// Numeric conversions following the XPath 1.0 recommendation [18] §4.4 and
+/// §3.5 (the paper's `to_number` / `to_string` functions of §2.1).
+///
+/// XPath numbers are IEEE-754 doubles; the string forms differ from C++
+/// defaults (NaN spells "NaN", integral values print without a decimal
+/// point, negative zero prints "0").
+
+/// XPath `number(string)`: optional surrounding whitespace, optional '-',
+/// digits with at most one '.', else NaN. Notably stricter than strtod:
+/// no exponents, no "+", no hex, no "inf".
+double XPathStringToNumber(std::string_view s);
+
+/// XPath `string(number)`: "NaN", "Infinity", "-Infinity"; integers (incl.
+/// -0 → "0") in decimal without exponent; otherwise the shortest decimal
+/// representation that round-trips, never using exponent notation.
+std::string XPathNumberToString(double v);
+
+/// XPath `round()`: round-half-up towards +infinity (round(-0.5) is -0).
+/// NaN and infinities pass through unchanged.
+double XPathRound(double v);
+
+/// True when `v` compares equal to an integral value (used to decide the
+/// integer formatting path and positional-predicate matching).
+bool IsXPathInteger(double v);
+
+}  // namespace xpe
+
+#endif  // XPE_COMMON_NUMERIC_H_

@@ -1,0 +1,40 @@
+#include "src/common/status.h"
+
+namespace xpe {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInvalidQuery:
+      return "InvalidQuery";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  if (line_ > 0) {
+    out += " (at line ";
+    out += std::to_string(line_);
+    out += ", column ";
+    out += std::to_string(column_);
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace xpe

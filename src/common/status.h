@@ -1,0 +1,147 @@
+#ifndef XPE_COMMON_STATUS_H_
+#define XPE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xpe {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// classes the library can produce; every public fallible API returns a
+/// Status (or StatusOr<T>) instead of throwing.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// Malformed input that could not be parsed (XML or XPath syntax errors).
+  kParseError = 1,
+  /// Structurally valid input that violates a semantic rule (e.g. unknown
+  /// function, wrong arity, unbound variable).
+  kInvalidQuery = 2,
+  /// Input is valid but uses a feature this build does not support.
+  kUnsupported = 3,
+  /// Caller misuse of the API (e.g. context node from a different document).
+  kInvalidArgument = 4,
+  /// An internal invariant failed. Always a bug in xpe itself.
+  kInternal = 5,
+  /// A configured resource limit (document size, recursion depth) was hit.
+  kResourceExhausted = 6,
+};
+
+/// Human-readable name of a status code ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result, in the style of Arrow/RocksDB/absl. Cheap to
+/// move, cheap to test, and carries a message plus (for parse errors) a
+/// 1-based line/column position into the offending input.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(StatusCode code, std::string message, int line, int column)
+      : code_(code), message_(std::move(message)), line_(line), column_(column) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg, int line = 0, int column = 0) {
+    return Status(StatusCode::kParseError, std::move(msg), line, column);
+  }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// 1-based line of a parse error, 0 when unknown/not applicable.
+  int line() const { return line_; }
+  /// 1-based column of a parse error, 0 when unknown/not applicable.
+  int column() const { return column_; }
+
+  /// "OK" or "<Code>: <message> (at line L, column C)".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+/// Accessing the value of an errored StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (success).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression that yields Status.
+#define XPE_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::xpe::Status _xpe_status = (expr);           \
+    if (!_xpe_status.ok()) return _xpe_status;    \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating the error or binding the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   XPE_ASSIGN_OR_RETURN(auto doc, Parse(text));
+#define XPE_ASSIGN_OR_RETURN(lhs, expr)                   \
+  XPE_ASSIGN_OR_RETURN_IMPL_(                             \
+      XPE_STATUS_CONCAT_(_xpe_statusor, __LINE__), lhs, expr)
+
+#define XPE_STATUS_CONCAT_INNER_(x, y) x##y
+#define XPE_STATUS_CONCAT_(x, y) XPE_STATUS_CONCAT_INNER_(x, y)
+#define XPE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace xpe
+
+#endif  // XPE_COMMON_STATUS_H_

@@ -1,0 +1,116 @@
+// The linear-time Core XPath engine ([11], recalled as Definition 12 /
+// Theorem 13). Every operation is a constant number of O(|D|) set passes
+// per query node: axis images for the steps, inverse-axis backward
+// propagation for path predicates, and bitmap algebra for and/or/not.
+
+#include "src/core/engine_internal.h"
+#include "src/core/step_common.h"
+
+namespace xpe::internal {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xpath::AstId;
+using xpath::AstNode;
+using xpath::BinOp;
+using xpath::ExprKind;
+using xpath::FunctionId;
+using xpath::QueryTree;
+
+class CoreXPathEvaluator {
+ public:
+  CoreXPathEvaluator(const QueryTree& tree, const Document& doc,
+                     EvalStats* stats)
+      : tree_(tree), doc_(doc), stats_(stats) {}
+
+  /// Forward evaluation of a Core XPath location path from start set `x`.
+  NodeSet EvalPath(AstId id, const NodeSet& x) {
+    const AstNode& n = tree_.node(id);
+    NodeSet current = n.absolute ? NodeSet::Single(doc_.root()) : x;
+    for (AstId step_id : n.children) {
+      const AstNode& step = tree_.node(step_id);
+      if (stats_ != nullptr) ++stats_->axis_evals;
+      NodeSet candidates = ApplyNodeTest(
+          doc_, step.axis, step.test, EvalAxis(doc_, step.axis, current));
+      for (AstId pred : step.children) {
+        candidates = candidates.Intersect(PredSet(pred, candidates));
+      }
+      current = std::move(candidates);
+      if (stats_ != nullptr) stats_->AddCells(current.size());
+    }
+    return current;
+  }
+
+  /// The set of nodes in `universe` satisfying a Core XPath predicate.
+  NodeSet PredSet(AstId id, const NodeSet& universe) {
+    const AstNode& n = tree_.node(id);
+    switch (n.kind) {
+      case ExprKind::kBinaryOp:
+        if (n.op == BinOp::kAnd) {
+          return PredSet(n.children[0], universe)
+              .Intersect(PredSet(n.children[1], universe));
+        }
+        // kOr (ClassifyFragments admits nothing else).
+        return PredSet(n.children[0], universe)
+            .Union(PredSet(n.children[1], universe));
+      case ExprKind::kFunctionCall:
+        if (n.fn == FunctionId::kNot) {
+          return universe.Difference(PredSet(n.children[0], universe));
+        }
+        // boolean(π): nodes from which π selects at least one node,
+        // computed by backward propagation — never by evaluating π from
+        // every node separately.
+        return PathOrigins(n.children[0]).Intersect(universe);
+      default:
+        return {};
+    }
+  }
+
+  /// {x | π from x is non-empty}: backward propagation through inverse
+  /// axes, O(|D|) per step.
+  NodeSet PathOrigins(AstId path_id) {
+    const AstNode& path = tree_.node(path_id);
+    NodeSet current = NodeSet::Universe(doc_.size());
+    for (size_t s = path.children.size(); s-- > 0;) {
+      const AstNode& step = tree_.node(path.children[s]);
+      NodeSet tested = ApplyNodeTest(doc_, step.axis, step.test, current);
+      for (AstId pred : step.children) {
+        tested = tested.Intersect(PredSet(pred, tested));
+      }
+      if (stats_ != nullptr) ++stats_->axis_evals;
+      current = EvalAxisInverse(doc_, step.axis, tested);
+      if (stats_ != nullptr) stats_->AddCells(current.size());
+    }
+    if (path.absolute) {
+      return current.Contains(doc_.root()) ? NodeSet::Universe(doc_.size())
+                                           : NodeSet();
+    }
+    return current;
+  }
+
+ private:
+  const QueryTree& tree_;
+  const Document& doc_;
+  EvalStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<Value> EvalCoreXPath(const xpath::CompiledQuery& query,
+                              const xml::Document& doc,
+                              const EvalContext& ctx, EvalStats* stats,
+                              uint64_t budget) {
+  (void)budget;  // the engine is linear; no budget enforcement needed
+  const xpath::AstNode& root = query.tree().node(query.root());
+  if (root.kind != xpath::ExprKind::kPath || !root.core_xpath) {
+    return StatusOr<Value>(Status::InvalidArgument(
+        "query is not in Core XPath (Definition 12): " + query.source()));
+  }
+  CoreXPathEvaluator evaluator(query.tree(), doc, stats);
+  return Value::Nodes(
+      evaluator.EvalPath(query.root(), NodeSet::Single(ctx.node)));
+}
+
+}  // namespace xpe::internal

@@ -1,0 +1,95 @@
+#include "src/core/engine.h"
+
+#include "src/core/engine_internal.h"
+#include "src/core/stats.h"
+
+namespace xpe {
+
+const char* EngineKindToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaive:
+      return "naive";
+    case EngineKind::kBottomUp:
+      return "bottom-up";
+    case EngineKind::kTopDown:
+      return "top-down";
+    case EngineKind::kMinContext:
+      return "mincontext";
+    case EngineKind::kOptMinContext:
+      return "optmincontext";
+    case EngineKind::kCoreXPath:
+      return "corexpath";
+  }
+  return "?";
+}
+
+std::vector<EngineKind> AllEngines() {
+  return {EngineKind::kNaive,      EngineKind::kBottomUp,
+          EngineKind::kTopDown,    EngineKind::kMinContext,
+          EngineKind::kOptMinContext, EngineKind::kCoreXPath};
+}
+
+std::string EvalStats::ToString() const {
+  return "cells_allocated=" + std::to_string(cells_allocated) +
+         " cells_peak=" + std::to_string(cells_peak) +
+         " contexts=" + std::to_string(contexts_evaluated) +
+         " axis_evals=" + std::to_string(axis_evals);
+}
+
+StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
+                         const xml::Document& doc, const EvalContext& context,
+                         const EvalOptions& options) {
+  if (context.node >= doc.size()) {
+    return StatusOr<Value>(
+        Status::InvalidArgument("context node is not part of the document"));
+  }
+  if (context.position < 1 || context.size < context.position) {
+    return StatusOr<Value>(Status::InvalidArgument(
+        "context must satisfy 1 <= position <= size"));
+  }
+  switch (options.engine) {
+    case EngineKind::kNaive:
+      return internal::EvalNaive(query, doc, context, options.stats,
+                                 options.budget);
+    case EngineKind::kBottomUp:
+      return internal::EvalBottomUp(query, doc, context, options.stats,
+                                    options.budget);
+    case EngineKind::kTopDown:
+      return internal::EvalTopDown(query, doc, context, options.stats,
+                                   options.budget);
+    case EngineKind::kMinContext:
+      return internal::EvalMinContext(query, doc, context, options.stats,
+                                      options.budget, /*optimized=*/false,
+                                      options.ablate_outermost_sets);
+    case EngineKind::kOptMinContext:
+      // Algorithm 8 + Theorem 13: a fully Core XPath query runs on the
+      // linear-time engine; otherwise bottom-up passes + MINCONTEXT.
+      if (query.fragment() == xpath::Fragment::kCoreXPath &&
+          !options.ablate_outermost_sets) {
+        return internal::EvalCoreXPath(query, doc, context, options.stats,
+                                       options.budget);
+      }
+      return internal::EvalMinContext(query, doc, context, options.stats,
+                                      options.budget, /*optimized=*/true,
+                                      options.ablate_outermost_sets);
+    case EngineKind::kCoreXPath:
+      return internal::EvalCoreXPath(query, doc, context, options.stats,
+                                     options.budget);
+  }
+  return StatusOr<Value>(Status::InvalidArgument("unknown engine"));
+}
+
+StatusOr<NodeSet> EvaluateNodeSet(const xpath::CompiledQuery& query,
+                                  const xml::Document& doc,
+                                  const EvalContext& context,
+                                  const EvalOptions& options) {
+  XPE_ASSIGN_OR_RETURN(Value v, Evaluate(query, doc, context, options));
+  if (!v.is_node_set()) {
+    return StatusOr<NodeSet>(Status::InvalidArgument(
+        "query evaluates to " +
+        std::string(xpath::ValueTypeToString(v.type())) + ", not a node-set"));
+  }
+  return v.node_set();
+}
+
+}  // namespace xpe

@@ -1,0 +1,85 @@
+#ifndef XPE_CORE_ENGINE_H_
+#define XPE_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/stats.h"
+#include "src/core/value.h"
+#include "src/xpath/compile.h"
+
+namespace xpe {
+
+/// The evaluation engines this library implements. All six compute the
+/// same XPath 1.0 semantics; they differ in complexity:
+///
+/// | engine          | time            | space          | origin          |
+/// |-----------------|-----------------|----------------|-----------------|
+/// | kNaive          | exp(|Q|)        | O(|D|·|Q|)     | XALAN/XT/IE6-   |
+/// |                 |                 | (call stack)   | style baseline  |
+/// | kBottomUp (E↑)  | poly, |D|³ rows | O(|D|³·|Q|)    | [11]            |
+/// | kTopDown  (E↓)  | O(|D|⁵·|Q|²)    | O(|D|⁴·|Q|²)   | [11] / §2.2     |
+/// | kMinContext     | O(|D|⁴·|Q|²)    | O(|D|²·|Q|²)   | §3 (Theorem 7)  |
+/// | kOptMinContext  | best applicable | best applicable| §5 (Algorithm 8)|
+/// | kCoreXPath      | O(|D|·|Q|)      | O(|D|·|Q|)     | [11] / Def. 12  |
+///
+/// kCoreXPath only accepts Core XPath queries; kOptMinContext dispatches
+/// per fragment (Core XPath → linear engine; Wadler subexpressions →
+/// bottom-up paths; everything else → MINCONTEXT).
+enum class EngineKind : uint8_t {
+  kNaive = 0,
+  kBottomUp,
+  kTopDown,
+  kMinContext,
+  kOptMinContext,
+  kCoreXPath,
+};
+
+inline constexpr int kNumEngines = 6;
+
+const char* EngineKindToString(EngineKind kind);
+
+/// All engines, in the order of the table above.
+std::vector<EngineKind> AllEngines();
+
+/// The evaluation context of §2.2: ⟨cn, cp, cs⟩ with 1 ≤ cp ≤ cs.
+struct EvalContext {
+  xml::NodeId node = 0;  // defaults to the document root
+  uint32_t position = 1;
+  uint32_t size = 1;
+};
+
+/// Per-call options (RocksDB style).
+struct EvalOptions {
+  EngineKind engine = EngineKind::kOptMinContext;
+  /// Optional instrumentation sink; counters are added to, not reset.
+  EvalStats* stats = nullptr;
+  /// Abort with kResourceExhausted after this many single-context
+  /// evaluations (0 = unlimited). Guards the exponential naive engine.
+  uint64_t budget = 0;
+  /// Ablation switch (bench_ablation): disables §3.1's "special treatment
+  /// of location paths on the outermost level" in MINCONTEXT /
+  /// OPTMINCONTEXT — outermost paths are then evaluated as per-origin
+  /// pair relations like inner paths, costing O(|D|²) table cells where
+  /// the set representation needs O(|D|). Only useful for measuring the
+  /// idea's contribution; leave off otherwise.
+  bool ablate_outermost_sets = false;
+};
+
+/// Evaluates a compiled query against a document. `context.node` must be
+/// a node of `doc`. Thread-compatible: concurrent evaluations require
+/// separate Document instances (Document caches are not synchronized).
+StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
+                         const xml::Document& doc, const EvalContext& context,
+                         const EvalOptions& options = {});
+
+/// Evaluate() for queries whose result is a node-set; any other result
+/// type is an InvalidArgument error.
+StatusOr<NodeSet> EvaluateNodeSet(const xpath::CompiledQuery& query,
+                                  const xml::Document& doc,
+                                  const EvalContext& context = {},
+                                  const EvalOptions& options = {});
+
+}  // namespace xpe
+
+#endif  // XPE_CORE_ENGINE_H_

@@ -1,0 +1,559 @@
+#include "src/core/mincontext_engine.h"
+
+namespace xpe::internal {
+
+using xml::Document;
+using xml::NodeId;
+using xpath::AstId;
+using xpath::AstNode;
+using xpath::BinOp;
+using xpath::ExprKind;
+using xpath::FunctionId;
+using xpath::QueryTree;
+
+MinContextEngine::MinContextEngine(const QueryTree& tree, const Document& doc,
+                                   EvalStats* stats, uint64_t budget)
+    : tree_(tree),
+      doc_(doc),
+      stats_(stats),
+      budget_(budget),
+      scalar_tables_(tree.size()),
+      rel_tables_(tree.size()) {}
+
+Status MinContextEngine::ChargeBudget() {
+  ++used_;
+  if (stats_ != nullptr) ++stats_->contexts_evaluated;
+  if (budget_ > 0 && used_ > budget_) {
+    return Status::ResourceExhausted("evaluation budget exceeded");
+  }
+  return Status::OK();
+}
+
+void MinContextEngine::StoreScalarRow(AstId id, NodeId cn, Value v) {
+  ScalarTable& t = scalar_table(id);
+  if (t.by_cn.empty()) {
+    t.by_cn.resize(doc_.size());
+    t.has_cn.assign(doc_.size(), 0);
+  }
+  if (!t.has_cn[cn]) {
+    t.has_cn[cn] = 1;
+    if (stats_ != nullptr) stats_->AddCells(1);
+  }
+  t.by_cn[cn] = std::move(v);
+}
+
+void MinContextEngine::StoreScalarConst(AstId id, Value v) {
+  ScalarTable& t = scalar_table(id);
+  if (!t.const_computed && stats_ != nullptr) stats_->AddCells(1);
+  t.const_computed = true;
+  t.const_value = std::move(v);
+}
+
+void MinContextEngine::StoreRelRow(AstId id, NodeId origin, NodeSet targets) {
+  RelTable& t = rel_table(id);
+  if (t.by_origin.empty()) {
+    t.by_origin.resize(doc_.size());
+    t.origin_computed.assign(doc_.size(), 0);
+  }
+  if (!t.origin_computed[origin] && stats_ != nullptr) {
+    stats_->AddCells(targets.size() + 1);
+  }
+  t.origin_computed[origin] = 1;
+  t.by_origin[origin] = std::move(targets);
+}
+
+/// Looks up table(id) at context node `cn`, computing the row lazily when
+/// a caller (e.g. a ⟨cp,cs⟩ loop) reaches a node the batch pass skipped.
+StatusOr<Value> MinContextEngine::EvalSingleContext(AstId id, NodeId cn,
+                                                    uint32_t cp, uint32_t cs) {
+  const AstNode& n = tree_.node(id);
+  if (!DependsOnPosition(id)) {
+    if (IsNodeSetTyped(id)) {
+      RelTable& rel = rel_table(id);
+      if (rel.by_origin.empty() || !rel.origin_computed[cn]) {
+        XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, NodeSet::Single(cn)));
+      }
+      return Value::Nodes(rel_table(id).by_origin[cn]);
+    }
+    ScalarTable& t = scalar_table(id);
+    if (t.bottom_up_done) return t.by_cn[cn];
+    if ((Relev(id) & xpath::kRelevCn) == 0) {
+      if (!t.const_computed) {
+        XPE_RETURN_IF_ERROR(EvalByCnodeOnly(id, NodeSet::Single(cn)));
+      }
+      return scalar_table(id).const_value;
+    }
+    if (t.by_cn.empty() || !t.has_cn[cn]) {
+      XPE_RETURN_IF_ERROR(EvalByCnodeOnly(id, NodeSet::Single(cn)));
+    }
+    return scalar_table(id).by_cn[cn];
+  }
+
+  // Depends on cp/cs: evaluated per context, never tabled (§3.1).
+  XPE_RETURN_IF_ERROR(ChargeBudget());
+  switch (n.kind) {
+    case ExprKind::kFunctionCall: {
+      if (n.fn == FunctionId::kPosition) {
+        return Value::Number(static_cast<double>(cp));
+      }
+      if (n.fn == FunctionId::kLast) {
+        return Value::Number(static_cast<double>(cs));
+      }
+      std::vector<Value> args;
+      args.reserve(n.children.size());
+      for (AstId child : n.children) {
+        XPE_ASSIGN_OR_RETURN(Value v, EvalSingleContext(child, cn, cp, cs));
+        args.push_back(std::move(v));
+      }
+      return ApplyFunction(doc_, n.fn, args);
+    }
+    case ExprKind::kBinaryOp: {
+      if (n.op == BinOp::kAnd || n.op == BinOp::kOr) {
+        XPE_ASSIGN_OR_RETURN(Value lhs,
+                             EvalSingleContext(n.children[0], cn, cp, cs));
+        const bool l = lhs.boolean();
+        if (n.op == BinOp::kAnd && !l) return Value::Boolean(false);
+        if (n.op == BinOp::kOr && l) return Value::Boolean(true);
+        XPE_ASSIGN_OR_RETURN(Value rhs,
+                             EvalSingleContext(n.children[1], cn, cp, cs));
+        return Value::Boolean(rhs.boolean());
+      }
+      XPE_ASSIGN_OR_RETURN(Value lhs,
+                           EvalSingleContext(n.children[0], cn, cp, cs));
+      XPE_ASSIGN_OR_RETURN(Value rhs,
+                           EvalSingleContext(n.children[1], cn, cp, cs));
+      if (BinOpIsComparison(n.op)) {
+        return Value::Boolean(EvalComparison(doc_, n.op, lhs, rhs));
+      }
+      return Value::Number(EvalArithmetic(n.op, lhs.number(), rhs.number()));
+    }
+    case ExprKind::kUnaryMinus: {
+      XPE_ASSIGN_OR_RETURN(Value v,
+                           EvalSingleContext(n.children[0], cn, cp, cs));
+      return Value::Number(-v.number());
+    }
+    default:
+      return StatusOr<Value>(Status::Internal(
+          "position-dependent node of unexpected kind in eval_single_context"));
+  }
+}
+
+Status MinContextEngine::EvalByCnodeOnly(AstId id, const NodeSet& x) {
+  const AstNode& n = tree_.node(id);
+  if (scalar_table(id).bottom_up_done) return Status::OK();
+
+  if (DependsOnPosition(id)) {
+    // Only tables of cp/cs-free descendants can be prepared here; the node
+    // itself is evaluated later inside the ⟨cp,cs⟩ loop.
+    for (AstId child : n.children) {
+      XPE_RETURN_IF_ERROR(EvalByCnodeOnly(child, x));
+    }
+    return Status::OK();
+  }
+
+  if (IsNodeSetTyped(id)) return EvalInnerNodeSet(id, x);
+
+  // Scalar node with Relev(id) ⊆ {cn}.
+  for (AstId child : n.children) {
+    XPE_RETURN_IF_ERROR(EvalByCnodeOnly(child, x));
+  }
+  auto compute = [&](NodeId cn) -> StatusOr<Value> {
+    XPE_RETURN_IF_ERROR(ChargeBudget());
+    switch (n.kind) {
+      case ExprKind::kNumberLiteral:
+        return Value::Number(n.number);
+      case ExprKind::kStringLiteral:
+        return Value::String(n.string);
+      case ExprKind::kFunctionCall: {
+        std::vector<Value> args;
+        args.reserve(n.children.size());
+        for (AstId child : n.children) {
+          XPE_ASSIGN_OR_RETURN(Value v, EvalSingleContext(child, cn, 0, 0));
+          args.push_back(std::move(v));
+        }
+        return ApplyFunction(doc_, n.fn, args);
+      }
+      case ExprKind::kBinaryOp: {
+        XPE_ASSIGN_OR_RETURN(Value lhs,
+                             EvalSingleContext(n.children[0], cn, 0, 0));
+        XPE_ASSIGN_OR_RETURN(Value rhs,
+                             EvalSingleContext(n.children[1], cn, 0, 0));
+        if (n.op == BinOp::kAnd || n.op == BinOp::kOr) {
+          return Value::Boolean(n.op == BinOp::kAnd
+                                    ? lhs.boolean() && rhs.boolean()
+                                    : lhs.boolean() || rhs.boolean());
+        }
+        if (BinOpIsComparison(n.op)) {
+          return Value::Boolean(EvalComparison(doc_, n.op, lhs, rhs));
+        }
+        return Value::Number(
+            EvalArithmetic(n.op, lhs.number(), rhs.number()));
+      }
+      case ExprKind::kUnaryMinus: {
+        XPE_ASSIGN_OR_RETURN(Value v,
+                             EvalSingleContext(n.children[0], cn, 0, 0));
+        return Value::Number(-v.number());
+      }
+      default:
+        return StatusOr<Value>(
+            Status::Internal("unexpected scalar kind in eval_by_cnode_only"));
+    }
+  };
+
+  if ((Relev(id) & xpath::kRelevCn) == 0) {
+    if (scalar_table(id).const_computed) return Status::OK();
+    // Context-free: one evaluation suffices. Any representative context
+    // node works; the root always exists.
+    NodeId rep = x.empty() ? doc_.root() : x.First();
+    XPE_ASSIGN_OR_RETURN(Value v, compute(rep));
+    StoreScalarConst(id, std::move(v));
+    return Status::OK();
+  }
+  for (NodeId cn : x) {
+    ScalarTable& t = scalar_table(id);
+    if (!t.by_cn.empty() && t.has_cn[cn]) continue;
+    XPE_ASSIGN_OR_RETURN(Value v, compute(cn));
+    StoreScalarRow(id, cn, std::move(v));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<NodeId>> MinContextEngine::FilterByPredicatesSingle(
+    const std::vector<AstId>& preds, std::vector<NodeId> candidates) {
+  for (AstId pred : preds) {
+    std::vector<NodeId> kept;
+    const uint32_t m = static_cast<uint32_t>(candidates.size());
+    for (uint32_t j = 0; j < m; ++j) {
+      XPE_ASSIGN_OR_RETURN(Value v,
+                           EvalSingleContext(pred, candidates[j], j + 1, m));
+      if (v.boolean()) kept.push_back(candidates[j]);
+    }
+    candidates = std::move(kept);
+  }
+  return candidates;
+}
+
+StatusOr<std::vector<std::pair<NodeId, NodeSet>>>
+MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x) {
+  const AstNode& step = tree_.node(step_id);
+  std::vector<std::pair<NodeId, NodeSet>> out;
+  out.reserve(x.size());
+
+  if (step.axis == Axis::kId) {
+    for (NodeId origin : x) {
+      out.emplace_back(origin, NodeSet(doc_.IdAxisForward(origin)));
+    }
+    return out;
+  }
+
+  if (stats_ != nullptr) ++stats_->axis_evals;
+  const NodeSet y_all =
+      ApplyNodeTest(doc_, step.axis, step.test, EvalAxis(doc_, step.axis, x));
+
+  bool positional = false;
+  for (AstId pred : step.children) {
+    positional = positional || DependsOnPosition(pred);
+  }
+  for (AstId pred : step.children) {
+    XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, y_all));
+  }
+
+  if (!positional) {
+    NodeSet survivors = y_all;
+    for (AstId pred : step.children) {
+      NodeSet kept;
+      for (NodeId y : survivors) {
+        XPE_ASSIGN_OR_RETURN(Value v, EvalSingleContext(pred, y, 0, 0));
+        if (v.ToBoolean()) kept.PushBackOrdered(y);
+      }
+      survivors = std::move(kept);
+    }
+    for (NodeId origin : x) {
+      NodeSet targets;
+      for (NodeId y : survivors) {
+        if (AxisRelates(doc_, step.axis, origin, y)) {
+          targets.PushBackOrdered(y);
+        }
+      }
+      out.emplace_back(origin, std::move(targets));
+    }
+    return out;
+  }
+
+  // At least one predicate reads cp/cs: loop over previous/current
+  // context-node pairs (the §3.1 "treating position and size in a loop").
+  for (NodeId origin : x) {
+    NodeSet candidates;
+    for (NodeId y : y_all) {
+      if (AxisRelates(doc_, step.axis, origin, y)) {
+        candidates.PushBackOrdered(y);
+      }
+    }
+    XPE_ASSIGN_OR_RETURN(
+        std::vector<NodeId> kept,
+        FilterByPredicatesSingle(step.children,
+                                 OrderForAxis(step.axis, candidates)));
+    out.emplace_back(origin, NodeSet(std::move(kept)));
+  }
+  return out;
+}
+
+Status MinContextEngine::EvalInnerNodeSet(AstId id, const NodeSet& x) {
+  RelTable& table = rel_table(id);
+  NodeSet missing;
+  for (NodeId origin : x) {
+    if (table.by_origin.empty() || !table.origin_computed[origin]) {
+      missing.PushBackOrdered(origin);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+
+  const AstNode& n = tree_.node(id);
+  switch (n.kind) {
+    case ExprKind::kPath: {
+      size_t step_begin = 0;
+      // Per-origin frontiers (the pair relation of eval_inner_locpath,
+      // grouped by origin).
+      std::vector<NodeSet> rows(missing.size());
+      if (n.has_head) {
+        XPE_RETURN_IF_ERROR(EvalInnerNodeSet(n.children[0], missing));
+        for (size_t i = 0; i < missing.size(); ++i) {
+          rows[i] = rel_table(n.children[0]).by_origin[missing[i]];
+        }
+        step_begin = 1;
+      } else if (n.absolute) {
+        for (NodeSet& row : rows) row = NodeSet::Single(doc_.root());
+      } else {
+        for (size_t i = 0; i < missing.size(); ++i) {
+          rows[i] = NodeSet::Single(missing[i]);
+        }
+      }
+      for (size_t s = step_begin; s < n.children.size(); ++s) {
+        NodeSet frontier;
+        for (const NodeSet& row : rows) frontier = frontier.Union(row);
+        XPE_ASSIGN_OR_RETURN(auto step_rel,
+                             EvalStepRelation(n.children[s], frontier));
+        // The step relation is the paper's table(N) for this location
+        // step — transient here, but it is the Θ(|D|²) object inner
+        // paths pay for, so it must show up in the space instrumentation.
+        uint64_t transient_cells = 0;
+        for (const auto& [origin, targets] : step_rel) {
+          transient_cells += targets.size() + 1;
+        }
+        if (stats_ != nullptr) stats_->AddCells(transient_cells);
+        // Index the relation by origin for the per-row joins.
+        std::vector<const NodeSet*> by_node(doc_.size(), nullptr);
+        for (const auto& [origin, targets] : step_rel) {
+          by_node[origin] = &targets;
+        }
+        for (NodeSet& row : rows) {
+          NodeSet next;
+          for (NodeId y : row) {
+            if (by_node[y] != nullptr) next = next.Union(*by_node[y]);
+          }
+          row = std::move(next);
+        }
+        if (stats_ != nullptr) stats_->ReleaseCells(transient_cells);
+      }
+      for (size_t i = 0; i < missing.size(); ++i) {
+        StoreRelRow(id, missing[i], std::move(rows[i]));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kUnion: {
+      for (AstId child : n.children) {
+        XPE_RETURN_IF_ERROR(EvalInnerNodeSet(child, missing));
+      }
+      for (NodeId origin : missing) {
+        NodeSet row;
+        for (AstId child : n.children) {
+          row = row.Union(rel_table(child).by_origin[origin]);
+        }
+        StoreRelRow(id, origin, std::move(row));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFilter: {
+      XPE_RETURN_IF_ERROR(EvalInnerNodeSet(n.children[0], missing));
+      NodeSet all_targets;
+      for (NodeId origin : missing) {
+        all_targets =
+            all_targets.Union(rel_table(n.children[0]).by_origin[origin]);
+      }
+      std::vector<AstId> preds(n.children.begin() + 1, n.children.end());
+      for (AstId pred : preds) {
+        XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, all_targets));
+      }
+      for (NodeId origin : missing) {
+        const NodeSet& head_row = rel_table(n.children[0]).by_origin[origin];
+        // Filter predicates count positions in document order.
+        XPE_ASSIGN_OR_RETURN(std::vector<NodeId> kept,
+                             FilterByPredicatesSingle(preds, head_row.ids()));
+        StoreRelRow(id, origin, NodeSet(std::move(kept)));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFunctionCall: {
+      if (n.fn != FunctionId::kId) {
+        return Status::Internal(
+            "node-set function other than id() in eval_inner_locpath");
+      }
+      const AstId arg = n.children[0];
+      XPE_RETURN_IF_ERROR(EvalByCnodeOnly(arg, missing));
+      if (Relev(arg) == 0) {
+        XPE_ASSIGN_OR_RETURN(Value s,
+                             EvalSingleContext(arg, missing.First(), 0, 0));
+        NodeSet targets(doc_.DerefIds(s.ToString(doc_)));
+        for (NodeId origin : missing) StoreRelRow(id, origin, targets);
+        return Status::OK();
+      }
+      for (NodeId origin : missing) {
+        XPE_ASSIGN_OR_RETURN(Value s, EvalSingleContext(arg, origin, 0, 0));
+        StoreRelRow(id, origin, NodeSet(doc_.DerefIds(s.ToString(doc_))));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("unexpected node-set kind: " +
+                              std::string(ExprKindToString(n.kind)));
+  }
+}
+
+StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
+                                                         const NodeSet& x) {
+  const AstNode& n = tree_.node(id);
+  switch (n.kind) {
+    case ExprKind::kPath: {
+      NodeSet current;
+      size_t step_begin = 0;
+      if (n.has_head) {
+        XPE_RETURN_IF_ERROR(EvalInnerNodeSet(n.children[0], x));
+        for (NodeId origin : x) {
+          current = current.Union(rel_table(n.children[0]).by_origin[origin]);
+        }
+        step_begin = 1;
+      } else if (n.absolute) {
+        current = NodeSet::Single(doc_.root());
+      } else {
+        current = x;
+      }
+      for (size_t s = step_begin; s < n.children.size(); ++s) {
+        const AstNode& step = tree_.node(n.children[s]);
+        if (step.axis == Axis::kId) {
+          NodeBitmap targets(doc_.size());
+          for (NodeId origin : current) {
+            for (NodeId t : doc_.IdAxisForward(origin)) targets.Set(t);
+          }
+          current = targets.ToNodeSet();
+          continue;
+        }
+        if (stats_ != nullptr) ++stats_->axis_evals;
+        NodeSet y_all = ApplyNodeTest(doc_, step.axis, step.test,
+                                      EvalAxis(doc_, step.axis, current));
+        if (step.children.empty()) {
+          current = std::move(y_all);
+          continue;
+        }
+        bool positional = false;
+        for (AstId pred : step.children) {
+          positional = positional || DependsOnPosition(pred);
+        }
+        for (AstId pred : step.children) {
+          XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, y_all));
+        }
+        if (!positional) {
+          NodeSet survivors = std::move(y_all);
+          for (AstId pred : step.children) {
+            NodeSet kept;
+            for (NodeId y : survivors) {
+              XPE_ASSIGN_OR_RETURN(Value v, EvalSingleContext(pred, y, 0, 0));
+              if (v.ToBoolean()) kept.PushBackOrdered(y);
+            }
+            survivors = std::move(kept);
+          }
+          current = std::move(survivors);
+        } else {
+          NodeSet result;
+          for (NodeId origin : current) {
+            NodeSet candidates;
+            for (NodeId y : y_all) {
+              if (AxisRelates(doc_, step.axis, origin, y)) {
+                candidates.PushBackOrdered(y);
+              }
+            }
+            XPE_ASSIGN_OR_RETURN(
+                std::vector<NodeId> kept,
+                FilterByPredicatesSingle(step.children,
+                                         OrderForAxis(step.axis, candidates)));
+            result = result.Union(NodeSet(std::move(kept)));
+          }
+          current = std::move(result);
+        }
+      }
+      return current;
+    }
+    case ExprKind::kUnion: {
+      NodeSet out;
+      for (AstId child : n.children) {
+        XPE_ASSIGN_OR_RETURN(NodeSet part, EvalOutermostLocpath(child, x));
+        out = out.Union(part);
+      }
+      return out;
+    }
+    case ExprKind::kFilter: {
+      XPE_ASSIGN_OR_RETURN(NodeSet head,
+                           EvalOutermostLocpath(n.children[0], x));
+      std::vector<AstId> preds(n.children.begin() + 1, n.children.end());
+      for (AstId pred : preds) {
+        XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, head));
+      }
+      XPE_ASSIGN_OR_RETURN(std::vector<NodeId> kept,
+                           FilterByPredicatesSingle(preds, head.ids()));
+      return NodeSet(std::move(kept));
+    }
+    case ExprKind::kFunctionCall: {
+      // id(s) at the outermost level.
+      XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, x));
+      NodeSet out;
+      for (NodeId origin : x) {
+        out = out.Union(rel_table(id).by_origin[origin]);
+      }
+      return out;
+    }
+    default:
+      return StatusOr<NodeSet>(
+          Status::Internal("unexpected outermost location path kind"));
+  }
+}
+
+StatusOr<Value> MinContextEngine::Run(const EvalContext& ctx, bool optimized) {
+  if (optimized) {
+    XPE_RETURN_IF_ERROR(RunBottomUpPasses());
+  }
+  const AstId root = tree_.root();
+  if (IsNodeSetTyped(root)) {
+    if (ablate_outermost_sets_) {
+      // Ablation of §3.1's second idea: the outermost path runs through
+      // the pair-relation evaluator like any inner path.
+      XPE_RETURN_IF_ERROR(EvalInnerNodeSet(root, NodeSet::Single(ctx.node)));
+      return Value::Nodes(rel_table(root).by_origin[ctx.node]);
+    }
+    XPE_ASSIGN_OR_RETURN(NodeSet result,
+                         EvalOutermostLocpath(root, NodeSet::Single(ctx.node)));
+    return Value::Nodes(std::move(result));
+  }
+  XPE_RETURN_IF_ERROR(EvalByCnodeOnly(root, NodeSet::Single(ctx.node)));
+  return EvalSingleContext(root, ctx.node, ctx.position, ctx.size);
+}
+
+StatusOr<Value> EvalMinContext(const xpath::CompiledQuery& query,
+                               const xml::Document& doc,
+                               const EvalContext& ctx, EvalStats* stats,
+                               uint64_t budget, bool optimized,
+                               bool ablate_outermost_sets) {
+  MinContextEngine engine(query.tree(), doc, stats, budget);
+  engine.set_ablate_outermost_sets(ablate_outermost_sets);
+  return engine.Run(ctx, optimized);
+}
+
+}  // namespace xpe::internal

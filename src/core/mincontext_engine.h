@@ -1,0 +1,133 @@
+#ifndef XPE_CORE_MINCONTEXT_ENGINE_H_
+#define XPE_CORE_MINCONTEXT_ENGINE_H_
+
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/functions.h"
+#include "src/core/step_common.h"
+
+namespace xpe::internal {
+
+/// The MINCONTEXT evaluator of §3/§6, extended with the §4/§5 bottom-up
+/// path machinery that turns it into OPTMINCONTEXT. One instance performs
+/// one evaluation (tables are query+document specific).
+///
+/// Table layout follows §3.1's "restriction to the relevant context":
+///  - Relev(N) = ∅        → one value;
+///  - Relev(N) ⊆ {cn}     → value per context node (≤ |dom| rows);
+///  - scalar nodes touching cp/cs are never materialized — they are
+///    evaluated per single context inside the ⟨cp,cs⟩ loops;
+///  - node-set nodes store per-origin result sets (the pair relations of
+///    eval_inner_locpath, ≤ |dom|² cells in total).
+class MinContextEngine {
+ public:
+  MinContextEngine(const xpath::QueryTree& tree, const xml::Document& doc,
+                   EvalStats* stats, uint64_t budget);
+
+  /// Algorithm 6 (optimized=false) / Algorithm 8 (optimized=true).
+  StatusOr<Value> Run(const EvalContext& ctx, bool optimized);
+
+  /// Ablation: evaluate outermost paths through the inner pair-relation
+  /// machinery instead of §3.1's set representation (bench_ablation).
+  void set_ablate_outermost_sets(bool v) { ablate_outermost_sets_ = v; }
+
+ private:
+  // --- table storage ----------------------------------------------------
+  struct ScalarTable {
+    bool const_computed = false;
+    Value const_value;
+    /// Keyed by context node; `has_cn` marks computed rows. Sized lazily.
+    std::vector<uint8_t> has_cn;
+    std::vector<Value> by_cn;
+    /// Set by EvalBottomUpPath: by_cn holds a row for *every* node.
+    bool bottom_up_done = false;
+  };
+  struct RelTable {
+    std::vector<uint8_t> origin_computed;
+    std::vector<NodeSet> by_origin;
+  };
+
+  ScalarTable& scalar_table(xpath::AstId id) { return scalar_tables_[id]; }
+  RelTable& rel_table(xpath::AstId id) { return rel_tables_[id]; }
+
+  void StoreScalarRow(xpath::AstId id, xml::NodeId cn, Value v);
+  void StoreScalarConst(xpath::AstId id, Value v);
+  void StoreRelRow(xpath::AstId id, xml::NodeId origin, NodeSet targets);
+
+  uint8_t Relev(xpath::AstId id) const { return tree_.node(id).relev; }
+  bool DependsOnPosition(xpath::AstId id) const {
+    return (Relev(id) & (xpath::kRelevCp | xpath::kRelevCs)) != 0;
+  }
+  bool IsNodeSetTyped(xpath::AstId id) const {
+    return tree_.node(id).type == xpath::ValueType::kNodeSet;
+  }
+
+  Status ChargeBudget();
+
+  // --- §6 procedures ------------------------------------------------------
+  /// eval_outermost_locpath: set-valued evaluation of outermost paths.
+  StatusOr<NodeSet> EvalOutermostLocpath(xpath::AstId id, const NodeSet& x);
+
+  /// eval_by_cnode_only: fills table(M) for every M below `id` whose value
+  /// is independent of cp/cs, for the context nodes in `x`.
+  Status EvalByCnodeOnly(xpath::AstId id, const NodeSet& x);
+
+  /// eval_single_context: value of expr(id) at one ⟨cn,cp,cs⟩ triple.
+  /// Requires EvalByCnodeOnly(id, {cn}) to have run.
+  StatusOr<Value> EvalSingleContext(xpath::AstId id, xml::NodeId cn,
+                                    uint32_t cp, uint32_t cs);
+
+  /// eval_inner_locpath generalization: ensures rel_table rows exist for
+  /// all origins in `x` for any node-set-typed expression (paths, unions,
+  /// filters, id(s) calls).
+  Status EvalInnerNodeSet(xpath::AstId id, const NodeSet& x);
+
+  /// One location step from the origins in `x`: the {(x,y)} pair relation,
+  /// with predicate filtering (looped over ⟨cp,cs⟩ when needed).
+  StatusOr<std::vector<std::pair<xml::NodeId, NodeSet>>> EvalStepRelation(
+      xpath::AstId step_id, const NodeSet& x);
+
+  /// Shared predicate filtering for one origin's ordered candidate list.
+  StatusOr<std::vector<xml::NodeId>> FilterByPredicatesSingle(
+      const std::vector<xpath::AstId>& preds,
+      std::vector<xml::NodeId> candidates);
+
+  // --- §4/§5 bottom-up machinery (wadler.cc) ------------------------------
+  /// Collects bottom_up_eligible nodes innermost-first and evaluates them.
+  Status RunBottomUpPasses();
+
+  /// eval_bottomup_path: fills scalar_table(id) with a boolean row for
+  /// every node of the document.
+  Status EvalBottomUpPath(xpath::AstId id);
+
+  /// propagate_path_backwards over the steps of `path_id`, starting from
+  /// target set `y`. Returns the origin set X.
+  StatusOr<NodeSet> PropagatePathBackwards(xpath::AstId path_id, NodeSet y);
+
+  /// Evaluates a context-independent node-set expression once (absolute
+  /// paths / id('k') chains used as comparison anchors).
+  StatusOr<NodeSet> EvalContextFreeNodeSet(xpath::AstId id);
+
+  const xpath::QueryTree& tree_;
+  const xml::Document& doc_;
+  EvalStats* stats_;
+  uint64_t budget_;
+  uint64_t used_ = 0;
+  bool ablate_outermost_sets_ = false;
+
+  std::vector<ScalarTable> scalar_tables_;
+  std::vector<RelTable> rel_tables_;
+};
+
+/// True when `id` is a node-set expression whose value cannot depend on
+/// the context: an absolute path, an id(s) call with a context-free
+/// argument, or a union/path-chain of such. Used to admit the
+/// "π RelOp s with s of type nset" form of eval_bottomup_path (§6) that
+/// the paper's Relev rules alone cannot express (they assign {cn} to all
+/// paths, absolute ones included).
+bool IsContextFreeNodeSet(const xpath::QueryTree& tree, xpath::AstId id);
+
+}  // namespace xpe::internal
+
+#endif  // XPE_CORE_MINCONTEXT_ENGINE_H_

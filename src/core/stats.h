@@ -1,0 +1,43 @@
+#ifndef XPE_CORE_STATS_H_
+#define XPE_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xpe {
+
+/// Instrumentation counters shared by all engines. The space experiments
+/// (DESIGN.md E5) read peak_live_cells — wall-clock timing cannot observe
+/// the paper's space bounds, so engines report their context-value-table
+/// footprint here. Counters are plain fields: engines are single-threaded.
+struct EvalStats {
+  /// Total context-value-table cells ever written (scalar rows and
+  /// relation pairs both count as one cell).
+  uint64_t cells_allocated = 0;
+  /// Cells live right now.
+  uint64_t cells_live = 0;
+  /// High-water mark of cells_live: the paper's space usage.
+  uint64_t cells_peak = 0;
+  /// Single-(sub)expression/context evaluations performed — the unit the
+  /// paper's time bounds count.
+  uint64_t contexts_evaluated = 0;
+  /// χ(X)/χ⁻¹(X) computations.
+  uint64_t axis_evals = 0;
+
+  void AddCells(uint64_t n) {
+    cells_allocated += n;
+    cells_live += n;
+    if (cells_live > cells_peak) cells_peak = cells_live;
+  }
+  void ReleaseCells(uint64_t n) {
+    cells_live = n > cells_live ? 0 : cells_live - n;
+  }
+
+  void Reset() { *this = EvalStats(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace xpe
+
+#endif  // XPE_CORE_STATS_H_

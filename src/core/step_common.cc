@@ -1,0 +1,58 @@
+#include "src/core/step_common.h"
+
+#include <algorithm>
+
+namespace xpe {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeKind;
+using xpath::NodeTest;
+
+bool MatchesNodeTest(const Document& doc, Axis axis, const NodeTest& test,
+                     NodeId node) {
+  const NodeKind kind = doc.kind(node);
+  const NodeKind principal =
+      axis == Axis::kAttribute ? NodeKind::kAttribute : NodeKind::kElement;
+  switch (test.kind) {
+    case NodeTest::Kind::kAny:
+      return kind == principal;
+    case NodeTest::Kind::kName:
+      return kind == principal && doc.name(node) == test.name;
+    case NodeTest::Kind::kText:
+      return kind == NodeKind::kText;
+    case NodeTest::Kind::kComment:
+      return kind == NodeKind::kComment;
+    case NodeTest::Kind::kPi:
+      return kind == NodeKind::kProcessingInstruction &&
+             (test.name.empty() || doc.name(node) == test.name);
+    case NodeTest::Kind::kNode:
+      return true;
+  }
+  return false;
+}
+
+NodeSet ApplyNodeTest(const Document& doc, Axis axis, const NodeTest& test,
+                      const NodeSet& nodes) {
+  // node() keeps everything; avoid the copy loop.
+  if (test.kind == NodeTest::Kind::kNode) return nodes;
+  NodeSet out;
+  for (NodeId n : nodes) {
+    if (MatchesNodeTest(doc, axis, test, n)) out.PushBackOrdered(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> OrderForAxis(Axis axis, const NodeSet& set) {
+  std::vector<NodeId> out(set.ids());
+  if (AxisIsReverse(axis)) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
+                       NodeId origin) {
+  return ApplyNodeTest(doc, axis, test,
+                       EvalAxis(doc, axis, NodeSet::Single(origin)));
+}
+
+}  // namespace xpe

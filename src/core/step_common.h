@@ -1,0 +1,37 @@
+#ifndef XPE_CORE_STEP_COMMON_H_
+#define XPE_CORE_STEP_COMMON_H_
+
+#include <vector>
+
+#include "src/axes/axis.h"
+#include "src/xml/document.h"
+#include "src/xpath/ast.h"
+
+namespace xpe {
+
+/// Step-evaluation helpers shared by all engines, so node-test and
+/// ordering semantics cannot diverge between them.
+
+/// True iff `node` passes the node test `t` on `axis` (the paper's
+/// y ∈ T(t)). `*` and names select the axis's principal node type
+/// (attributes on the attribute axis, elements elsewhere).
+bool MatchesNodeTest(const xml::Document& doc, Axis axis,
+                     const xpath::NodeTest& test, xml::NodeId node);
+
+/// Filters `nodes` by the node test; stays in document order.
+NodeSet ApplyNodeTest(const xml::Document& doc, Axis axis,
+                      const xpath::NodeTest& test, const NodeSet& nodes);
+
+/// Nodes of `set` in the step order <doc,χ of §2.1: document order for
+/// forward axes, reverse document order for reverse axes. Positions
+/// (idxχ) are 1-based indices into this vector.
+std::vector<xml::NodeId> OrderForAxis(Axis axis, const NodeSet& set);
+
+/// χ({x}) ∩ T(t): the candidate list of one location step from one
+/// origin, in document order.
+NodeSet StepCandidates(const xml::Document& doc, Axis axis,
+                       const xpath::NodeTest& test, xml::NodeId origin);
+
+}  // namespace xpe
+
+#endif  // XPE_CORE_STEP_COMMON_H_

@@ -1,0 +1,82 @@
+#include "src/core/value.h"
+
+#include <cmath>
+
+#include "src/common/numeric.h"
+
+namespace xpe {
+
+bool Value::ToBoolean() const {
+  switch (type()) {
+    case ValueType::kNodeSet:
+      return !node_set().empty();
+    case ValueType::kBoolean:
+      return boolean();
+    case ValueType::kNumber:
+      return number() != 0.0 && !std::isnan(number());
+    case ValueType::kString:
+      return !string().empty();
+  }
+  return false;
+}
+
+double Value::ToNumber(const xml::Document& doc) const {
+  switch (type()) {
+    case ValueType::kNodeSet:
+      return XPathStringToNumber(ToString(doc));
+    case ValueType::kBoolean:
+      return boolean() ? 1.0 : 0.0;
+    case ValueType::kNumber:
+      return number();
+    case ValueType::kString:
+      return XPathStringToNumber(string());
+  }
+  return 0.0;
+}
+
+std::string Value::ToString(const xml::Document& doc) const {
+  switch (type()) {
+    case ValueType::kNodeSet:
+      return node_set().empty() ? std::string()
+                                : doc.StringValue(node_set().First());
+    case ValueType::kBoolean:
+      return boolean() ? "true" : "false";
+    case ValueType::kNumber:
+      return XPathNumberToString(number());
+    case ValueType::kString:
+      return string();
+  }
+  return {};
+}
+
+bool Value::StructurallyEquals(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNodeSet:
+      return node_set() == other.node_set();
+    case ValueType::kBoolean:
+      return boolean() == other.boolean();
+    case ValueType::kNumber:
+      return number() == other.number() ||
+             (std::isnan(number()) && std::isnan(other.number()));
+    case ValueType::kString:
+      return string() == other.string();
+  }
+  return false;
+}
+
+std::string Value::Repr() const {
+  switch (type()) {
+    case ValueType::kNodeSet:
+      return node_set().ToString();
+    case ValueType::kBoolean:
+      return boolean() ? "true" : "false";
+    case ValueType::kNumber:
+      return XPathNumberToString(number());
+    case ValueType::kString:
+      return "\"" + string() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace xpe

@@ -1,0 +1,67 @@
+#ifndef XPE_CORE_VALUE_H_
+#define XPE_CORE_VALUE_H_
+
+#include <string>
+#include <variant>
+
+#include "src/axes/node_set.h"
+#include "src/xml/document.h"
+#include "src/xpath/function_id.h"
+
+namespace xpe {
+
+using xpath::ValueType;
+
+/// A value of one of the four XPath 1.0 types (paper §2.2): node-set,
+/// boolean, number, or string. The conversion members implement the
+/// F[[string]]/F[[boolean]]/F[[number]] rows of Figure 1.
+class Value {
+ public:
+  /// Defaults to the empty node-set.
+  Value() : data_(NodeSet()) {}
+
+  static Value Number(double v) { return Value(v); }
+  static Value Boolean(bool v) { return Value(v); }
+  static Value String(std::string s) { return Value(std::move(s)); }
+  static Value Nodes(NodeSet s) { return Value(std::move(s)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_node_set() const { return type() == ValueType::kNodeSet; }
+
+  /// Typed accessors; calling the wrong one is a programming error.
+  const NodeSet& node_set() const { return std::get<NodeSet>(data_); }
+  bool boolean() const { return std::get<bool>(data_); }
+  double number() const { return std::get<double>(data_); }
+  const std::string& string() const { return std::get<std::string>(data_); }
+
+  /// F[[boolean]]: non-empty / non-zero-non-NaN / non-empty-string.
+  bool ToBoolean() const;
+  /// F[[number]]; node-sets convert via their string-value, so the
+  /// document is required.
+  double ToNumber(const xml::Document& doc) const;
+  /// F[[string]]; node-sets yield strval(first<doc(S)) or "".
+  std::string ToString(const xml::Document& doc) const;
+
+  /// Structural equality (same type, same payload); NaN equals NaN so
+  /// tests can compare tables. Not an XPath comparison — see
+  /// EvalComparison in functions.h for those.
+  bool StructurallyEquals(const Value& other) const;
+
+  /// Debug rendering, e.g. `"abc"`, `3.5`, `true`, `{2, 7}`.
+  std::string Repr() const;
+
+ private:
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(NodeSet s) : data_(std::move(s)) {}
+
+  // Order matches xpath::ValueType: kNodeSet, kBoolean, kNumber, kString.
+  std::variant<NodeSet, bool, double, std::string> data_;
+};
+
+}  // namespace xpe
+
+#endif  // XPE_CORE_VALUE_H_

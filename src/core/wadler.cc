@@ -1,0 +1,268 @@
+// The Extended Wadler Fragment machinery of §4/§5: bottom-up evaluation of
+// location paths occurring as boolean(π) or π RelOp s, via backward
+// propagation of node sets through inverse axes (eval_bottomup_path and
+// propagate_path_backwards of §6).
+
+#include "src/common/numeric.h"
+#include "src/core/mincontext_engine.h"
+
+namespace xpe::internal {
+
+using xml::NodeId;
+using xpath::AstId;
+using xpath::AstNode;
+using xpath::BinOp;
+using xpath::ExprKind;
+using xpath::FunctionId;
+using xpath::QueryTree;
+
+bool IsContextFreeNodeSet(const QueryTree& tree, AstId id) {
+  const AstNode& n = tree.node(id);
+  switch (n.kind) {
+    case ExprKind::kPath: {
+      size_t step_begin = 0;
+      if (n.has_head) {
+        if (!IsContextFreeNodeSet(tree, n.children[0])) return false;
+        step_begin = 1;
+      } else if (!n.absolute) {
+        return false;
+      }
+      // Steps never re-introduce context dependence, but their predicates
+      // must not be position()-free is NOT required here: predicates see
+      // contexts derived from the (context-free) frontier only.
+      (void)step_begin;
+      return true;
+    }
+    case ExprKind::kUnion:
+      for (AstId child : n.children) {
+        if (!IsContextFreeNodeSet(tree, child)) return false;
+      }
+      return true;
+    case ExprKind::kFilter:
+      return IsContextFreeNodeSet(tree, n.children[0]);
+    case ExprKind::kFunctionCall:
+      return n.fn == FunctionId::kId && tree.node(n.children[0]).relev == 0;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Post-order collection of the §5 bottom-up-eligible occurrences, so
+/// that nested bottom-up paths (Example 9's ρ inside π) are evaluated
+/// innermost-first, as Algorithm 8 requires.
+void CollectBottomUpNodes(const QueryTree& tree, AstId id,
+                          std::vector<AstId>* out) {
+  const AstNode& n = tree.node(id);
+  for (AstId child : n.children) CollectBottomUpNodes(tree, child, out);
+  if (n.bottom_up_eligible) out->push_back(id);
+}
+
+}  // namespace
+
+Status MinContextEngine::RunBottomUpPasses() {
+  std::vector<AstId> eligible;
+  CollectBottomUpNodes(tree_, tree_.root(), &eligible);
+  for (AstId id : eligible) {
+    XPE_RETURN_IF_ERROR(EvalBottomUpPath(id));
+  }
+  return Status::OK();
+}
+
+StatusOr<NodeSet> MinContextEngine::EvalContextFreeNodeSet(AstId id) {
+  XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, NodeSet::Single(doc_.root())));
+  return rel_table(id).by_origin[doc_.root()];
+}
+
+StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
+                                                           NodeSet y) {
+  const AstNode& path = tree_.node(path_id);
+  size_t step_begin = (path.has_head ? 1 : 0);
+
+  NodeSet current = std::move(y);
+  for (size_t s = path.children.size(); s-- > step_begin;) {
+    const AstNode& step = tree_.node(path.children[s]);
+
+    if (step.axis == Axis::kId) {
+      if (stats_ != nullptr) ++stats_->axis_evals;
+      current = EvalAxisInverse(doc_, Axis::kId, current);
+      continue;
+    }
+
+    // Y' := members of the propagated set passing this step's node test.
+    NodeSet tested = ApplyNodeTest(doc_, step.axis, step.test, current);
+    if (step.children.empty()) {
+      if (stats_ != nullptr) ++stats_->axis_evals;
+      current = EvalAxisInverse(doc_, step.axis, tested);
+      continue;
+    }
+
+    bool positional = false;
+    for (AstId pred : step.children) {
+      positional = positional || DependsOnPosition(pred);
+    }
+
+    if (!positional) {
+      for (AstId pred : step.children) {
+        XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, tested));
+      }
+      NodeSet survivors = std::move(tested);
+      for (AstId pred : step.children) {
+        NodeSet kept;
+        for (NodeId n : survivors) {
+          XPE_ASSIGN_OR_RETURN(Value v, EvalSingleContext(pred, n, 0, 0));
+          if (v.boolean()) kept.PushBackOrdered(n);
+        }
+        survivors = std::move(kept);
+      }
+      if (stats_ != nullptr) ++stats_->axis_evals;
+      current = EvalAxisInverse(doc_, step.axis, survivors);
+      continue;
+    }
+
+    // Positional predicates: iterate over the candidate origins X' and
+    // evaluate positions over each origin's *full* candidate list (see
+    // DESIGN.md on the §6 position-semantics erratum), then keep origins
+    // whose surviving candidates intersect the propagated set.
+    if (stats_ != nullptr) stats_->axis_evals += 2;
+    NodeSet origins = EvalAxisInverse(doc_, step.axis, tested);
+    NodeSet universe = ApplyNodeTest(doc_, step.axis, step.test,
+                                     EvalAxis(doc_, step.axis, origins));
+    for (AstId pred : step.children) {
+      XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, universe));
+    }
+    NodeSet kept_origins;
+    for (NodeId origin : origins) {
+      NodeSet candidates;
+      for (NodeId z : universe) {
+        if (AxisRelates(doc_, step.axis, origin, z)) {
+          candidates.PushBackOrdered(z);
+        }
+      }
+      XPE_ASSIGN_OR_RETURN(
+          std::vector<NodeId> kept,
+          FilterByPredicatesSingle(step.children,
+                                   OrderForAxis(step.axis, candidates)));
+      bool hits_target = false;
+      for (NodeId z : kept) {
+        if (tested.Contains(z)) {
+          hits_target = true;
+          break;
+        }
+      }
+      if (hits_target) kept_origins.PushBackOrdered(origin);
+    }
+    current = std::move(kept_origins);
+  }
+
+  // Anchor the propagation at the path's start.
+  if (path.absolute) {
+    return current.Contains(doc_.root()) ? NodeSet::Universe(doc_.size())
+                                         : NodeSet();
+  }
+  if (path.has_head) {
+    XPE_ASSIGN_OR_RETURN(NodeSet head_set,
+                         EvalContextFreeNodeSet(path.children[0]));
+    return head_set.Intersect(current).empty() ? NodeSet()
+                                               : NodeSet::Universe(doc_.size());
+  }
+  return current;
+}
+
+Status MinContextEngine::EvalBottomUpPath(AstId id) {
+  const AstNode& n = tree_.node(id);
+  if (scalar_table(id).bottom_up_done) return Status::OK();
+
+  AstId path_id = xpath::kInvalidAstId;
+  AstId scalar_id = xpath::kInvalidAstId;
+  bool path_on_left = true;
+  BinOp op = BinOp::kEq;
+  bool boolean_mode = false;
+
+  if (n.kind == ExprKind::kFunctionCall && n.fn == FunctionId::kBoolean) {
+    path_id = n.children[0];
+    boolean_mode = true;
+  } else {
+    op = n.op;
+    const bool lns =
+        tree_.node(n.children[0]).type == xpath::ValueType::kNodeSet;
+    path_id = n.children[lns ? 0 : 1];
+    scalar_id = n.children[lns ? 1 : 0];
+    path_on_left = lns;
+  }
+
+  // Step 1: the initial node set Y (and, for comparisons, the anchor
+  // value of the context-independent operand s).
+  NodeSet y;
+  bool bool_anchor = false;
+  bool bool_anchor_value = false;
+  const NodeId dom_size = doc_.size();
+
+  if (boolean_mode) {
+    y = NodeSet::Universe(dom_size);
+  } else {
+    const AstNode& s = tree_.node(scalar_id);
+    // The operand is context-independent; evaluate it once.
+    XPE_RETURN_IF_ERROR(EvalByCnodeOnly(scalar_id, NodeSet::Single(0)));
+    if (s.type == xpath::ValueType::kNodeSet) {
+      // π RelOp S with S a context-free node-set (§6's nset case).
+      XPE_ASSIGN_OR_RETURN(NodeSet anchor, EvalContextFreeNodeSet(scalar_id));
+      Value anchor_value = Value::Nodes(std::move(anchor));
+      for (NodeId node = 0; node < dom_size; ++node) {
+        XPE_RETURN_IF_ERROR(ChargeBudget());
+        const Value self = Value::Nodes(NodeSet::Single(node));
+        const bool hit =
+            path_on_left ? EvalComparison(doc_, op, self, anchor_value)
+                         : EvalComparison(doc_, op, anchor_value, self);
+        if (hit) y.PushBackOrdered(node);
+      }
+    } else {
+      XPE_ASSIGN_OR_RETURN(Value s_val, EvalSingleContext(scalar_id, 0, 0, 0));
+      if (s.type == xpath::ValueType::kBoolean) {
+        // π RelOp b behaves like boolean(π) RelOp b: propagate with
+        // Y = dom and compare the existence bit afterwards.
+        y = NodeSet::Universe(dom_size);
+        bool_anchor = true;
+        bool_anchor_value = s_val.boolean();
+      } else {
+        for (NodeId node = 0; node < dom_size; ++node) {
+          XPE_RETURN_IF_ERROR(ChargeBudget());
+          const Value self = Value::Nodes(NodeSet::Single(node));
+          const bool hit = path_on_left
+                               ? EvalComparison(doc_, op, self, s_val)
+                               : EvalComparison(doc_, op, s_val, self);
+          if (hit) y.PushBackOrdered(node);
+        }
+      }
+    }
+  }
+
+  // Step 2: propagate Y backwards through the path.
+  XPE_ASSIGN_OR_RETURN(NodeSet reachable, PropagatePathBackwards(path_id, y));
+
+  // Fill table(id) for every possible context node: linear space.
+  ScalarTable& table = scalar_table(id);
+  table.by_cn.resize(dom_size);
+  table.has_cn.assign(dom_size, 1);
+  NodeBitmap in_set(dom_size, reachable);
+  for (NodeId node = 0; node < dom_size; ++node) {
+    bool value;
+    if (bool_anchor) {
+      const bool exists = in_set.Test(node);
+      value = path_on_left
+                  ? EvalComparison(doc_, op, Value::Boolean(exists),
+                                   Value::Boolean(bool_anchor_value))
+                  : EvalComparison(doc_, op, Value::Boolean(bool_anchor_value),
+                                   Value::Boolean(exists));
+    } else {
+      value = in_set.Test(node);
+    }
+    table.by_cn[node] = Value::Boolean(value);
+  }
+  table.bottom_up_done = true;
+  if (stats_ != nullptr) stats_->AddCells(dom_size);
+  return Status::OK();
+}
+
+}  // namespace xpe::internal

@@ -1,0 +1,284 @@
+#include "src/xml/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+
+namespace xpe::xml {
+
+namespace {
+
+Document MustFinish(DocumentBuilder&& b) {
+  StatusOr<Document> doc = std::move(b).Finish();
+  // Generators are internally consistent; a failure here is an xpe bug.
+  if (!doc.ok()) std::abort();
+  return std::move(doc).value();
+}
+
+/// Appends the paper's <a> subtree with id values suffixed by `suffix`.
+void AppendPaperA(DocumentBuilder& b, const std::string& suffix) {
+  auto id = [&suffix](const char* base) { return std::string(base) + suffix; };
+  b.StartElement("a");
+  b.AddAttribute("id", id("10"));
+  b.StartElement("b");
+  b.AddAttribute("id", id("11"));
+  b.StartElement("c");
+  b.AddAttribute("id", id("12"));
+  b.AddText("21 22");
+  b.EndElement();
+  b.StartElement("c");
+  b.AddAttribute("id", id("13"));
+  b.AddText("23 24");
+  b.EndElement();
+  b.StartElement("d");
+  b.AddAttribute("id", id("14"));
+  b.AddText("100");
+  b.EndElement();
+  b.EndElement();  // b
+  b.StartElement("b");
+  b.AddAttribute("id", id("21"));
+  b.StartElement("c");
+  b.AddAttribute("id", id("22"));
+  b.AddText("11 12");
+  b.EndElement();
+  b.StartElement("d");
+  b.AddAttribute("id", id("23"));
+  b.AddText("13 14");
+  b.EndElement();
+  b.StartElement("d");
+  b.AddAttribute("id", id("24"));
+  b.AddText("100");
+  b.EndElement();
+  b.EndElement();  // b
+  b.EndElement();  // a
+}
+
+}  // namespace
+
+Document MakePaperDocument() {
+  DocumentBuilder b;
+  AppendPaperA(b, "");
+  return MustFinish(std::move(b));
+}
+
+Document MakeExponentialDocument() {
+  DocumentBuilder b;
+  b.StartElement("a");
+  b.StartElement("b");
+  b.EndElement();
+  b.StartElement("b");
+  b.EndElement();
+  b.EndElement();
+  return MustFinish(std::move(b));
+}
+
+Document MakeGrownPaperDocument(int width) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  for (int i = 0; i < width; ++i) {
+    AppendPaperA(b, "_" + std::to_string(i));
+  }
+  b.EndElement();
+  return MustFinish(std::move(b));
+}
+
+Document MakeChainDocument(int depth) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  for (int i = 0; i < depth; ++i) b.StartElement("c");
+  b.AddText("100");
+  for (int i = 0; i < depth; ++i) b.EndElement();
+  b.EndElement();
+  return MustFinish(std::move(b));
+}
+
+namespace {
+
+void AppendCompleteTree(DocumentBuilder& b, int fanout, int depth,
+                        int hundred_every, int* leaf_counter) {
+  if (depth == 0) {
+    b.StartElement("leaf");
+    const int k = (*leaf_counter)++;
+    b.AddText(k % hundred_every == 0 ? "100" : std::to_string(k));
+    b.EndElement();
+    return;
+  }
+  b.StartElement("n");
+  for (int i = 0; i < fanout; ++i) {
+    AppendCompleteTree(b, fanout, depth - 1, hundred_every, leaf_counter);
+  }
+  b.EndElement();
+}
+
+}  // namespace
+
+Document MakeCompleteTreeDocument(int fanout, int depth, int hundred_every) {
+  DocumentBuilder b;
+  int leaf_counter = 1;
+  AppendCompleteTree(b, fanout, depth, hundred_every, &leaf_counter);
+  return MustFinish(std::move(b));
+}
+
+Document MakeNumericDocument(int n, int hundred_every) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  for (int i = 1; i <= n; ++i) {
+    b.StartElement("v");
+    b.AddText(i % hundred_every == 0 ? "100" : std::to_string(i));
+    b.EndElement();
+  }
+  b.EndElement();
+  return MustFinish(std::move(b));
+}
+
+Document MakeBibliographyDocument(int n_books) {
+  static const char* kAuthors[] = {"Gottlob", "Koch",   "Pichler",
+                                   "Wadler",  "Suciu",  "Buneman",
+                                   "Abiteboul", "Vianu"};
+  static const char* kTopics[] = {"XPath",  "XQuery", "XML",   "Trees",
+                                  "Logic",  "Automata", "Streams"};
+  DocumentBuilder b;
+  b.StartElement("bib");
+  for (int i = 0; i < n_books; ++i) {
+    b.StartElement("book");
+    b.AddAttribute("id", "bk" + std::to_string(i));
+    b.AddAttribute("year", std::to_string(1995 + i % 10));
+    b.StartElement("title");
+    b.AddText(std::string(kTopics[i % 7]) + " Essentials, Vol. " +
+              std::to_string(i % 5 + 1));
+    b.EndElement();
+    const int n_authors = i % 3 + 1;
+    for (int a = 0; a < n_authors; ++a) {
+      b.StartElement("author");
+      b.AddText(kAuthors[(i + a) % 8]);
+      b.EndElement();
+    }
+    b.StartElement("price");
+    b.AddText(std::to_string(20 + (i * 7) % 80));
+    b.EndElement();
+    if (i % 4 == 0) {
+      b.StartElement("cites");
+      // Reference earlier books by id, exercising id()/deref_ids.
+      b.AddText("bk" + std::to_string(i / 2) + " bk" + std::to_string(i / 4));
+      b.EndElement();
+    }
+    b.EndElement();  // book
+  }
+  b.EndElement();  // bib
+  return MustFinish(std::move(b));
+}
+
+Document MakeAuctionDocument(int n_people, uint64_t seed) {
+  static const char* kNames[] = {"Ada",  "Bela", "Chen", "Dana",
+                                 "Ewa",  "Femi", "Gus",  "Hild"};
+  static const char* kCities[] = {"Vienna", "Graz", "Linz", "Salzburg"};
+  static const char* kWares[] = {"clock",  "map",   "vase", "book",
+                                 "stamp",  "lens",  "coin", "print"};
+  std::mt19937_64 rng(seed);
+  const int n_items = std::max(1, n_people / 2);
+  const int n_auctions = std::max(1, n_people / 3);
+
+  DocumentBuilder b;
+  b.StartElement("site");
+
+  b.StartElement("people");
+  for (int i = 0; i < n_people; ++i) {
+    b.StartElement("person");
+    b.AddAttribute("id", "person" + std::to_string(i));
+    b.StartElement("name");
+    b.AddText(std::string(kNames[rng() % 8]) + " " +
+              std::string(1, static_cast<char>('A' + i % 26)) + ".");
+    b.EndElement();
+    b.StartElement("city");
+    b.AddText(kCities[rng() % 4]);
+    b.EndElement();
+    if (rng() % 3 == 0) {
+      b.StartElement("creditcard");
+      b.AddText(std::to_string(1000 + rng() % 9000));
+      b.EndElement();
+    }
+    b.EndElement();
+  }
+  b.EndElement();  // people
+
+  b.StartElement("regions");
+  b.StartElement("europe");
+  for (int i = 0; i < n_items; ++i) {
+    b.StartElement("item");
+    b.AddAttribute("id", "item" + std::to_string(i));
+    b.StartElement("name");
+    b.AddText(kWares[rng() % 8]);
+    b.EndElement();
+    b.StartElement("reserve");
+    b.AddText(std::to_string(10 + rng() % 190));
+    b.EndElement();
+    b.EndElement();
+  }
+  b.EndElement();  // europe
+  b.EndElement();  // regions
+
+  b.StartElement("open_auctions");
+  for (int i = 0; i < n_auctions; ++i) {
+    b.StartElement("open_auction");
+    b.AddAttribute("id", "auction" + std::to_string(i));
+    b.StartElement("itemref");
+    // Cross-reference: deref_ids picks the item back up via id().
+    b.AddText("item" + std::to_string(rng() % n_items));
+    b.EndElement();
+    const int n_bids = 1 + static_cast<int>(rng() % 4);
+    int price = 10 + static_cast<int>(rng() % 50);
+    for (int k = 0; k < n_bids; ++k) {
+      b.StartElement("bidder");
+      b.StartElement("personref");
+      b.AddText("person" + std::to_string(rng() % n_people));
+      b.EndElement();
+      price += static_cast<int>(rng() % 25);
+      b.StartElement("increase");
+      b.AddText(std::to_string(price));
+      b.EndElement();
+      b.EndElement();  // bidder
+    }
+    b.StartElement("current");
+    b.AddText(std::to_string(price));
+    b.EndElement();
+    b.EndElement();  // open_auction
+  }
+  b.EndElement();  // open_auctions
+
+  b.EndElement();  // site
+  return MustFinish(std::move(b));
+}
+
+Document MakeRandomDocument(int n_elements,
+                            const std::vector<std::string>& labels,
+                            uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  DocumentBuilder b;
+  b.StartElement("r");
+  int depth = 0;
+  int made = 1;  // counts <r>
+  while (made < n_elements) {
+    const uint64_t roll = rng() % 100;
+    if (roll < 45 || depth == 0) {
+      b.StartElement(labels[rng() % labels.size()]);
+      ++depth;
+      ++made;
+      if (rng() % 4 == 0) {
+        b.AddAttribute("id", "n" + std::to_string(made));
+      }
+    } else if (roll < 75) {
+      // Numeric leaf text; one in six is the magic 100.
+      b.AddText(rng() % 6 == 0 ? "100" : std::to_string(rng() % 200));
+      b.EndElement();
+      --depth;
+    } else {
+      b.EndElement();
+      --depth;
+    }
+  }
+  while (depth-- > 0) b.EndElement();
+  b.EndElement();  // r
+  return MustFinish(std::move(b));
+}
+
+}  // namespace xpe::xml

@@ -1,0 +1,70 @@
+#ifndef XPE_XML_GENERATOR_H_
+#define XPE_XML_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xml/document.h"
+
+namespace xpe::xml {
+
+/// Synthetic document generators: the paper's own sample plus the workload
+/// families used by the benchmark harness (bench/) and the property tests.
+/// All generators are deterministic (seeded where randomized).
+
+/// The exact document of the paper's Figure 2:
+///   <a id="10"><b id="11"><c id="12">21 22</c><c id="13">23 24</c>
+///   <d id="14">100</d></b><b id="21"><c id="22">11 12</c>
+///   <d id="23">13 14</d><d id="24">100</d></b></a>
+/// Nodes are addressable via GetElementById ("10" ... "24"), matching the
+/// paper's x10..x24 notation.
+Document MakePaperDocument();
+
+/// The two-leaf document `<a><b/><b/></a>` on which naive evaluators take
+/// time exponential in query size (experiment E1; cf. [11]'s experiments
+/// with XALAN/XT/IE6).
+Document MakeExponentialDocument();
+
+/// A root `<r>` with `width` copies of the paper document's <a> subtree
+/// (ids suffixed per copy). Scales the Example 9 / running-example
+/// workloads to arbitrary |D| while preserving their structure.
+Document MakeGrownPaperDocument(int width);
+
+/// A chain r/c/c/.../c of the given depth (plus a numeric text leaf).
+Document MakeChainDocument(int depth);
+
+/// A complete `fanout`-ary tree of elements <n> with the given depth;
+/// leaves carry numeric text i (their preorder index), every
+/// `hundred_every`-th leaf carries "100".
+Document MakeCompleteTreeDocument(int fanout, int depth,
+                                  int hundred_every = 7);
+
+/// A flat document <r><v>k</v>...</r> with `n` value leaves; every
+/// `hundred_every`-th leaf has text "100" (the running example's
+/// `self::* = 100` predicate selects those).
+Document MakeNumericDocument(int n, int hundred_every = 7);
+
+/// A bibliography corpus: <bib> with `n_books` <book> elements carrying
+/// id/year attributes and <title>, <author>+, <price> children. Used by
+/// the bibliography example and the engine-comparison bench.
+Document MakeBibliographyDocument(int n_books);
+
+/// A random element tree with exactly `n_elements` elements (plus numeric
+/// text leaves), labels drawn from `labels`, shape driven by `seed`.
+/// Suitable for differential testing: identical (n, labels, seed) yields
+/// an identical document.
+Document MakeRandomDocument(int n_elements,
+                            const std::vector<std::string>& labels,
+                            uint64_t seed);
+
+/// An XMark-flavoured auction-site corpus: <site> with <people> (person
+/// records keyed by id), <regions>/<item> entries, and <open_auctions>
+/// whose bidders and itemrefs cross-reference people/items by id —
+/// the classic join-heavy XML benchmarking shape. Deterministic in
+/// (n_people, seed); sizes scale roughly linearly in n_people.
+Document MakeAuctionDocument(int n_people, uint64_t seed = 42);
+
+}  // namespace xpe::xml
+
+#endif  // XPE_XML_GENERATOR_H_

@@ -1,0 +1,60 @@
+#ifndef XPE_XML_NODE_H_
+#define XPE_XML_NODE_H_
+
+#include <cstdint>
+
+namespace xpe::xml {
+
+/// Identifies a node within its Document. NodeIds are assigned in document
+/// order (preorder rank), so `a < b` is exactly the paper's `a <doc b`
+/// relation of §2.1. Attribute nodes receive the slots immediately after
+/// their owner element (and before its first child), which matches the
+/// XPath 1.0 document-order rules for attributes.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (absent parent/sibling/child links).
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// Sentinel for "no interned name" / "no content".
+inline constexpr uint32_t kNoString = 0xFFFFFFFFu;
+
+/// The node kinds of the XPath 1.0 data model that xpe implements. The
+/// paper collapses all kinds into one ("all nodes are assumed to be of the
+/// same type", §2.1); we keep the kinds because node tests need them, but
+/// namespace nodes are out of scope exactly as in the paper.
+enum class NodeKind : uint8_t {
+  kRoot = 0,
+  kElement = 1,
+  kAttribute = 2,
+  kText = 3,
+  kComment = 4,
+  kProcessingInstruction = 5,
+};
+
+/// Returns a human-readable kind name ("root", "element", ...).
+const char* NodeKindToString(NodeKind kind);
+
+/// Fixed-size per-node storage. Nodes live in a Document-owned arena;
+/// strings are interned (names) or stored in a content table (text,
+/// comments, PI bodies, attribute values).
+struct NodeRecord {
+  NodeKind kind = NodeKind::kRoot;
+  /// Interned name id: element tag, attribute name, or PI target.
+  uint32_t name = kNoString;
+  /// Content table id: text/comment/PI content or attribute value.
+  uint32_t content = kNoString;
+  /// Number of attribute nodes, stored at ids [self+1, self+1+attr_count).
+  uint32_t attr_count = 0;
+  NodeId parent = kInvalidNodeId;
+  NodeId first_child = kInvalidNodeId;
+  NodeId last_child = kInvalidNodeId;
+  NodeId prev_sibling = kInvalidNodeId;
+  NodeId next_sibling = kInvalidNodeId;
+  /// One past the largest NodeId in this node's subtree (attributes
+  /// included): the preorder interval of the subtree is [id, subtree_end).
+  NodeId subtree_end = kInvalidNodeId;
+};
+
+}  // namespace xpe::xml
+
+#endif  // XPE_XML_NODE_H_

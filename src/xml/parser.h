@@ -1,0 +1,46 @@
+#ifndef XPE_XML_PARSER_H_
+#define XPE_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xml/document.h"
+
+namespace xpe::xml {
+
+/// How the parser treats text nodes that consist only of whitespace
+/// (typically indentation in hand-written documents).
+enum class WhitespaceMode {
+  /// Keep them, as the XML recommendation requires of a generic processor.
+  kPreserve,
+  /// Drop them. Convenient for data-oriented documents such as the paper's
+  /// Figure 2 sample, whose `dom` contains no whitespace nodes.
+  kDiscard,
+};
+
+/// RocksDB-style options struct for the XML parser.
+struct ParseOptions {
+  WhitespaceMode whitespace = WhitespaceMode::kPreserve;
+  /// Attribute name whose values populate the id index used by
+  /// deref_ids/id() (the paper's Figure 2 keys elements by "id").
+  std::string id_attribute_name = "id";
+  /// Hard cap on the number of nodes, to bound memory on hostile input.
+  uint64_t max_nodes = 100'000'000;
+  /// Hard cap on element nesting depth, to bound parser recursion on
+  /// hostile input ("<a><a><a>..." without end tags).
+  int max_depth = 5000;
+};
+
+/// Parses a complete XML document. The parser is non-validating: it checks
+/// well-formedness (tag balance, attribute uniqueness, entity syntax,
+/// single document element) but ignores DTDs beyond skipping them, and it
+/// expands only the five predefined entities and numeric character
+/// references. Namespace declarations are treated as plain attributes,
+/// mirroring the paper's exclusion of the namespace axis.
+StatusOr<Document> Parse(std::string_view input,
+                         const ParseOptions& options = ParseOptions());
+
+}  // namespace xpe::xml
+
+#endif  // XPE_XML_PARSER_H_

@@ -1,0 +1,152 @@
+#include "src/xml/serializer.h"
+
+namespace xpe::xml {
+
+namespace {
+
+void SerializeRec(const Document& doc, NodeId node,
+                  const SerializeOptions& options, int depth,
+                  std::string* out) {
+  auto newline_indent = [&](int d) {
+    if (options.indent.empty()) return;
+    out->push_back('\n');
+    for (int i = 0; i < d; ++i) *out += options.indent;
+  };
+
+  switch (doc.kind(node)) {
+    case NodeKind::kRoot: {
+      for (NodeId c = doc.first_child(node); c != kInvalidNodeId;
+           c = doc.next_sibling(c)) {
+        SerializeRec(doc, c, options, depth, out);
+        if (!options.indent.empty()) out->push_back('\n');
+      }
+      break;
+    }
+    case NodeKind::kElement: {
+      out->push_back('<');
+      *out += doc.name(node);
+      for (NodeId a = doc.AttrBegin(node); a < doc.AttrEnd(node); ++a) {
+        out->push_back(' ');
+        *out += doc.name(a);
+        *out += "=\"";
+        *out += EscapeAttribute(doc.content(a));
+        out->push_back('"');
+      }
+      NodeId first = doc.first_child(node);
+      if (first == kInvalidNodeId) {
+        *out += "/>";
+        break;
+      }
+      out->push_back('>');
+      // Mixed content (any text child) suppresses pretty-printing inside
+      // this element so whitespace-significant data is not corrupted.
+      bool mixed = false;
+      for (NodeId c = first; c != kInvalidNodeId; c = doc.next_sibling(c)) {
+        if (doc.kind(c) == NodeKind::kText) mixed = true;
+      }
+      for (NodeId c = first; c != kInvalidNodeId; c = doc.next_sibling(c)) {
+        if (!mixed) newline_indent(depth + 1);
+        SerializeRec(doc, c, mixed ? SerializeOptions{} : options, depth + 1,
+                     out);
+      }
+      if (!mixed) newline_indent(depth);
+      *out += "</";
+      *out += doc.name(node);
+      out->push_back('>');
+      break;
+    }
+    case NodeKind::kText:
+      *out += EscapeText(doc.content(node));
+      break;
+    case NodeKind::kComment:
+      *out += "<!--";
+      *out += doc.content(node);
+      *out += "-->";
+      break;
+    case NodeKind::kProcessingInstruction:
+      *out += "<?";
+      *out += doc.name(node);
+      if (!doc.content(node).empty()) {
+        out->push_back(' ');
+        *out += doc.content(node);
+      }
+      *out += "?>";
+      break;
+    case NodeKind::kAttribute:
+      *out += doc.name(node);
+      *out += "=\"";
+      *out += EscapeAttribute(doc.content(node));
+      out->push_back('"');
+      break;
+  }
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\t':
+        out += "&#9;";
+        break;
+      case '\n':
+        out += "&#10;";
+        break;
+      case '\r':
+        out += "&#13;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  return SerializeNode(doc, doc.root(), options);
+}
+
+std::string SerializeNode(const Document& doc, NodeId node,
+                          const SerializeOptions& options) {
+  std::string out;
+  if (options.xml_declaration && node == doc.root()) {
+    out += "<?xml version=\"1.0\"?>";
+    if (!options.indent.empty()) out.push_back('\n');
+  }
+  SerializeRec(doc, node, options, 0, &out);
+  return out;
+}
+
+}  // namespace xpe::xml

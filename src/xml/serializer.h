@@ -1,0 +1,34 @@
+#ifndef XPE_XML_SERIALIZER_H_
+#define XPE_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "src/xml/document.h"
+
+namespace xpe::xml {
+
+/// Serialization options.
+struct SerializeOptions {
+  /// Emit an `<?xml version="1.0"?>` declaration first.
+  bool xml_declaration = false;
+  /// Pretty-print with this indent per nesting level; empty = compact
+  /// (compact output round-trips exactly through Parse).
+  std::string indent;
+};
+
+/// Renders the document (or the subtree rooted at `node`) back to XML text.
+/// Text and attribute values are escaped, so Parse(Serialize(d)) rebuilds a
+/// document isomorphic to `d` (compact mode).
+std::string Serialize(const Document& doc,
+                      const SerializeOptions& options = SerializeOptions());
+std::string SerializeNode(const Document& doc, NodeId node,
+                          const SerializeOptions& options = SerializeOptions());
+
+/// Escapes `<`, `>`, `&` for text content.
+std::string EscapeText(std::string_view text);
+/// Escapes `<`, `&`, `"` for double-quoted attribute values.
+std::string EscapeAttribute(std::string_view value);
+
+}  // namespace xpe::xml
+
+#endif  // XPE_XML_SERIALIZER_H_

@@ -1,0 +1,224 @@
+#include "src/xpath/ast.h"
+
+#include "src/common/numeric.h"
+
+namespace xpe::xpath {
+
+const char* ExprKindToString(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kNumberLiteral:
+      return "number-literal";
+    case ExprKind::kStringLiteral:
+      return "string-literal";
+    case ExprKind::kVariable:
+      return "variable";
+    case ExprKind::kFunctionCall:
+      return "function-call";
+    case ExprKind::kBinaryOp:
+      return "binary-op";
+    case ExprKind::kUnaryMinus:
+      return "unary-minus";
+    case ExprKind::kUnion:
+      return "union";
+    case ExprKind::kPath:
+      return "path";
+    case ExprKind::kStep:
+      return "step";
+    case ExprKind::kFilter:
+      return "filter";
+  }
+  return "?";
+}
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNeq:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "div";
+    case BinOp::kMod:
+      return "mod";
+  }
+  return "?";
+}
+
+bool BinOpIsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNeq:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool BinOpIsEquality(BinOp op) {
+  return op == BinOp::kEq || op == BinOp::kNeq;
+}
+
+std::string NodeTest::ToString() const {
+  switch (kind) {
+    case Kind::kAny:
+      return "*";
+    case Kind::kName:
+      return name;
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kPi:
+      return name.empty() ? "processing-instruction()"
+                          : "processing-instruction('" + name + "')";
+    case Kind::kNode:
+      return "node()";
+  }
+  return "?";
+}
+
+std::string RelevToString(uint8_t relev) {
+  std::string out = "{";
+  bool first = true;
+  auto add = [&](const char* s) {
+    if (!first) out += ",";
+    out += s;
+    first = false;
+  };
+  if (relev & kRelevCn) add("cn");
+  if (relev & kRelevCp) add("cp");
+  if (relev & kRelevCs) add("cs");
+  return out + "}";
+}
+
+void QueryTree::Print(AstId id, std::string* out) const {
+  const AstNode& n = node(id);
+  switch (n.kind) {
+    case ExprKind::kNumberLiteral:
+      *out += XPathNumberToString(n.number);
+      break;
+    case ExprKind::kStringLiteral:
+      *out += "'";
+      *out += n.string;
+      *out += "'";
+      break;
+    case ExprKind::kVariable:
+      *out += "$";
+      *out += n.string;
+      break;
+    case ExprKind::kFunctionCall: {
+      *out += LookupFunction(n.fn)->name;
+      *out += "(";
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i > 0) *out += ", ";
+        Print(n.children[i], out);
+      }
+      *out += ")";
+      break;
+    }
+    case ExprKind::kBinaryOp:
+      *out += "(";
+      Print(n.children[0], out);
+      *out += " ";
+      *out += BinOpToString(n.op);
+      *out += " ";
+      Print(n.children[1], out);
+      *out += ")";
+      break;
+    case ExprKind::kUnaryMinus:
+      *out += "-";
+      Print(n.children[0], out);
+      break;
+    case ExprKind::kUnion:
+      *out += "(";
+      Print(n.children[0], out);
+      *out += " | ";
+      Print(n.children[1], out);
+      *out += ")";
+      break;
+    case ExprKind::kPath: {
+      // The §4 id-"axis" has no concrete syntax; render id-steps back as
+      // nested id(...) calls so the canonical form reparses to the same
+      // tree (π/id/σ prints as id(π)/σ).
+      size_t step_begin = 0;
+      std::string head;
+      if (n.has_head) {
+        Print(n.children[0], &head);
+        step_begin = 1;
+      } else if (n.absolute) {
+        head = "/";
+      }
+      bool bare_root = n.absolute && !n.has_head;  // head is just "/"
+      bool first_step = true;
+      for (size_t i = step_begin; i < n.children.size(); ++i) {
+        const AstNode& step = node(n.children[i]);
+        if (step.kind == ExprKind::kStep && step.axis == Axis::kId) {
+          if (head.empty()) head = ".";  // id step directly off the context
+          head = "id(" + head + ")";
+          bare_root = false;
+          first_step = true;  // next plain step needs a separating '/'
+          continue;
+        }
+        if (!head.empty() && !bare_root && first_step) head += "/";
+        if (!first_step) head += "/";
+        bare_root = false;
+        first_step = false;
+        Print(n.children[i], &head);
+      }
+      *out += head;
+      break;
+    }
+    case ExprKind::kStep: {
+      *out += AxisToString(n.axis);
+      *out += "::";
+      *out += n.test.ToString();
+      for (AstId pred : n.children) {
+        *out += "[";
+        Print(pred, out);
+        *out += "]";
+      }
+      break;
+    }
+    case ExprKind::kFilter: {
+      *out += "(";
+      Print(n.children[0], out);
+      *out += ")";
+      for (size_t i = 1; i < n.children.size(); ++i) {
+        *out += "[";
+        Print(n.children[i], out);
+        *out += "]";
+      }
+      break;
+    }
+  }
+}
+
+std::string QueryTree::ToString(AstId id) const {
+  std::string out;
+  Print(id, &out);
+  return out;
+}
+
+}  // namespace xpe::xpath

@@ -1,0 +1,137 @@
+#ifndef XPE_XPATH_AST_H_
+#define XPE_XPATH_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/axes/axis.h"
+#include "src/xpath/function_id.h"
+
+namespace xpe::xpath {
+
+/// Index of a node in the QueryTree arena — the paper's parse-tree node N.
+/// Context-value tables are addressed by AstId (table(N)).
+using AstId = uint32_t;
+inline constexpr AstId kInvalidAstId = 0xFFFFFFFFu;
+
+/// Expression-node kinds after parsing/normalization.
+enum class ExprKind : uint8_t {
+  kNumberLiteral = 0,  // num
+  kStringLiteral,      // str
+  kVariable,           // eliminated by the normalizer
+  kFunctionCall,       // fn(args...); conversions included
+  kBinaryOp,           // or and = != < <= > >= + - * div mod
+  kUnaryMinus,         // -e
+  kUnion,              // e1 | e2
+  kPath,               // location path (relative, absolute, or expr-headed)
+  kStep,               // axis::test[preds] — child of a kPath only
+  kFilter,             // PrimaryExpr Predicate+ (e.g. "(e)[1]")
+};
+
+const char* ExprKindToString(ExprKind kind);
+
+/// Binary operators (boolean connectives, comparisons, arithmetic).
+enum class BinOp : uint8_t {
+  kOr = 0,
+  kAnd,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+const char* BinOpToString(BinOp op);
+bool BinOpIsComparison(BinOp op);
+bool BinOpIsEquality(BinOp op);
+
+/// Node tests of a location step (paper's T(t) plus kind tests).
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kAny = 0,       // *    (principal node type of the axis)
+    kName,          // tag  (principal node type with this name)
+    kText,          // text()
+    kComment,       // comment()
+    kPi,            // processing-instruction() / processing-instruction('t')
+    kNode,          // node()
+  };
+  Kind kind = Kind::kAny;
+  std::string name;       // kName tag or kPi target (empty: any target)
+
+  std::string ToString() const;
+};
+
+/// Relevance bitmask values (paper §3.1 Relev(N) ⊆ {'cn','cp','cs'}).
+inline constexpr uint8_t kRelevCn = 1;
+inline constexpr uint8_t kRelevCp = 2;
+inline constexpr uint8_t kRelevCs = 4;
+
+/// Renders a relevance mask as e.g. "{cn,cp}".
+std::string RelevToString(uint8_t relev);
+
+/// One parse-tree node. A single record type (rather than a class
+/// hierarchy) keeps table(N) addressing and tree passes trivial.
+struct AstNode {
+  ExprKind kind = ExprKind::kNumberLiteral;
+
+  // --- kind-specific payload -------------------------------------------
+  double number = 0;          // kNumberLiteral
+  std::string string;         // kStringLiteral value / kVariable name
+  FunctionId fn = FunctionId::kTrue;  // kFunctionCall
+  BinOp op = BinOp::kOr;      // kBinaryOp
+  Axis axis = Axis::kChild;   // kStep
+  NodeTest test;              // kStep
+  bool absolute = false;      // kPath: starts at the root ('/π')
+  bool has_head = false;      // kPath: children[0] is a head expression
+
+  /// Children: operands / function args / (head +) steps / step predicates.
+  std::vector<AstId> children;
+
+  // --- annotations (filled by typing/relevance/fragment passes) --------
+  ValueType type = ValueType::kNodeSet;
+  uint8_t relev = 0;            // kRelevCn|kRelevCp|kRelevCs bitmask
+  bool core_xpath = false;      // Definition 12 membership
+  bool wadler = false;          // Restrictions 1-3 (Extended Wadler)
+  /// §5: this node is evaluated bottom-up by OPTMINCONTEXT. Set on
+  /// boolean(π) / π RelOp s occurrences and on eligible outermost paths.
+  bool bottom_up_eligible = false;
+};
+
+/// The parse tree T of a query: an arena of AstNodes plus the root id.
+/// The paper's expr(N)/node(e)/table(N) notation maps to: expr(N) =
+/// tree.node(N), table(N) = engine-local array indexed by AstId.
+class QueryTree {
+ public:
+  AstId Add(AstNode node) {
+    nodes_.push_back(std::move(node));
+    return static_cast<AstId>(nodes_.size() - 1);
+  }
+
+  const AstNode& node(AstId id) const { return nodes_[id]; }
+  AstNode& node(AstId id) { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+
+  AstId root() const { return root_; }
+  void set_root(AstId root) { root_ = root; }
+
+  /// Serializes the subtree at `id` back to (unabbreviated) XPath syntax.
+  /// Used by diagnostics and the paper-table printers.
+  std::string ToString(AstId id) const;
+  std::string ToString() const { return ToString(root_); }
+
+ private:
+  void Print(AstId id, std::string* out) const;
+
+  std::vector<AstNode> nodes_;
+  AstId root_ = kInvalidAstId;
+};
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_AST_H_

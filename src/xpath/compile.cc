@@ -1,0 +1,20 @@
+#include "src/xpath/compile.h"
+
+#include "src/xpath/parser.h"
+#include "src/xpath/relevance.h"
+
+namespace xpe::xpath {
+
+StatusOr<CompiledQuery> Compile(std::string_view query,
+                                const CompileOptions& options) {
+  CompiledQuery compiled;
+  compiled.source_ = std::string(query);
+  XPE_ASSIGN_OR_RETURN(compiled.tree_, ParseXPath(query));
+  XPE_RETURN_IF_ERROR(Normalize(&compiled.tree_, options.bindings));
+  ComputeRelevance(&compiled.tree_);
+  ClassifyFragments(&compiled.tree_);
+  compiled.fragment_ = ClassifyQuery(compiled.tree_);
+  return compiled;
+}
+
+}  // namespace xpe::xpath

@@ -1,0 +1,50 @@
+#ifndef XPE_XPATH_COMPILE_H_
+#define XPE_XPATH_COMPILE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/xpath/ast.h"
+#include "src/xpath/fragments.h"
+#include "src/xpath/normalize.h"
+
+namespace xpe::xpath {
+
+/// Options for Compile (RocksDB-style options struct).
+struct CompileOptions {
+  /// Constant values substituted for $variables (paper §2.2).
+  VariableBindings bindings;
+};
+
+/// A parsed, normalized, typed and fragment-classified query, ready for
+/// any of the evaluation engines. Immutable after construction; one
+/// CompiledQuery can be evaluated against any number of documents.
+class CompiledQuery {
+ public:
+  const QueryTree& tree() const { return tree_; }
+  AstId root() const { return tree_.root(); }
+  /// Original query text as supplied to Compile.
+  const std::string& source() const { return source_; }
+  /// The query's fragment (drives engine selection / expected bounds).
+  Fragment fragment() const { return fragment_; }
+  /// Static result type of the whole query.
+  ValueType result_type() const { return tree_.node(tree_.root()).type; }
+
+ private:
+  friend StatusOr<CompiledQuery> Compile(std::string_view,
+                                         const CompileOptions&);
+  QueryTree tree_;
+  std::string source_;
+  Fragment fragment_ = Fragment::kFullXPath;
+};
+
+/// Parses + normalizes + types + analyzes an XPath 1.0 query:
+/// the complete front-end pipeline (lexer → parser → Normalize →
+/// ComputeRelevance → ClassifyFragments).
+StatusOr<CompiledQuery> Compile(std::string_view query,
+                                const CompileOptions& options = {});
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_COMPILE_H_

@@ -1,0 +1,78 @@
+#include "src/xpath/explain.h"
+
+#include <sstream>
+
+namespace xpe::xpath {
+
+namespace {
+
+struct FragmentInfo {
+  const char* engine;
+  const char* time_bound;
+  const char* space_bound;
+};
+
+FragmentInfo InfoFor(Fragment fragment) {
+  switch (fragment) {
+    case Fragment::kCoreXPath:
+      return {"corexpath (linear set algebra)", "O(|D| * |Q|)",
+              "O(|D| * |Q|)"};
+    case Fragment::kExtendedWadler:
+      return {"mincontext + bottom-up paths (Algorithm 8)",
+              "O(|D|^2 * |Q|^2)", "O(|D| * |Q|^2)"};
+    case Fragment::kFullXPath:
+      return {"mincontext (Algorithm 6)", "O(|D|^4 * |Q|^2)",
+              "O(|D|^2 * |Q|^2)"};
+  }
+  return {"?", "?", "?"};
+}
+
+void WalkTree(const QueryTree& tree, AstId id, int depth,
+              std::ostringstream* out) {
+  const AstNode& n = tree.node(id);
+  std::string rendering = tree.ToString(id);
+  if (rendering.size() > 48) rendering = rendering.substr(0, 45) + "...";
+
+  *out << "  ";
+  for (int i = 0; i < depth; ++i) *out << "| ";
+  *out << rendering << "\n  ";
+  for (int i = 0; i < depth; ++i) *out << "| ";
+  *out << "`- " << ExprKindToString(n.kind) << " : "
+       << ValueTypeToString(n.type) << ", Relev=" << RelevToString(n.relev);
+  if (n.core_xpath) *out << ", core";
+  if (n.wadler) *out << ", wadler";
+  if (n.bottom_up_eligible) *out << ", bottom-up";
+  *out << "\n";
+  for (AstId child : n.children) {
+    WalkTree(tree, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Explain(const CompiledQuery& query) {
+  std::ostringstream out;
+  const FragmentInfo info = InfoFor(query.fragment());
+  out << "query:       " << query.source() << "\n";
+  out << "canonical:   " << query.tree().ToString() << "\n";
+  out << "result type: " << ValueTypeToString(query.result_type()) << "\n";
+  out << "fragment:    " << FragmentToString(query.fragment()) << "\n";
+  out << "engine:      " << info.engine << "\n";
+  out << "bounds:      time " << info.time_bound << ", table space "
+      << info.space_bound << "\n";
+
+  int bottom_up = 0;
+  for (AstId id = 0; id < query.tree().size(); ++id) {
+    if (query.tree().node(id).bottom_up_eligible) ++bottom_up;
+  }
+  if (bottom_up > 0) {
+    out << "bottom-up:   " << bottom_up
+        << " subexpression(s) pre-evaluated via inverse axes (Section 4)\n";
+  }
+
+  out << "parse tree (" << query.tree().size() << " nodes):\n";
+  WalkTree(query.tree(), query.root(), 0, &out);
+  return out.str();
+}
+
+}  // namespace xpe::xpath

@@ -1,0 +1,21 @@
+#ifndef XPE_XPATH_EXPLAIN_H_
+#define XPE_XPATH_EXPLAIN_H_
+
+#include <string>
+
+#include "src/xpath/compile.h"
+
+namespace xpe::xpath {
+
+/// Renders a human-readable analysis of a compiled query: the canonical
+/// (normalized) form, the static result type, the fragment
+/// classification with the complexity bounds the paper proves for it,
+/// the engine OPTMINCONTEXT will use, and a per-parse-tree-node table of
+/// kind / type / Relev(N) / fragment flags — i.e. everything the §3.1
+/// and §4 analyses computed. Intended for diagnostics and teaching; the
+/// format is stable enough for golden tests but not a machine API.
+std::string Explain(const CompiledQuery& query);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_EXPLAIN_H_

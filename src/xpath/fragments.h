@@ -1,0 +1,39 @@
+#ifndef XPE_XPATH_FRAGMENTS_H_
+#define XPE_XPATH_FRAGMENTS_H_
+
+#include "src/xpath/ast.h"
+
+namespace xpe::xpath {
+
+/// Summary classification of a whole query, ordered by evaluation cost
+/// (Theorems 13 / 10 / 7 of the paper).
+enum class Fragment : uint8_t {
+  /// Definition 12: paths with and/or/not/path predicates only.
+  /// Evaluated in O(|D|·|Q|) time.
+  kCoreXPath = 0,
+  /// Restrictions 1-3 of §4. O(|D|²·|Q|²) time, O(|D|·|Q|²) space.
+  kExtendedWadler = 1,
+  /// Everything else. O(|D|⁴·|Q|²) time, O(|D|²·|Q|²) space (MINCONTEXT).
+  kFullXPath = 2,
+};
+
+const char* FragmentToString(Fragment f);
+
+/// Annotates every node with:
+///  - core_xpath:  membership in Core XPath (Definition 12);
+///  - wadler:      Restrictions 1-3 hold in this subtree (Extended Wadler);
+///  - bottom_up_eligible: this occurrence is one of the §4/§5 forms that
+///    OPTMINCONTEXT pre-evaluates backwards — boolean(π) or π RelOp s with
+///    a context-independent scalar s, with π a Wadler location path. The
+///    flag is set on the boolean()/comparison node itself.
+/// Requires Normalize and ComputeRelevance to have run.
+void ClassifyFragments(QueryTree* tree);
+
+/// Whole-query classification; requires ClassifyFragments to have run.
+/// A query is Core XPath when its root path is core; Extended Wadler when
+/// the root subtree satisfies Restrictions 1-3; full XPath otherwise.
+Fragment ClassifyQuery(const QueryTree& tree);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_FRAGMENTS_H_

@@ -1,0 +1,76 @@
+#include "src/xpath/function_id.h"
+
+namespace xpe::xpath {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNodeSet:
+      return "node-set";
+    case ValueType::kBoolean:
+      return "boolean";
+    case ValueType::kNumber:
+      return "number";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr ParamType kNS = ParamType::kNodeSet;
+constexpr ParamType kB = ParamType::kBoolean;
+constexpr ParamType kN = ParamType::kNumber;
+constexpr ParamType kS = ParamType::kString;
+constexpr ParamType kA = ParamType::kAny;
+
+// clang-format off
+constexpr FunctionSignature kFunctions[kNumFunctions] = {
+    {FunctionId::kLast,            "last",             ValueType::kNumber,  0, 0,  {kA, kA, kA}, false},
+    {FunctionId::kPosition,        "position",         ValueType::kNumber,  0, 0,  {kA, kA, kA}, false},
+    {FunctionId::kCount,           "count",            ValueType::kNumber,  1, 1,  {kNS, kA, kA}, false},
+    // id(object): node-set arguments keep their type (they are rewritten to
+    // the id-axis by the normalizer); everything else converts to string.
+    {FunctionId::kId,              "id",               ValueType::kNodeSet, 1, 1,  {kA, kA, kA}, false},
+    {FunctionId::kLocalName,       "local-name",       ValueType::kString,  0, 1,  {kNS, kA, kA}, true},
+    {FunctionId::kName,            "name",             ValueType::kString,  0, 1,  {kNS, kA, kA}, true},
+    // string(object) is itself a conversion: kAny, no conversion inserted.
+    {FunctionId::kString,          "string",           ValueType::kString,  0, 1,  {kA, kA, kA}, true},
+    {FunctionId::kConcat,          "concat",           ValueType::kString,  2, -1, {kS, kS, kS}, false},
+    {FunctionId::kStartsWith,      "starts-with",      ValueType::kBoolean, 2, 2,  {kS, kS, kA}, false},
+    {FunctionId::kContains,        "contains",         ValueType::kBoolean, 2, 2,  {kS, kS, kA}, false},
+    {FunctionId::kSubstringBefore, "substring-before", ValueType::kString,  2, 2,  {kS, kS, kA}, false},
+    {FunctionId::kSubstringAfter,  "substring-after",  ValueType::kString,  2, 2,  {kS, kS, kA}, false},
+    {FunctionId::kSubstring,       "substring",        ValueType::kString,  2, 3,  {kS, kN, kN}, false},
+    {FunctionId::kStringLength,    "string-length",    ValueType::kNumber,  0, 1,  {kS, kA, kA}, true},
+    {FunctionId::kNormalizeSpace,  "normalize-space",  ValueType::kString,  0, 1,  {kS, kA, kA}, true},
+    {FunctionId::kTranslate,       "translate",        ValueType::kString,  3, 3,  {kS, kS, kS}, false},
+    {FunctionId::kBoolean,         "boolean",          ValueType::kBoolean, 1, 1,  {kA, kA, kA}, false},
+    {FunctionId::kNot,             "not",              ValueType::kBoolean, 1, 1,  {kB, kA, kA}, false},
+    {FunctionId::kTrue,            "true",             ValueType::kBoolean, 0, 0,  {kA, kA, kA}, false},
+    {FunctionId::kFalse,           "false",            ValueType::kBoolean, 0, 0,  {kA, kA, kA}, false},
+    {FunctionId::kNumber,          "number",           ValueType::kNumber,  0, 1,  {kA, kA, kA}, true},
+    {FunctionId::kSum,             "sum",              ValueType::kNumber,  1, 1,  {kNS, kA, kA}, false},
+    {FunctionId::kFloor,           "floor",            ValueType::kNumber,  1, 1,  {kN, kA, kA}, false},
+    {FunctionId::kCeiling,         "ceiling",          ValueType::kNumber,  1, 1,  {kN, kA, kA}, false},
+    {FunctionId::kRound,           "round",            ValueType::kNumber,  1, 1,  {kN, kA, kA}, false},
+    // The optional second argument is internal: Normalize supplies the
+    // context node as an explicit self::node() path.
+    {FunctionId::kLang,            "lang",             ValueType::kBoolean, 1, 2,  {kS, kNS, kA}, false},
+};
+// clang-format on
+
+}  // namespace
+
+const FunctionSignature* LookupFunction(FunctionId id) {
+  return &kFunctions[static_cast<int>(id)];
+}
+
+const FunctionSignature* LookupFunctionByName(std::string_view name) {
+  for (const FunctionSignature& sig : kFunctions) {
+    if (name == sig.name) return &sig;
+  }
+  return nullptr;
+}
+
+}  // namespace xpe::xpath

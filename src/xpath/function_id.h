@@ -1,0 +1,93 @@
+#ifndef XPE_XPATH_FUNCTION_ID_H_
+#define XPE_XPATH_FUNCTION_ID_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace xpe::xpath {
+
+/// Static XPath 1.0 types (the four rows of the paper's §2.2 table).
+enum class ValueType : uint8_t {
+  kNodeSet = 0,
+  kBoolean = 1,
+  kNumber = 2,
+  kString = 3,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// The XPath 1.0 core function library implemented by xpe (paper Figure 1
+/// plus the string/number operations it defers to [11]/[18]). `lang()` and
+/// the namespace functions are unsupported, mirroring the paper's scope.
+enum class FunctionId : uint8_t {
+  // Node-set functions.
+  kLast = 0,
+  kPosition,
+  kCount,
+  kId,
+  kLocalName,
+  kName,
+  // String functions.
+  kString,
+  kConcat,
+  kStartsWith,
+  kContains,
+  kSubstringBefore,
+  kSubstringAfter,
+  kSubstring,
+  kStringLength,
+  kNormalizeSpace,
+  kTranslate,
+  // Boolean functions.
+  kBoolean,
+  kNot,
+  kTrue,
+  kFalse,
+  // Number functions.
+  kNumber,
+  kSum,
+  kFloor,
+  kCeiling,
+  kRound,
+  /// lang(s): xml:lang-based language test. The normalizer appends an
+  /// explicit self::node() second argument carrying the context node.
+  kLang,
+};
+
+inline constexpr int kNumFunctions = static_cast<int>(FunctionId::kLang) + 1;
+
+/// Target type of a declared function parameter. kAny parameters accept
+/// every type without conversion (the polymorphic F entries of Figure 1).
+enum class ParamType : uint8_t {
+  kNodeSet,
+  kBoolean,
+  kNumber,
+  kString,
+  kAny,
+};
+
+/// Signature row of the function table.
+struct FunctionSignature {
+  FunctionId id;
+  const char* name;
+  ValueType result;
+  int min_args;
+  int max_args;  // -1: variadic (concat)
+  /// Up to 3 declared parameter types; variadic functions repeat the last.
+  ParamType params[3];
+  /// True when a missing argument defaults to the context node
+  /// (string(), number(), string-length(), normalize-space(),
+  /// local-name(), name() — normalized to an explicit self::node() arg).
+  bool context_default;
+};
+
+/// Signature for `id`, or nullptr for unknown names.
+const FunctionSignature* LookupFunction(FunctionId id);
+
+/// Signature by XPath name ("starts-with", ...), or nullptr if unknown.
+const FunctionSignature* LookupFunctionByName(std::string_view name);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_FUNCTION_ID_H_

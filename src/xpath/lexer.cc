@@ -1,0 +1,346 @@
+#include <cctype>
+
+#include "src/common/numeric.h"
+#include "src/xpath/token.h"
+
+namespace xpe::xpath {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Spec §3.7: after these token kinds, '*' is a multiply operator and
+/// and/or/div/mod are operators. Everywhere else they are name tests.
+bool PrecedingForcesOperator(const std::vector<Token>& tokens) {
+  if (tokens.empty()) return false;
+  switch (tokens.back().kind) {
+    case TokenKind::kAt:
+    case TokenKind::kDoubleColon:
+    case TokenKind::kLParen:
+    case TokenKind::kLBracket:
+    case TokenKind::kComma:
+    // Operators:
+    case TokenKind::kAnd:
+    case TokenKind::kOr:
+    case TokenKind::kDiv:
+    case TokenKind::kMod:
+    case TokenKind::kMultiply:
+    case TokenKind::kSlash:
+    case TokenKind::kDoubleSlash:
+    case TokenKind::kPipe:
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+    case TokenKind::kEquals:
+    case TokenKind::kNotEquals:
+    case TokenKind::kLess:
+    case TokenKind::kLessEquals:
+    case TokenKind::kGreater:
+    case TokenKind::kGreaterEquals:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of query";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDoubleDot:
+      return "'..'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDoubleColon:
+      return "'::'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kNotEquals:
+      return "'!='";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kLessEquals:
+      return "'<='";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kGreaterEquals:
+      return "'>='";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kMultiply:
+      return "'*' (multiply)";
+    case TokenKind::kAnd:
+      return "'and'";
+    case TokenKind::kOr:
+      return "'or'";
+    case TokenKind::kDiv:
+      return "'div'";
+    case TokenKind::kMod:
+      return "'mod'";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLiteral:
+      return "string literal";
+    case TokenKind::kVariable:
+      return "variable reference";
+    case TokenKind::kFunctionName:
+      return "function name";
+    case TokenKind::kAxisName:
+      return "axis name";
+    case TokenKind::kNodeType:
+      return "node type";
+    case TokenKind::kName:
+      return "name";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+
+  auto error = [&](std::string msg) {
+    return Status::ParseError(std::move(msg), 1, static_cast<int>(pos) + 1);
+  };
+  auto push = [&](TokenKind kind, size_t at, std::string text = {},
+                  double number = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = number;
+    t.offset = static_cast<int>(at);
+    tokens.push_back(std::move(t));
+  };
+
+  while (pos < query.size()) {
+    char c = query[pos];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos;
+      continue;
+    }
+    const size_t at = pos;
+    switch (c) {
+      case '/':
+        if (pos + 1 < query.size() && query[pos + 1] == '/') {
+          push(TokenKind::kDoubleSlash, at);
+          pos += 2;
+        } else {
+          push(TokenKind::kSlash, at);
+          ++pos;
+        }
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, at);
+        ++pos;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, at);
+        ++pos;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, at);
+        ++pos;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, at);
+        ++pos;
+        continue;
+      case '@':
+        push(TokenKind::kAt, at);
+        ++pos;
+        continue;
+      case ',':
+        push(TokenKind::kComma, at);
+        ++pos;
+        continue;
+      case '|':
+        push(TokenKind::kPipe, at);
+        ++pos;
+        continue;
+      case '+':
+        push(TokenKind::kPlus, at);
+        ++pos;
+        continue;
+      case '-':
+        push(TokenKind::kMinus, at);
+        ++pos;
+        continue;
+      case '=':
+        push(TokenKind::kEquals, at);
+        ++pos;
+        continue;
+      case '!':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          push(TokenKind::kNotEquals, at);
+          pos += 2;
+          continue;
+        }
+        return error("'!' is only valid as part of '!='");
+      case '<':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          push(TokenKind::kLessEquals, at);
+          pos += 2;
+        } else {
+          push(TokenKind::kLess, at);
+          ++pos;
+        }
+        continue;
+      case '>':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          push(TokenKind::kGreaterEquals, at);
+          pos += 2;
+        } else {
+          push(TokenKind::kGreater, at);
+          ++pos;
+        }
+        continue;
+      case ':':
+        if (pos + 1 < query.size() && query[pos + 1] == ':') {
+          push(TokenKind::kDoubleColon, at);
+          pos += 2;
+          continue;
+        }
+        return error("unexpected ':' (namespace prefixes are not supported)");
+      case '*':
+        push(PrecedingForcesOperator(tokens) ? TokenKind::kMultiply
+                                             : TokenKind::kStar,
+             at);
+        ++pos;
+        continue;
+      case '"':
+      case '\'': {
+        // XPath 1.0 literals have no escape mechanism.
+        size_t end = query.find(c, pos + 1);
+        if (end == std::string_view::npos) {
+          return error("unterminated string literal");
+        }
+        push(TokenKind::kLiteral, at,
+             std::string(query.substr(pos + 1, end - pos - 1)));
+        pos = end + 1;
+        continue;
+      }
+      case '$': {
+        ++pos;
+        if (pos >= query.size() || !IsNameStart(query[pos])) {
+          return error("expected variable name after '$'");
+        }
+        size_t begin = pos;
+        while (pos < query.size() && IsNameChar(query[pos])) ++pos;
+        push(TokenKind::kVariable, at,
+             std::string(query.substr(begin, pos - begin)));
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (IsDigit(c) || (c == '.' && pos + 1 < query.size() &&
+                       IsDigit(query[pos + 1]))) {
+      size_t begin = pos;
+      while (pos < query.size() && IsDigit(query[pos])) ++pos;
+      if (pos < query.size() && query[pos] == '.') {
+        ++pos;
+        while (pos < query.size() && IsDigit(query[pos])) ++pos;
+      }
+      std::string_view text = query.substr(begin, pos - begin);
+      push(TokenKind::kNumber, at, std::string(text),
+           XPathStringToNumber(text));
+      continue;
+    }
+
+    if (c == '.') {
+      if (pos + 1 < query.size() && query[pos + 1] == '.') {
+        push(TokenKind::kDoubleDot, at);
+        pos += 2;
+      } else {
+        push(TokenKind::kDot, at);
+        ++pos;
+      }
+      continue;
+    }
+
+    if (IsNameStart(c)) {
+      size_t begin = pos;
+      while (pos < query.size() && IsNameChar(query[pos])) ++pos;
+      std::string name(query.substr(begin, pos - begin));
+
+      if (PrecedingForcesOperator(tokens)) {
+        if (name == "and") {
+          push(TokenKind::kAnd, at);
+        } else if (name == "or") {
+          push(TokenKind::kOr, at);
+        } else if (name == "div") {
+          push(TokenKind::kDiv, at);
+        } else if (name == "mod") {
+          push(TokenKind::kMod, at);
+        } else {
+          return error("expected an operator, found '" + name + "'");
+        }
+        continue;
+      }
+
+      // Lookahead decides between function/node-type ('('), axis ('::'),
+      // and plain name test.
+      size_t peek = pos;
+      while (peek < query.size() &&
+             (query[peek] == ' ' || query[peek] == '\t' ||
+              query[peek] == '\n' || query[peek] == '\r')) {
+        ++peek;
+      }
+      if (peek < query.size() && query[peek] == '(') {
+        if (name == "comment" || name == "text" || name == "node" ||
+            name == "processing-instruction") {
+          push(TokenKind::kNodeType, at, std::move(name));
+        } else {
+          push(TokenKind::kFunctionName, at, std::move(name));
+        }
+      } else if (peek + 1 < query.size() && query[peek] == ':' &&
+                 query[peek + 1] == ':') {
+        push(TokenKind::kAxisName, at, std::move(name));
+      } else {
+        push(TokenKind::kName, at, std::move(name));
+      }
+      continue;
+    }
+
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  push(TokenKind::kEof, query.size());
+  return tokens;
+}
+
+}  // namespace xpe::xpath

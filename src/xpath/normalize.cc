@@ -1,0 +1,486 @@
+#include "src/xpath/normalize.h"
+
+namespace xpe::xpath {
+
+namespace {
+
+Status TypeNode(QueryTree* tree, AstId id) {
+  AstNode& n = tree->node(id);
+  for (AstId child : n.children) {
+    XPE_RETURN_IF_ERROR(TypeNode(tree, child));
+  }
+  switch (n.kind) {
+    case ExprKind::kNumberLiteral:
+      n.type = ValueType::kNumber;
+      return Status::OK();
+    case ExprKind::kStringLiteral:
+      n.type = ValueType::kString;
+      return Status::OK();
+    case ExprKind::kVariable:
+      return Status::InvalidQuery("unbound variable '$" + n.string + "'");
+    case ExprKind::kFunctionCall: {
+      const FunctionSignature* sig = LookupFunction(n.fn);
+      // Node-set-typed parameters admit no implicit conversion (XPath 1.0
+      // has no conversion *to* node-sets). id() is special: its kAny
+      // parameter accepts node-sets before the §4 rewriting runs.
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        int pi = std::min<int>(static_cast<int>(i), 2);
+        if (sig->params[pi] == ParamType::kNodeSet &&
+            tree->node(n.children[i]).type != ValueType::kNodeSet) {
+          return Status::InvalidQuery(
+              std::string("argument ") + std::to_string(i + 1) + " of '" +
+              sig->name + "' must be a node-set");
+        }
+      }
+      n.type = sig->result;
+      return Status::OK();
+    }
+    case ExprKind::kBinaryOp:
+      n.type = (n.op == BinOp::kOr || n.op == BinOp::kAnd ||
+                BinOpIsComparison(n.op))
+                   ? ValueType::kBoolean
+                   : ValueType::kNumber;
+      return Status::OK();
+    case ExprKind::kUnaryMinus:
+      n.type = ValueType::kNumber;
+      return Status::OK();
+    case ExprKind::kUnion:
+      for (AstId child : n.children) {
+        if (tree->node(child).type != ValueType::kNodeSet) {
+          return Status::InvalidQuery("'|' operands must be node-sets");
+        }
+      }
+      n.type = ValueType::kNodeSet;
+      return Status::OK();
+    case ExprKind::kPath:
+      if (n.has_head &&
+          tree->node(n.children[0]).type != ValueType::kNodeSet) {
+        return Status::InvalidQuery(
+            "the head of a path expression must be a node-set");
+      }
+      n.type = ValueType::kNodeSet;
+      return Status::OK();
+    case ExprKind::kStep:
+      n.type = ValueType::kNodeSet;
+      return Status::OK();
+    case ExprKind::kFilter:
+      if (tree->node(n.children[0]).type != ValueType::kNodeSet) {
+        return Status::InvalidQuery(
+            "a predicate can only filter a node-set");
+      }
+      n.type = ValueType::kNodeSet;
+      return Status::OK();
+  }
+  return Status::Internal("unhandled expression kind in typing");
+}
+
+/// The normalization rewriter. Operates post-order; every visit returns
+/// the (possibly replaced) node id. New nodes receive correct types
+/// directly; AssignTypes re-runs afterwards as a safety net.
+class Normalizer {
+ public:
+  Normalizer(QueryTree* tree, const VariableBindings& bindings)
+      : tree_(tree), bindings_(bindings) {}
+
+  StatusOr<AstId> Rewrite(AstId id) {
+    // Rewrite children first (for steps/filters, predicates are handled
+    // below so that predicate-specific rules apply).
+    AstNode& n = tree_->node(id);
+    switch (n.kind) {
+      case ExprKind::kVariable:
+        return SubstituteVariable(id);
+      case ExprKind::kStep:
+      case ExprKind::kFilter:
+        return RewriteWithPredicates(id);
+      case ExprKind::kPath:
+        return RewritePath(id);
+      case ExprKind::kFunctionCall:
+        return RewriteFunctionCall(id);
+      case ExprKind::kBinaryOp:
+        return RewriteBinaryOp(id);
+      case ExprKind::kUnaryMinus: {
+        XPE_ASSIGN_OR_RETURN(AstId child, Rewrite(n.children[0]));
+        tree_->node(id).children[0] = EnsureType(child, ValueType::kNumber);
+        tree_->node(id).type = ValueType::kNumber;
+        return id;
+      }
+      case ExprKind::kUnion: {
+        for (size_t i = 0; i < tree_->node(id).children.size(); ++i) {
+          XPE_ASSIGN_OR_RETURN(AstId child,
+                               Rewrite(tree_->node(id).children[i]));
+          tree_->node(id).children[i] = child;
+        }
+        tree_->node(id).type = ValueType::kNodeSet;
+        return id;
+      }
+      case ExprKind::kNumberLiteral:
+        tree_->node(id).type = ValueType::kNumber;
+        return id;
+      case ExprKind::kStringLiteral:
+        tree_->node(id).type = ValueType::kString;
+        return id;
+    }
+    return StatusOr<AstId>(Status::Internal("unhandled kind in Normalize"));
+  }
+
+ private:
+  ValueType TypeOf(AstId id) const { return tree_->node(id).type; }
+
+  AstId MakeConversion(FunctionId fn, AstId arg) {
+    AstNode call;
+    call.kind = ExprKind::kFunctionCall;
+    call.fn = fn;
+    call.children.push_back(arg);
+    call.type = LookupFunction(fn)->result;
+    return tree_->Add(std::move(call));
+  }
+
+  /// Wraps `id` in the conversion to `target` unless it already has it.
+  AstId EnsureType(AstId id, ValueType target) {
+    if (TypeOf(id) == target) return id;
+    switch (target) {
+      case ValueType::kBoolean:
+        return MakeConversion(FunctionId::kBoolean, id);
+      case ValueType::kNumber:
+        return MakeConversion(FunctionId::kNumber, id);
+      case ValueType::kString:
+        return MakeConversion(FunctionId::kString, id);
+      case ValueType::kNodeSet:
+        return id;  // unreachable: validated by AssignTypes
+    }
+    return id;
+  }
+
+  AstId MakePositionCall() {
+    AstNode call;
+    call.kind = ExprKind::kFunctionCall;
+    call.fn = FunctionId::kPosition;
+    call.type = ValueType::kNumber;
+    return tree_->Add(std::move(call));
+  }
+
+  AstId MakeSelfNodeStep() {
+    AstNode step;
+    step.kind = ExprKind::kStep;
+    step.axis = Axis::kSelf;
+    step.test.kind = NodeTest::Kind::kNode;
+    step.type = ValueType::kNodeSet;
+    return tree_->Add(std::move(step));
+  }
+
+  AstId MakeSelfNodePath() {
+    AstNode path;
+    path.kind = ExprKind::kPath;
+    path.children.push_back(MakeSelfNodeStep());
+    path.type = ValueType::kNodeSet;
+    return tree_->Add(std::move(path));
+  }
+
+  StatusOr<AstId> SubstituteVariable(AstId id) {
+    const std::string& name = tree_->node(id).string;
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) {
+      return StatusOr<AstId>(
+          Status::InvalidQuery("unbound variable '$" + name + "'"));
+    }
+    const ScalarBinding& b = it->second;
+    AstNode lit;
+    switch (b.type) {
+      case ValueType::kNumber:
+        lit.kind = ExprKind::kNumberLiteral;
+        lit.number = b.number;
+        lit.type = ValueType::kNumber;
+        break;
+      case ValueType::kString:
+        lit.kind = ExprKind::kStringLiteral;
+        lit.string = b.string;
+        lit.type = ValueType::kString;
+        break;
+      case ValueType::kBoolean: {
+        lit.kind = ExprKind::kFunctionCall;
+        lit.fn = b.boolean ? FunctionId::kTrue : FunctionId::kFalse;
+        lit.type = ValueType::kBoolean;
+        break;
+      }
+      case ValueType::kNodeSet:
+        return StatusOr<AstId>(Status::InvalidQuery(
+            "node-set variable bindings are not supported"));
+    }
+    return tree_->Add(std::move(lit));
+  }
+
+  /// A predicate [e] becomes [position() = e] when e is numeric, stays
+  /// boolean when it already is, and becomes [boolean(e)] otherwise.
+  StatusOr<AstId> RewritePredicate(AstId pred) {
+    XPE_ASSIGN_OR_RETURN(AstId e, Rewrite(pred));
+    switch (TypeOf(e)) {
+      case ValueType::kNumber: {
+        AstNode cmp;
+        cmp.kind = ExprKind::kBinaryOp;
+        cmp.op = BinOp::kEq;
+        cmp.children = {MakePositionCall(), e};
+        cmp.type = ValueType::kBoolean;
+        return tree_->Add(std::move(cmp));
+      }
+      case ValueType::kBoolean:
+        return e;
+      default:
+        return MakeConversion(FunctionId::kBoolean, e);
+    }
+  }
+
+  StatusOr<AstId> RewriteWithPredicates(AstId id) {
+    const bool is_filter = tree_->node(id).kind == ExprKind::kFilter;
+    const size_t pred_begin = is_filter ? 1 : 0;
+    if (is_filter) {
+      XPE_ASSIGN_OR_RETURN(AstId head, Rewrite(tree_->node(id).children[0]));
+      tree_->node(id).children[0] = head;
+    }
+    for (size_t i = pred_begin; i < tree_->node(id).children.size(); ++i) {
+      XPE_ASSIGN_OR_RETURN(AstId pred,
+                           RewritePredicate(tree_->node(id).children[i]));
+      tree_->node(id).children[i] = pred;
+    }
+    tree_->node(id).type = ValueType::kNodeSet;
+    return id;
+  }
+
+  StatusOr<AstId> RewritePath(AstId id) {
+    size_t step_begin = 0;
+    if (tree_->node(id).has_head) {
+      XPE_ASSIGN_OR_RETURN(AstId head, Rewrite(tree_->node(id).children[0]));
+      tree_->node(id).children[0] = head;
+      step_begin = 1;
+    }
+    for (size_t i = step_begin; i < tree_->node(id).children.size(); ++i) {
+      XPE_ASSIGN_OR_RETURN(AstId step,
+                           Rewrite(tree_->node(id).children[i]));
+      tree_->node(id).children[i] = step;
+    }
+    tree_->node(id).type = ValueType::kNodeSet;
+    return FlattenPathHead(id);
+  }
+
+  /// Path(head=Path(...), steps) → one path; Path(head=e, no steps) → e.
+  AstId FlattenPathHead(AstId id) {
+    AstNode& n = tree_->node(id);
+    if (!n.has_head) return id;
+    if (n.children.size() == 1) return n.children[0];
+    AstId head = n.children[0];
+    const AstNode& h = tree_->node(head);
+    if (h.kind != ExprKind::kPath) return id;
+    std::vector<AstId> merged = h.children;
+    merged.insert(merged.end(), n.children.begin() + 1, n.children.end());
+    n.children = std::move(merged);
+    n.absolute = h.absolute;
+    n.has_head = h.has_head;
+    return id;
+  }
+
+  StatusOr<AstId> RewriteFunctionCall(AstId id) {
+    const FunctionSignature* sig = LookupFunction(tree_->node(id).fn);
+
+    for (size_t i = 0; i < tree_->node(id).children.size(); ++i) {
+      XPE_ASSIGN_OR_RETURN(AstId arg, Rewrite(tree_->node(id).children[i]));
+      tree_->node(id).children[i] = arg;
+    }
+
+    // Zero-argument context functions: make the context node explicit.
+    // (Build the path first: Add() may reallocate the arena, so no
+    // reference into it can be held across the call.)
+    if (sig->context_default && tree_->node(id).children.empty()) {
+      AstId self_path = MakeSelfNodePath();
+      tree_->node(id).children.push_back(self_path);
+    }
+    // lang(s) also reads the context node: append it as an explicit
+    // second argument so the engines stay context-function-free.
+    if (sig->id == FunctionId::kLang &&
+        tree_->node(id).children.size() == 1) {
+      AstId self_path = MakeSelfNodePath();
+      tree_->node(id).children.push_back(self_path);
+    }
+
+    // id(π) with a node-set argument: the §4 id-"axis" rewriting.
+    if (sig->id == FunctionId::kId &&
+        TypeOf(tree_->node(id).children[0]) == ValueType::kNodeSet) {
+      AstId arg = tree_->node(id).children[0];
+      AstNode idstep;
+      idstep.kind = ExprKind::kStep;
+      idstep.axis = Axis::kId;
+      idstep.test.kind = NodeTest::Kind::kNode;
+      idstep.type = ValueType::kNodeSet;
+      AstId step_id = tree_->Add(std::move(idstep));
+
+      AstNode path;
+      path.kind = ExprKind::kPath;
+      path.has_head = true;
+      path.children = {arg, step_id};
+      path.type = ValueType::kNodeSet;
+      AstId path_id = tree_->Add(std::move(path));
+      return FlattenPathHead(path_id);
+    }
+    // id(scalar): convert the argument to a string.
+    if (sig->id == FunctionId::kId) {
+      AstId arg = tree_->node(id).children[0];
+      tree_->node(id).children[0] = EnsureType(arg, ValueType::kString);
+      tree_->node(id).type = ValueType::kNodeSet;
+      return id;
+    }
+
+    // Declared parameter conversions (kAny parameters stay polymorphic).
+    for (size_t i = 0; i < tree_->node(id).children.size(); ++i) {
+      int pi = std::min<int>(static_cast<int>(i), 2);
+      ParamType p = sig->params[pi];
+      ValueType target;
+      switch (p) {
+        case ParamType::kBoolean:
+          target = ValueType::kBoolean;
+          break;
+        case ParamType::kNumber:
+          target = ValueType::kNumber;
+          break;
+        case ParamType::kString:
+          target = ValueType::kString;
+          break;
+        default:
+          continue;  // kAny / kNodeSet: no conversion
+      }
+      AstId arg = tree_->node(id).children[i];
+      tree_->node(id).children[i] = EnsureType(arg, target);
+    }
+    tree_->node(id).type = sig->result;
+    return id;
+  }
+
+  StatusOr<AstId> RewriteBinaryOp(AstId id) {
+    const BinOp op = tree_->node(id).op;
+    for (size_t i = 0; i < 2; ++i) {
+      XPE_ASSIGN_OR_RETURN(AstId child,
+                           Rewrite(tree_->node(id).children[i]));
+      tree_->node(id).children[i] = child;
+    }
+
+    if (op == BinOp::kOr || op == BinOp::kAnd) {
+      for (size_t i = 0; i < 2; ++i) {
+        AstId child = tree_->node(id).children[i];
+        tree_->node(id).children[i] = EnsureType(child, ValueType::kBoolean);
+      }
+      tree_->node(id).type = ValueType::kBoolean;
+      return id;
+    }
+    if (!BinOpIsComparison(op)) {  // arithmetic
+      for (size_t i = 0; i < 2; ++i) {
+        AstId child = tree_->node(id).children[i];
+        tree_->node(id).children[i] = EnsureType(child, ValueType::kNumber);
+      }
+      tree_->node(id).type = ValueType::kNumber;
+      return id;
+    }
+
+    // Comparisons stay polymorphic (Figure 1's F entries), but unions on
+    // either side are distributed per §4 so that bottom-up paths see no
+    // '|': (π1|π2) RelOp s  →  (π1 RelOp s) or (π2 RelOp s).
+    tree_->node(id).type = ValueType::kBoolean;
+    for (size_t i = 0; i < 2; ++i) {
+      AstId child = tree_->node(id).children[i];
+      if (tree_->node(child).kind != ExprKind::kUnion) continue;
+      AstId other = tree_->node(id).children[1 - i];
+      const std::vector<AstId> arms = tree_->node(child).children;
+      AstId combined = kInvalidAstId;
+      for (AstId arm : arms) {
+        AstNode cmp;
+        cmp.kind = ExprKind::kBinaryOp;
+        cmp.op = op;
+        cmp.type = ValueType::kBoolean;
+        // Keep operand order: the union side stays on side i.
+        if (i == 0) {
+          cmp.children = {arm, other};
+        } else {
+          cmp.children = {other, arm};
+        }
+        AstId cmp_id = tree_->Add(std::move(cmp));
+        if (combined == kInvalidAstId) {
+          combined = cmp_id;
+        } else {
+          AstNode orn;
+          orn.kind = ExprKind::kBinaryOp;
+          orn.op = BinOp::kOr;
+          orn.type = ValueType::kBoolean;
+          orn.children = {combined, cmp_id};
+          combined = tree_->Add(std::move(orn));
+        }
+      }
+      return combined;
+      // Note: if both sides were unions, rewriting one side suffices for
+      // the §4 goal; the recursive Rewrite of the new comparisons would
+      // handle it, but nested both-side unions are vanishingly rare and
+      // remain correct unrewritten.
+    }
+    return id;
+  }
+
+  QueryTree* tree_;
+  const VariableBindings& bindings_;
+};
+
+/// boolean(π1|π2) → boolean(π1) or boolean(π2), applied post-normalization
+/// (the comparison case is handled inside RewriteBinaryOp).
+StatusOr<AstId> DistributeBooleanOverUnion(QueryTree* tree, AstId id) {
+  // Re-fetch the node on every access: the recursive calls below Add()
+  // nodes, which may reallocate the arena.
+  for (size_t i = 0; i < tree->node(id).children.size(); ++i) {
+    XPE_ASSIGN_OR_RETURN(
+        AstId child, DistributeBooleanOverUnion(tree, tree->node(id).children[i]));
+    tree->node(id).children[i] = child;
+  }
+  const AstNode& n2 = tree->node(id);
+  if (n2.kind == ExprKind::kFunctionCall && n2.fn == FunctionId::kBoolean &&
+      !n2.children.empty() &&
+      tree->node(n2.children[0]).kind == ExprKind::kUnion) {
+    const std::vector<AstId> arms = tree->node(n2.children[0]).children;
+    AstId combined = kInvalidAstId;
+    for (AstId arm : arms) {
+      AstNode call;
+      call.kind = ExprKind::kFunctionCall;
+      call.fn = FunctionId::kBoolean;
+      call.type = ValueType::kBoolean;
+      call.children = {arm};
+      AstId call_id = tree->Add(std::move(call));
+      if (combined == kInvalidAstId) {
+        combined = call_id;
+      } else {
+        AstNode orn;
+        orn.kind = ExprKind::kBinaryOp;
+        orn.op = BinOp::kOr;
+        orn.type = ValueType::kBoolean;
+        orn.children = {combined, call_id};
+        combined = tree->Add(std::move(orn));
+      }
+    }
+    return combined;
+  }
+  return id;
+}
+
+}  // namespace
+
+Status AssignTypes(QueryTree* tree) { return TypeNode(tree, tree->root()); }
+
+Status Normalize(QueryTree* tree, const VariableBindings& bindings) {
+  // Pre-pass: types are required by the predicate/conversion rules. Run
+  // it leniently — variables get substituted below, so only report
+  // non-variable errors here by substituting first.
+  {
+    Normalizer normalizer(tree, bindings);
+    XPE_ASSIGN_OR_RETURN(AstId root, normalizer.Rewrite(tree->root()));
+    tree->set_root(root);
+  }
+  {
+    XPE_ASSIGN_OR_RETURN(AstId root,
+                         DistributeBooleanOverUnion(tree, tree->root()));
+    tree->set_root(root);
+  }
+  return AssignTypes(tree);
+}
+
+}  // namespace xpe::xpath

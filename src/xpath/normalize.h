@@ -1,0 +1,67 @@
+#ifndef XPE_XPATH_NORMALIZE_H_
+#define XPE_XPATH_NORMALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpe::xpath {
+
+/// A scalar constant bound to an XPath variable. The paper assumes "each
+/// variable is replaced by the (constant) value of the input variable
+/// binding" (§2.2); Normalize performs exactly that substitution.
+struct ScalarBinding {
+  ValueType type = ValueType::kString;
+  double number = 0;
+  std::string string;
+  bool boolean = false;
+
+  static ScalarBinding Number(double v) {
+    ScalarBinding b;
+    b.type = ValueType::kNumber;
+    b.number = v;
+    return b;
+  }
+  static ScalarBinding String(std::string s) {
+    ScalarBinding b;
+    b.type = ValueType::kString;
+    b.string = std::move(s);
+    return b;
+  }
+  static ScalarBinding Boolean(bool v) {
+    ScalarBinding b;
+    b.type = ValueType::kBoolean;
+    b.boolean = v;
+    return b;
+  }
+};
+
+using VariableBindings = std::map<std::string, ScalarBinding>;
+
+/// Computes the static type of every node (XPath 1.0 is statically typed:
+/// function signatures and operators determine every expression's type)
+/// and validates type constraints that have no implicit conversion
+/// (node-set-typed parameters, union/filter/path-head operands).
+Status AssignTypes(QueryTree* tree);
+
+/// Brings a freshly parsed tree into the paper's normal form:
+///  1. variables are substituted with their constant bindings;
+///  2. zero-argument context functions get an explicit self::node() arg;
+///  3. numeric predicates become explicit position() = e comparisons and
+///     other non-boolean predicates are wrapped in boolean(e);
+///  4. implicit conversions become explicit string()/number()/boolean()
+///     calls (function arguments, and/or operands, arithmetic operands) —
+///     comparison operators stay polymorphic, exactly as in Figure 1;
+///  5. id(e) with a node-set argument is rewritten to the id-"axis"
+///     (π/id, paper §4), and nested path heads are flattened;
+///  6. boolean(π1|π2) and (π1|π2) RelOp s are distributed over the union
+///     (the §4 "all occurrences of '|' removed" rewriting).
+/// Afterwards types are reassigned. The tree is then ready for the
+/// relevance and fragment passes.
+Status Normalize(QueryTree* tree, const VariableBindings& bindings = {});
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_NORMALIZE_H_

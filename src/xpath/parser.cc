@@ -1,0 +1,477 @@
+#include "src/xpath/parser.h"
+
+#include "src/xpath/token.h"
+
+namespace xpe::xpath {
+
+namespace {
+
+/// Recursive-descent parser over the disambiguated token stream,
+/// implementing the full XPath 1.0 grammar (W3C recommendation §§2-3).
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, QueryTree* tree)
+      : tokens_(std::move(tokens)), tree_(tree) {}
+
+  StatusOr<AstId> Run() {
+    XPE_ASSIGN_OR_RETURN(AstId root, ParseOrExpr());
+    if (!AtKind(TokenKind::kEof)) {
+      return Fail<AstId>("unexpected trailing " +
+                         std::string(TokenKindToString(Cur().kind)));
+    }
+    return root;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Next() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : tokens_.size() - 1];
+  }
+  bool AtKind(TokenKind kind) const { return Cur().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool Accept(TokenKind kind) {
+    if (!AtKind(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  template <typename T>
+  StatusOr<T> Fail(std::string msg) const {
+    return StatusOr<T>(
+        Status::ParseError(std::move(msg), 1, Cur().offset + 1));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Accept(kind)) return Status::OK();
+    return Status::ParseError(std::string("expected ") +
+                                  TokenKindToString(kind) + ", found " +
+                                  TokenKindToString(Cur().kind),
+                              1, Cur().offset + 1);
+  }
+
+  AstId MakeStep(Axis axis, NodeTest test) {
+    AstNode step;
+    step.kind = ExprKind::kStep;
+    step.axis = axis;
+    step.test = std::move(test);
+    return tree_->Add(std::move(step));
+  }
+
+  /// The '//' abbreviation: a /descendant-or-self::node()/ step.
+  AstId MakeDescendantOrSelfStep() {
+    NodeTest test;
+    test.kind = NodeTest::Kind::kNode;
+    return MakeStep(Axis::kDescendantOrSelf, std::move(test));
+  }
+
+  // --- Expression grammar (precedence climbing) -------------------------
+
+  /// Guards every recursive production: hostile inputs like "((((...))))"
+  /// must produce a Status, not a stack overflow. The limit is far above
+  /// anything a legitimate query needs.
+  static constexpr int kMaxDepth = 512;
+
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* parser) : parser_(parser) {
+      ++parser_->depth_;
+    }
+    ~DepthGuard() { --parser_->depth_; }
+    bool exceeded() const { return parser_->depth_ > kMaxDepth; }
+
+   private:
+    Parser* parser_;
+  };
+
+  StatusOr<AstId> ParseOrExpr() {
+    DepthGuard guard(this);
+    if (guard.exceeded()) {
+      return Fail<AstId>("query nesting exceeds the supported depth");
+    }
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParseAndExpr());
+    while (Accept(TokenKind::kOr)) {
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParseAndExpr());
+      lhs = MakeBinary(BinOp::kOr, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<AstId> ParseAndExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParseEqualityExpr());
+    while (Accept(TokenKind::kAnd)) {
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParseEqualityExpr());
+      lhs = MakeBinary(BinOp::kAnd, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<AstId> ParseEqualityExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParseRelationalExpr());
+    while (true) {
+      BinOp op;
+      if (Accept(TokenKind::kEquals)) {
+        op = BinOp::kEq;
+      } else if (Accept(TokenKind::kNotEquals)) {
+        op = BinOp::kNeq;
+      } else {
+        return lhs;
+      }
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParseRelationalExpr());
+      lhs = MakeBinary(op, lhs, rhs);
+    }
+  }
+
+  StatusOr<AstId> ParseRelationalExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParseAdditiveExpr());
+    while (true) {
+      BinOp op;
+      if (Accept(TokenKind::kLess)) {
+        op = BinOp::kLt;
+      } else if (Accept(TokenKind::kLessEquals)) {
+        op = BinOp::kLe;
+      } else if (Accept(TokenKind::kGreater)) {
+        op = BinOp::kGt;
+      } else if (Accept(TokenKind::kGreaterEquals)) {
+        op = BinOp::kGe;
+      } else {
+        return lhs;
+      }
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParseAdditiveExpr());
+      lhs = MakeBinary(op, lhs, rhs);
+    }
+  }
+
+  StatusOr<AstId> ParseAdditiveExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParseMultiplicativeExpr());
+    while (true) {
+      BinOp op;
+      if (Accept(TokenKind::kPlus)) {
+        op = BinOp::kAdd;
+      } else if (Accept(TokenKind::kMinus)) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParseMultiplicativeExpr());
+      lhs = MakeBinary(op, lhs, rhs);
+    }
+  }
+
+  StatusOr<AstId> ParseMultiplicativeExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParseUnaryExpr());
+    while (true) {
+      BinOp op;
+      if (Accept(TokenKind::kMultiply)) {
+        op = BinOp::kMul;
+      } else if (Accept(TokenKind::kDiv)) {
+        op = BinOp::kDiv;
+      } else if (Accept(TokenKind::kMod)) {
+        op = BinOp::kMod;
+      } else {
+        return lhs;
+      }
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParseUnaryExpr());
+      lhs = MakeBinary(op, lhs, rhs);
+    }
+  }
+
+  StatusOr<AstId> ParseUnaryExpr() {
+    DepthGuard guard(this);  // "-----1" recurses here, not via ParseOrExpr
+    if (guard.exceeded()) {
+      return Fail<AstId>("query nesting exceeds the supported depth");
+    }
+    if (Accept(TokenKind::kMinus)) {
+      XPE_ASSIGN_OR_RETURN(AstId operand, ParseUnaryExpr());
+      AstNode neg;
+      neg.kind = ExprKind::kUnaryMinus;
+      neg.children.push_back(operand);
+      return tree_->Add(std::move(neg));
+    }
+    return ParseUnionExpr();
+  }
+
+  StatusOr<AstId> ParseUnionExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId lhs, ParsePathExpr());
+    while (Accept(TokenKind::kPipe)) {
+      XPE_ASSIGN_OR_RETURN(AstId rhs, ParsePathExpr());
+      AstNode u;
+      u.kind = ExprKind::kUnion;
+      u.children = {lhs, rhs};
+      lhs = tree_->Add(std::move(u));
+    }
+    return lhs;
+  }
+
+  AstId MakeBinary(BinOp op, AstId lhs, AstId rhs) {
+    AstNode n;
+    n.kind = ExprKind::kBinaryOp;
+    n.op = op;
+    n.children = {lhs, rhs};
+    return tree_->Add(std::move(n));
+  }
+
+  // --- Paths -------------------------------------------------------------
+
+  bool AtPrimaryStart() const {
+    switch (Cur().kind) {
+      case TokenKind::kVariable:
+      case TokenKind::kLParen:
+      case TokenKind::kLiteral:
+      case TokenKind::kNumber:
+      case TokenKind::kFunctionName:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  StatusOr<AstId> ParsePathExpr() {
+    if (AtPrimaryStart()) {
+      XPE_ASSIGN_OR_RETURN(AstId filter, ParseFilterExpr());
+      // FilterExpr ('/' | '//') RelativeLocationPath ?
+      bool dslash = AtKind(TokenKind::kDoubleSlash);
+      if (!dslash && !AtKind(TokenKind::kSlash)) return filter;
+      Advance();
+      AstNode path;
+      path.kind = ExprKind::kPath;
+      path.has_head = true;
+      path.children.push_back(filter);
+      if (dslash) path.children.push_back(MakeDescendantOrSelfStep());
+      XPE_RETURN_IF_ERROR(ParseRelativePathInto(&path));
+      return tree_->Add(std::move(path));
+    }
+    return ParseLocationPath();
+  }
+
+  StatusOr<AstId> ParseFilterExpr() {
+    XPE_ASSIGN_OR_RETURN(AstId primary, ParsePrimaryExpr());
+    if (!AtKind(TokenKind::kLBracket)) return primary;
+    AstNode filter;
+    filter.kind = ExprKind::kFilter;
+    filter.children.push_back(primary);
+    while (Accept(TokenKind::kLBracket)) {
+      XPE_ASSIGN_OR_RETURN(AstId pred, ParseOrExpr());
+      filter.children.push_back(pred);
+      XPE_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    }
+    return tree_->Add(std::move(filter));
+  }
+
+  StatusOr<AstId> ParsePrimaryExpr() {
+    switch (Cur().kind) {
+      case TokenKind::kVariable: {
+        AstNode var;
+        var.kind = ExprKind::kVariable;
+        var.string = Cur().text;
+        Advance();
+        return tree_->Add(std::move(var));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        XPE_ASSIGN_OR_RETURN(AstId inner, ParseOrExpr());
+        XPE_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      case TokenKind::kLiteral: {
+        AstNode lit;
+        lit.kind = ExprKind::kStringLiteral;
+        lit.string = Cur().text;
+        Advance();
+        return tree_->Add(std::move(lit));
+      }
+      case TokenKind::kNumber: {
+        AstNode lit;
+        lit.kind = ExprKind::kNumberLiteral;
+        lit.number = Cur().number;
+        Advance();
+        return tree_->Add(std::move(lit));
+      }
+      case TokenKind::kFunctionName:
+        return ParseFunctionCall();
+      default:
+        return Fail<AstId>("expected a primary expression, found " +
+                           std::string(TokenKindToString(Cur().kind)));
+    }
+  }
+
+  StatusOr<AstId> ParseFunctionCall() {
+    std::string name = Cur().text;
+    const FunctionSignature* sig = LookupFunctionByName(name);
+    if (sig == nullptr) {
+      if (name == "namespace-uri") {
+        return Fail<AstId>("function '" + name +
+                           "' is not supported (namespaces are out of scope)");
+      }
+      return Fail<AstId>("unknown function '" + name + "'");
+    }
+    Advance();
+    XPE_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    AstNode call;
+    call.kind = ExprKind::kFunctionCall;
+    call.fn = sig->id;
+    if (!AtKind(TokenKind::kRParen)) {
+      do {
+        XPE_ASSIGN_OR_RETURN(AstId arg, ParseOrExpr());
+        call.children.push_back(arg);
+      } while (Accept(TokenKind::kComma));
+    }
+    XPE_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    const int n = static_cast<int>(call.children.size());
+    if (n < sig->min_args || (sig->max_args >= 0 && n > sig->max_args)) {
+      return Fail<AstId>("function '" + name + "' called with " +
+                         std::to_string(n) + " argument(s)");
+    }
+    return tree_->Add(std::move(call));
+  }
+
+  StatusOr<AstId> ParseLocationPath() {
+    AstNode path;
+    path.kind = ExprKind::kPath;
+    if (AtKind(TokenKind::kSlash)) {
+      Advance();
+      path.absolute = true;
+      if (!AtStepStart()) {  // bare "/" selects the root
+        return tree_->Add(std::move(path));
+      }
+    } else if (AtKind(TokenKind::kDoubleSlash)) {
+      Advance();
+      path.absolute = true;
+      path.children.push_back(MakeDescendantOrSelfStep());
+    } else if (!AtStepStart()) {
+      return Fail<AstId>("expected a location step, found " +
+                         std::string(TokenKindToString(Cur().kind)));
+    }
+    XPE_RETURN_IF_ERROR(ParseRelativePathInto(&path));
+    return tree_->Add(std::move(path));
+  }
+
+  bool AtStepStart() const {
+    switch (Cur().kind) {
+      case TokenKind::kDot:
+      case TokenKind::kDoubleDot:
+      case TokenKind::kAt:
+      case TokenKind::kStar:
+      case TokenKind::kName:
+      case TokenKind::kAxisName:
+      case TokenKind::kNodeType:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Status ParseRelativePathInto(AstNode* path) {
+    while (true) {
+      XPE_ASSIGN_OR_RETURN(AstId step, ParseStep());
+      path->children.push_back(step);
+      if (Accept(TokenKind::kSlash)) {
+        continue;
+      }
+      if (Accept(TokenKind::kDoubleSlash)) {
+        path->children.push_back(MakeDescendantOrSelfStep());
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  StatusOr<AstId> ParseStep() {
+    // Abbreviated steps.
+    if (Accept(TokenKind::kDot)) {
+      NodeTest test;
+      test.kind = NodeTest::Kind::kNode;
+      return MakeStep(Axis::kSelf, std::move(test));
+    }
+    if (Accept(TokenKind::kDoubleDot)) {
+      NodeTest test;
+      test.kind = NodeTest::Kind::kNode;
+      return MakeStep(Axis::kParent, std::move(test));
+    }
+
+    Axis axis = Axis::kChild;
+    if (Accept(TokenKind::kAt)) {
+      axis = Axis::kAttribute;
+    } else if (AtKind(TokenKind::kAxisName)) {
+      std::optional<Axis> parsed = AxisFromString(Cur().text);
+      if (!parsed.has_value()) {
+        if (Cur().text == "namespace") {
+          return Fail<AstId>("the namespace axis is not supported");
+        }
+        return Fail<AstId>("unknown axis '" + Cur().text + "'");
+      }
+      if (*parsed == Axis::kId) {
+        // "id" only becomes an axis through the §4 rewriting of id(π);
+        // it is not concrete XPath syntax.
+        return Fail<AstId>("'id' is not an axis");
+      }
+      axis = *parsed;
+      Advance();
+      XPE_RETURN_IF_ERROR(Expect(TokenKind::kDoubleColon));
+    }
+
+    XPE_ASSIGN_OR_RETURN(NodeTest test, ParseNodeTest());
+    AstId step = MakeStep(axis, std::move(test));
+    while (Accept(TokenKind::kLBracket)) {
+      XPE_ASSIGN_OR_RETURN(AstId pred, ParseOrExpr());
+      tree_->node(step).children.push_back(pred);
+      XPE_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    }
+    return step;
+  }
+
+  StatusOr<NodeTest> ParseNodeTest() {
+    NodeTest test;
+    if (Accept(TokenKind::kStar)) {
+      test.kind = NodeTest::Kind::kAny;
+      return test;
+    }
+    if (AtKind(TokenKind::kName)) {
+      test.kind = NodeTest::Kind::kName;
+      test.name = Cur().text;
+      Advance();
+      return test;
+    }
+    if (AtKind(TokenKind::kNodeType)) {
+      std::string type = Cur().text;
+      Advance();
+      XPE_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      if (type == "text") {
+        test.kind = NodeTest::Kind::kText;
+      } else if (type == "comment") {
+        test.kind = NodeTest::Kind::kComment;
+      } else if (type == "node") {
+        test.kind = NodeTest::Kind::kNode;
+      } else {  // processing-instruction, optionally with a target literal
+        test.kind = NodeTest::Kind::kPi;
+        if (AtKind(TokenKind::kLiteral)) {
+          test.name = Cur().text;
+          Advance();
+        }
+      }
+      XPE_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return test;
+    }
+    return Fail<NodeTest>("expected a node test, found " +
+                          std::string(TokenKindToString(Cur().kind)));
+  }
+
+  std::vector<Token> tokens_;
+  QueryTree* tree_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QueryTree> ParseXPath(std::string_view query) {
+  XPE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  QueryTree tree;
+  Parser parser(std::move(tokens), &tree);
+  XPE_ASSIGN_OR_RETURN(AstId root, parser.Run());
+  tree.set_root(root);
+  return tree;
+}
+
+}  // namespace xpe::xpath

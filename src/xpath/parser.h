@@ -1,0 +1,25 @@
+#ifndef XPE_XPATH_PARSER_H_
+#define XPE_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpe::xpath {
+
+/// Parses an XPath 1.0 expression (abbreviated or unabbreviated syntax)
+/// into a QueryTree. Abbreviations are desugared during parsing exactly as
+/// the recommendation specifies:
+///   //   →  /descendant-or-self::node()/
+///   .    →  self::node()
+///   ..   →  parent::node()
+///   @n   →  attribute::n
+/// so the resulting tree is in the paper's unabbreviated form. The parser
+/// performs syntax and arity checking only; typing, conversion insertion
+/// and variable substitution happen in the normalizer (normalize.h).
+StatusOr<QueryTree> ParseXPath(std::string_view query);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_PARSER_H_

@@ -1,0 +1,65 @@
+#include "src/xpath/relevance.h"
+
+namespace xpe::xpath {
+
+namespace {
+
+uint8_t Compute(QueryTree* tree, AstId id) {
+  AstNode& n = tree->node(id);
+  // Children first (predicates included, so their own masks are stored
+  // even when they do not propagate upward).
+  uint8_t child_union = 0;
+  for (AstId child : n.children) {
+    child_union |= Compute(tree, child);
+  }
+  switch (n.kind) {
+    case ExprKind::kNumberLiteral:
+    case ExprKind::kStringLiteral:
+      n.relev = 0;
+      break;
+    case ExprKind::kVariable:
+      n.relev = 0;  // substituted away by Normalize
+      break;
+    case ExprKind::kFunctionCall:
+      if (n.fn == FunctionId::kPosition) {
+        n.relev = kRelevCp;
+      } else if (n.fn == FunctionId::kLast) {
+        n.relev = kRelevCs;
+      } else if (n.fn == FunctionId::kTrue || n.fn == FunctionId::kFalse) {
+        n.relev = 0;
+      } else {
+        n.relev = child_union;
+      }
+      break;
+    case ExprKind::kBinaryOp:
+    case ExprKind::kUnaryMinus:
+    case ExprKind::kUnion:
+      n.relev = child_union;
+      break;
+    case ExprKind::kPath: {
+      // Predicates bind cn/cp/cs internally; the path as an expression
+      // depends on the context node only. An expression-headed path
+      // additionally inherits whatever its head needs (a constant head
+      // like id('k') makes the whole path context-free).
+      if (n.has_head) {
+        n.relev = tree->node(n.children[0]).relev;
+      } else {
+        n.relev = kRelevCn;
+      }
+      break;
+    }
+    case ExprKind::kStep:
+      n.relev = kRelevCn;
+      break;
+    case ExprKind::kFilter:
+      n.relev = tree->node(n.children[0]).relev;
+      break;
+  }
+  return n.relev;
+}
+
+}  // namespace
+
+void ComputeRelevance(QueryTree* tree) { Compute(tree, tree->root()); }
+
+}  // namespace xpe::xpath

@@ -1,0 +1,24 @@
+#ifndef XPE_XPATH_RELEVANCE_H_
+#define XPE_XPATH_RELEVANCE_H_
+
+#include "src/xpath/ast.h"
+
+namespace xpe::xpath {
+
+/// Computes the paper's Relev(N) ⊆ {'cn','cp','cs'} for every parse-tree
+/// node (§3.1) in one bottom-up traversal, O(|Q|). Rules:
+///  - constants, true(), false()            → ∅
+///  - position()                            → {cp}
+///  - last()                                → {cs}
+///  - location paths and steps              → {cn}
+///    (their predicates' cp/cs are internal to the step's node list and do
+///     not leak; this matches the paper's "location step within a location
+///     path" rule and Example 3's Relev(N5) = {cn})
+///  - filters                               → Relev(head), same reasoning
+///  - every other compound                  → union of the children
+/// Requires a normalized tree (zero-arg context functions rewritten).
+void ComputeRelevance(QueryTree* tree);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_RELEVANCE_H_

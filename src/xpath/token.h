@@ -1,0 +1,70 @@
+#ifndef XPE_XPATH_TOKEN_H_
+#define XPE_XPATH_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xpe::xpath {
+
+/// Token kinds of the XPath 1.0 grammar (W3C recommendation §3.7). The
+/// lexer already applies the spec's disambiguation rules, so `*` arrives
+/// either as kStar (name-test wildcard) or kMultiply, and NCNames arrive
+/// pre-classified as function/axis/node-type/operator/name-test tokens.
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kSlash,          // /
+  kDoubleSlash,    // //
+  kLBracket,       // [
+  kRBracket,       // ]
+  kLParen,         // (
+  kRParen,         // )
+  kDot,            // .
+  kDoubleDot,      // ..
+  kAt,             // @
+  kComma,          // ,
+  kDoubleColon,    // ::
+  kPipe,           // |
+  kPlus,           // +
+  kMinus,          // -
+  kEquals,         // =
+  kNotEquals,      // !=
+  kLess,           // <
+  kLessEquals,     // <=
+  kGreater,        // >
+  kGreaterEquals,  // >=
+  kStar,           // * as a name test
+  kMultiply,       // * as an operator
+  kAnd,            // 'and' in operator position
+  kOr,             // 'or'
+  kDiv,            // 'div'
+  kMod,            // 'mod'
+  kNumber,         // numeric literal; value in Token::number
+  kLiteral,        // string literal; text in Token::text
+  kVariable,       // $name; name in Token::text
+  kFunctionName,   // NCName directly before '('
+  kAxisName,       // NCName directly before '::'
+  kNodeType,       // comment | text | processing-instruction | node before '('
+  kName,           // any other NCName (a name test)
+};
+
+/// Printable token-kind name for diagnostics.
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    // names, literals, variable names
+  double number = 0;   // kNumber payload
+  int offset = 0;      // 0-based offset into the query string
+};
+
+/// Tokenizes an XPath 1.0 expression, applying the spec's §3.7
+/// disambiguation (preceding-token rule for operators, lookahead for
+/// function/axis/node-type names). Fails on malformed literals/numbers and
+/// on QNames with prefixes (namespaces are out of scope, as in the paper).
+StatusOr<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_TOKEN_H_

@@ -1,0 +1,42 @@
+/// xpe — XPath, efficiently.
+///
+/// A from-scratch C++20 reproduction of Gottlob, Koch & Pichler,
+/// "XPath Query Evaluation: Improving Time and Space Efficiency"
+/// (ICDE 2003): full XPath 1.0 on an in-memory XML document model, with
+/// six interchangeable evaluation engines — the exponential naive
+/// baseline, E↑ and E↓ of [11], the paper's MINCONTEXT and
+/// OPTMINCONTEXT, and the linear-time Core XPath engine.
+///
+/// Quickstart:
+///
+///   #include "src/xpe.h"
+///
+///   auto doc = xpe::xml::Parse("<a><b/><b/></a>");
+///   auto query = xpe::xpath::Compile("//b[position() = last()]");
+///   auto result = xpe::EvaluateNodeSet(*query, *doc);
+///   for (xpe::xml::NodeId n : *result) { ... }
+///
+/// This umbrella header pulls in the whole public API; the individual
+/// headers can also be included directly.
+
+#ifndef XPE_XPE_H_
+#define XPE_XPE_H_
+
+#include "src/axes/axis.h"          // axis functions χ(X), χ⁻¹(X)
+#include "src/axes/node_set.h"      // NodeSet / NodeBitmap
+#include "src/common/numeric.h"     // XPath number ↔ string rules
+#include "src/common/status.h"      // Status / StatusOr
+#include "src/core/engine.h"        // Evaluate(), EngineKind, EvalOptions
+#include "src/core/functions.h"     // the effective semantics function F
+#include "src/core/stats.h"         // EvalStats instrumentation
+#include "src/core/value.h"         // the four XPath value types
+#include "src/xml/document.h"       // Document / DocumentBuilder
+#include "src/xml/generator.h"      // synthetic document generators
+#include "src/xml/parser.h"         // xml::Parse
+#include "src/xml/serializer.h"     // xml::Serialize
+#include "src/xpath/compile.h"      // xpath::Compile / CompiledQuery
+#include "src/xpath/explain.h"      // xpath::Explain diagnostics
+#include "src/xpath/fragments.h"    // Core XPath / Extended Wadler
+#include "src/xpath/parser.h"       // xpath::ParseXPath (AST level)
+
+#endif  // XPE_XPE_H_

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/numeric.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+
+namespace xpe {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- Status / StatusOr ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ParseErrorCarriesPosition) {
+  Status s = Status::ParseError("bad token", 3, 17);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.line(), 3);
+  EXPECT_EQ(s.column(), 17);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token (at line 3, column 17)");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidQuery), "InvalidQuery");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+StatusOr<int> Doubled(StatusOr<int> in) {
+  XPE_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("x")).ok());
+}
+
+// --- XPathStringToNumber ----------------------------------------------------
+
+TEST(NumericTest, ParsesPlainIntegers) {
+  EXPECT_EQ(XPathStringToNumber("0"), 0.0);
+  EXPECT_EQ(XPathStringToNumber("42"), 42.0);
+  EXPECT_EQ(XPathStringToNumber("-7"), -7.0);
+  EXPECT_EQ(XPathStringToNumber("100"), 100.0);
+}
+
+TEST(NumericTest, ParsesDecimals) {
+  EXPECT_EQ(XPathStringToNumber("1.5"), 1.5);
+  EXPECT_EQ(XPathStringToNumber("-0.25"), -0.25);
+  EXPECT_EQ(XPathStringToNumber(".5"), 0.5);
+  EXPECT_EQ(XPathStringToNumber("2."), 2.0);
+}
+
+TEST(NumericTest, TrimsWhitespace) {
+  EXPECT_EQ(XPathStringToNumber("  42 \n"), 42.0);
+  EXPECT_EQ(XPathStringToNumber("\t-1.5\r"), -1.5);
+}
+
+TEST(NumericTest, RejectsNonNumbers) {
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("  ")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("abc")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("12a")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("1 2")));   // "21 22" case
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("21 22")));  // paper's strval
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("-")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber(".")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("-.")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("--1")));
+}
+
+TEST(NumericTest, RejectsExponentAndHexSyntax) {
+  // XPath's Number production has no exponents, signs, inf or hex.
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("1e3")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("+1")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("0x10")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("inf")));
+  EXPECT_TRUE(std::isnan(XPathStringToNumber("NaN")));
+}
+
+TEST(NumericTest, NegativeZeroParses) {
+  const double v = XPathStringToNumber("-0");
+  EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(std::signbit(v));
+}
+
+// --- XPathNumberToString ----------------------------------------------------
+
+TEST(NumericTest, FormatsSpecials) {
+  EXPECT_EQ(XPathNumberToString(std::nan("")), "NaN");
+  EXPECT_EQ(XPathNumberToString(kInf), "Infinity");
+  EXPECT_EQ(XPathNumberToString(-kInf), "-Infinity");
+  EXPECT_EQ(XPathNumberToString(0.0), "0");
+  EXPECT_EQ(XPathNumberToString(-0.0), "0");
+}
+
+TEST(NumericTest, FormatsIntegersWithoutPoint) {
+  EXPECT_EQ(XPathNumberToString(1.0), "1");
+  EXPECT_EQ(XPathNumberToString(-17.0), "-17");
+  EXPECT_EQ(XPathNumberToString(100.0), "100");
+  EXPECT_EQ(XPathNumberToString(1e6), "1000000");
+}
+
+TEST(NumericTest, FormatsDecimalsShortest) {
+  EXPECT_EQ(XPathNumberToString(1.5), "1.5");
+  EXPECT_EQ(XPathNumberToString(-0.5), "-0.5");
+  EXPECT_EQ(XPathNumberToString(0.1), "0.1");
+  EXPECT_EQ(XPathNumberToString(4.0 * 0.5), "2");  // paper's last()*0.5
+}
+
+TEST(NumericTest, NeverUsesExponentNotation) {
+  EXPECT_EQ(XPathNumberToString(1e21), "1000000000000000000000");
+  EXPECT_EQ(XPathNumberToString(1e-7), "0.0000001");
+  EXPECT_EQ(XPathNumberToString(-2.5e-7), "-0.00000025");
+}
+
+TEST(NumericTest, RoundTripsThroughString) {
+  for (double v : {0.3, 1.0 / 3.0, 12345.6789, -9.99e-5, 7.25}) {
+    EXPECT_EQ(XPathStringToNumber(XPathNumberToString(v)), v) << v;
+  }
+}
+
+// --- XPathRound -------------------------------------------------------------
+
+TEST(NumericTest, RoundsHalfUp) {
+  EXPECT_EQ(XPathRound(2.5), 3.0);
+  EXPECT_EQ(XPathRound(-2.5), -2.0);  // towards +infinity
+  EXPECT_EQ(XPathRound(2.4), 2.0);
+  EXPECT_EQ(XPathRound(2.6), 3.0);
+}
+
+TEST(NumericTest, RoundNegativeZeroWindow) {
+  // round(x) for -0.5 <= x < 0 is negative zero.
+  const double r = XPathRound(-0.4);
+  EXPECT_EQ(r, 0.0);
+  EXPECT_TRUE(std::signbit(r));
+  EXPECT_TRUE(std::signbit(XPathRound(-0.5)));
+}
+
+TEST(NumericTest, RoundPassesThroughSpecials) {
+  EXPECT_TRUE(std::isnan(XPathRound(std::nan(""))));
+  EXPECT_EQ(XPathRound(kInf), kInf);
+  EXPECT_EQ(XPathRound(-kInf), -kInf);
+}
+
+TEST(NumericTest, IsXPathInteger) {
+  EXPECT_TRUE(IsXPathInteger(3.0));
+  EXPECT_TRUE(IsXPathInteger(-0.0));
+  EXPECT_FALSE(IsXPathInteger(3.5));
+  EXPECT_FALSE(IsXPathInteger(kInf));
+  EXPECT_FALSE(IsXPathInteger(std::nan("")));
+}
+
+// --- String helpers ---------------------------------------------------------
+
+TEST(StrUtilTest, SplitOnWhitespace) {
+  using V = std::vector<std::string_view>;
+  EXPECT_EQ(SplitOnWhitespace("a b c"), (V{"a", "b", "c"}));
+  EXPECT_EQ(SplitOnWhitespace("  a\t\nb  "), (V{"a", "b"}));
+  EXPECT_EQ(SplitOnWhitespace(""), V{});
+  EXPECT_EQ(SplitOnWhitespace(" \r\n\t "), V{});
+  EXPECT_EQ(SplitOnWhitespace("21 22"), (V{"21", "22"}));
+}
+
+TEST(StrUtilTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  a  b  "), "a b");
+  EXPECT_EQ(NormalizeSpace("a\t\n b"), "a b");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace("   "), "");
+  EXPECT_EQ(NormalizeSpace("x"), "x");
+}
+
+TEST(StrUtilTest, TranslateMapsAndDeletes) {
+  EXPECT_EQ(Translate("bar", "abc", "ABC"), "BAr");
+  EXPECT_EQ(Translate("--aaa--", "abc-", "ABC"), "AAA");  // '-' deleted
+  EXPECT_EQ(Translate("abc", "", ""), "abc");
+  // First occurrence in `from` wins.
+  EXPECT_EQ(Translate("a", "aa", "xy"), "x");
+}
+
+TEST(StrUtilTest, StartsWithAndContains) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+  EXPECT_TRUE(Contains("hello", ""));
+  EXPECT_FALSE(Contains("hello", "xyz"));
+}
+
+TEST(StrUtilTest, SubstringBeforeAfter) {
+  EXPECT_EQ(SubstringBefore("1999/04/01", "/"), "1999");
+  EXPECT_EQ(SubstringAfter("1999/04/01", "/"), "04/01");
+  EXPECT_EQ(SubstringAfter("1999/04/01", "19"), "99/04/01");
+  EXPECT_EQ(SubstringBefore("abc", "x"), "");
+  EXPECT_EQ(SubstringAfter("abc", "x"), "");
+  EXPECT_EQ(SubstringBefore("abc", ""), "");
+}
+
+TEST(StrUtilTest, SubstringSpecExamples) {
+  // The examples from the XPath 1.0 recommendation §4.2.
+  EXPECT_EQ(XPathSubstring("12345", 2, 3, true), "234");
+  EXPECT_EQ(XPathSubstring("12345", 1.5, 2.6, true), "234");
+  EXPECT_EQ(XPathSubstring("12345", 0, 3, true), "12");
+  EXPECT_EQ(XPathSubstring("12345", std::nan(""), 3, true), "");
+  EXPECT_EQ(XPathSubstring("12345", 1, std::nan(""), true), "");
+  EXPECT_EQ(XPathSubstring("12345", -42, kInf, true), "12345");
+  EXPECT_EQ(XPathSubstring("12345", -kInf, kInf, true), "");
+  EXPECT_EQ(XPathSubstring("12345", 2, 0, false), "2345");
+}
+
+}  // namespace
+}  // namespace xpe

@@ -1,0 +1,223 @@
+// Differential testing: random documents × a query corpus, all engines
+// must agree bit-for-bit with the naive evaluator (the executable
+// specification). This is the property-style complement to the golden
+// conformance suite.
+
+#include <gtest/gtest.h>
+
+#include "src/xml/generator.h"
+#include "tests/test_util.h"
+
+namespace xpe {
+namespace {
+
+using test::MustCompile;
+
+/// Query corpus: every axis, positions, values, ids, unions, filters,
+/// nested paths — compiled once, reused across documents.
+const char* kQueryCorpus[] = {
+    "//a",
+    "//a/b",
+    "//a//b",
+    "/descendant::*",
+    "//b[1]",
+    "//b[last()]",
+    "//a[position() = 2]",
+    "//a[position() mod 2 = 0]",
+    "//*[. = 100]",
+    "//a[b]",
+    "//a[not(b)]",
+    "//a[b and c]",
+    "//a[b or c]",
+    "//a[.//c]",
+    "//b/parent::a",
+    "//b/ancestor::*",
+    "//b/ancestor-or-self::a",
+    "//c/following-sibling::*",
+    "//c/preceding-sibling::*",
+    "//b/following::c",
+    "//b/preceding::c",
+    "//a/descendant-or-self::c",
+    "//*[@id]",
+    "//*[@id = 'n10']",
+    "//a[count(b) > 1]",
+    "//a[count(.//c) = 0]",
+    "//*[self::a = 100]",
+    "//a[b = 100]",
+    "//a[b = c]",
+    "//*[sum(b) > 50]",
+    "(//b)[2]",
+    "(//a | //b)[3]",
+    "//a | //c",
+    "//a[string-length(.) > 4]",
+    "//a[contains(., '1')]",
+    "//*[starts-with(name(), 'b')]",
+    "//a[position() = last()]/b",
+    "//b[position() != last()]",
+    "//a[boolean(b[2]/following-sibling::c)]",
+    "//c[preceding-sibling::*/preceding::* = 100]",
+    "//a[number(.) = 100]",
+    "count(//a)",
+    "count(//a[b])",
+    "sum(//b) + count(//c)",
+    "string(//a)",
+    "boolean(//a[4])",
+    "//a = //b",
+    "//a[. = ../b]",
+    "//*[text()]",
+    "//b[../c]",
+};
+
+class DifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllEnginesAgreeWithNaive) {
+  xml::Document doc =
+      xml::MakeRandomDocument(30, {"a", "b", "c"}, GetParam());
+  for (const char* query : kQueryCorpus) {
+    xpath::CompiledQuery compiled = MustCompile(query);
+    EvalOptions naive_opts;
+    naive_opts.engine = EngineKind::kNaive;
+    naive_opts.budget = 50'000'000;
+    StatusOr<Value> expected =
+        Evaluate(compiled, doc, EvalContext{}, naive_opts);
+    ASSERT_TRUE(expected.ok()) << query << ": "
+                               << expected.status().ToString();
+
+    std::vector<EngineKind> engines = {
+        EngineKind::kBottomUp, EngineKind::kTopDown, EngineKind::kMinContext,
+        EngineKind::kOptMinContext};
+    if (compiled.fragment() == xpath::Fragment::kCoreXPath) {
+      engines.push_back(EngineKind::kCoreXPath);
+    }
+    for (EngineKind engine : engines) {
+      EvalOptions opts;
+      opts.engine = engine;
+      StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
+      ASSERT_TRUE(actual.ok())
+          << query << " on " << EngineKindToString(engine) << ": "
+          << actual.status().ToString();
+      EXPECT_TRUE(actual->StructurallyEquals(*expected))
+          << "query:    " << query << "\nengine:   "
+          << EngineKindToString(engine)
+          << "\nseed:     " << GetParam()
+          << "\nexpected: " << expected->Repr()
+          << "\nactual:   " << actual->Repr();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         testing::Range<uint64_t>(1, 21));
+
+/// The same corpus evaluated from non-root context nodes.
+class RelativeDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelativeDifferentialTest, AgreeFromEveryContextNode) {
+  xml::Document doc =
+      xml::MakeRandomDocument(15, {"a", "b", "c"}, GetParam() * 977);
+  const char* queries[] = {
+      "b", "b/c", ".//c", "..", "../b", "following::b[1]",
+      "preceding-sibling::*", "b[. = ../c]", "self::a | b",
+      "count(ancestor::*)",
+  };
+  for (const char* query : queries) {
+    xpath::CompiledQuery compiled = MustCompile(query);
+    for (xml::NodeId cn = 0; cn < doc.size(); cn += 3) {
+      if (doc.IsAttribute(cn)) continue;
+      EvalContext ctx;
+      ctx.node = cn;
+      EvalOptions naive_opts;
+      naive_opts.engine = EngineKind::kNaive;
+      StatusOr<Value> expected = Evaluate(compiled, doc, ctx, naive_opts);
+      ASSERT_TRUE(expected.ok());
+      for (EngineKind engine :
+           {EngineKind::kTopDown, EngineKind::kMinContext,
+            EngineKind::kOptMinContext, EngineKind::kBottomUp}) {
+        EvalOptions opts;
+        opts.engine = engine;
+        StatusOr<Value> actual = Evaluate(compiled, doc, ctx, opts);
+        ASSERT_TRUE(actual.ok()) << query;
+        EXPECT_TRUE(actual->StructurallyEquals(*expected))
+            << "query: " << query << " cn=" << cn << " engine "
+            << EngineKindToString(engine) << "\nexpected "
+            << expected->Repr() << "\nactual " << actual->Repr();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelativeDifferentialTest,
+                         testing::Range<uint64_t>(1, 9));
+
+/// Growing documents: engines stay in agreement as |D| scales, and the
+/// grown paper document preserves the running example's per-copy result.
+TEST(ScalingAgreementTest, GrownPaperDocument) {
+  for (int width : {1, 2, 5}) {
+    xml::Document doc = xml::MakeGrownPaperDocument(width);
+    xpath::CompiledQuery q = MustCompile(
+        "//b/descendant::*[position() > last()*0.5 or self::* = 100]");
+    StatusOr<Value> naive = Evaluate(
+        q, doc, EvalContext{},
+        EvalOptions{.engine = EngineKind::kNaive, .budget = 100'000'000});
+    ASSERT_TRUE(naive.ok());
+    for (EngineKind engine : {EngineKind::kTopDown, EngineKind::kMinContext,
+                              EngineKind::kOptMinContext}) {
+      StatusOr<Value> v =
+          Evaluate(q, doc, EvalContext{}, EvalOptions{.engine = engine});
+      ASSERT_TRUE(v.ok());
+      EXPECT_TRUE(v->StructurallyEquals(*naive))
+          << width << " " << EngineKindToString(engine);
+    }
+    // Per copy: each <b> contributes its second-half/=100 descendants.
+    EXPECT_EQ(naive->node_set().size(), 4u * width);
+  }
+}
+
+/// Join-heavy queries on the XMark-flavoured auction corpus, across
+/// engines (the id()-based joins stress deref_ids and the id-axis).
+class AuctionDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(AuctionDifferentialTest, EnginesAgreeOnJoins) {
+  xml::Document doc = xml::MakeAuctionDocument(8, GetParam());
+  const char* queries[] = {
+      "count(//person)",
+      "count(//open_auction)",
+      "//person[creditcard]/name",
+      "id(//itemref)/name",
+      "id(//bidder/personref)/city",
+      "//open_auction[count(bidder) > 2]",
+      "//open_auction[current > 100]/itemref",
+      "//item[reserve < 50]/name",
+      "//open_auction[bidder[last()]/increase = current]",
+      "//person[. = id(//personref)]",
+      "sum(//current) > sum(//reserve)",
+      "//open_auction[id(itemref)/reserve < current]",
+  };
+  for (const char* query : queries) {
+    xpath::CompiledQuery compiled = MustCompile(query);
+    EvalOptions naive_opts;
+    naive_opts.engine = EngineKind::kNaive;
+    naive_opts.budget = 50'000'000;
+    StatusOr<Value> expected =
+        Evaluate(compiled, doc, EvalContext{}, naive_opts);
+    ASSERT_TRUE(expected.ok()) << query;
+    for (EngineKind engine : {EngineKind::kTopDown, EngineKind::kMinContext,
+                              EngineKind::kOptMinContext,
+                              EngineKind::kBottomUp}) {
+      EvalOptions opts;
+      opts.engine = engine;
+      StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
+      ASSERT_TRUE(actual.ok()) << query;
+      EXPECT_TRUE(actual->StructurallyEquals(*expected))
+          << query << " on " << EngineKindToString(engine) << " seed "
+          << GetParam() << "\nexpected " << expected->Repr() << "\nactual "
+          << actual->Repr();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionDifferentialTest,
+                         testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace xpe

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/xml/document.h"
+#include "src/xml/generator.h"
+#include "tests/test_util.h"
+
+namespace xpe::xml {
+namespace {
+
+using test::MustParse;
+
+class PaperDocumentTest : public testing::Test {
+ protected:
+  PaperDocumentTest() : doc_(MakePaperDocument()) {}
+
+  NodeId X(const std::string& id) const {
+    auto node = doc_.GetElementById(id);
+    EXPECT_TRUE(node.has_value()) << "no element with id " << id;
+    return node.value_or(kInvalidNodeId);
+  }
+
+  Document doc_;
+};
+
+TEST_F(PaperDocumentTest, HasAllPaperNodes) {
+  // The nine elements x10..x24 of Figure 2.
+  for (const char* id :
+       {"10", "11", "12", "13", "14", "21", "22", "23", "24"}) {
+    EXPECT_TRUE(doc_.GetElementById(id).has_value()) << id;
+  }
+}
+
+TEST_F(PaperDocumentTest, StructureMatchesFigure2) {
+  EXPECT_EQ(doc_.name(X("10")), "a");
+  EXPECT_EQ(doc_.name(X("11")), "b");
+  EXPECT_EQ(doc_.name(X("12")), "c");
+  EXPECT_EQ(doc_.name(X("14")), "d");
+  EXPECT_EQ(doc_.name(X("24")), "d");
+  EXPECT_EQ(doc_.parent(X("11")), X("10"));
+  EXPECT_EQ(doc_.parent(X("12")), X("11"));
+  EXPECT_EQ(doc_.parent(X("23")), X("21"));
+}
+
+TEST_F(PaperDocumentTest, DocumentOrderMatchesIdOrder) {
+  // x10 <doc x11 <doc ... <doc x24 — NodeIds are document order.
+  const char* ids[] = {"10", "11", "12", "13", "14", "21", "22", "23", "24"};
+  for (int i = 0; i + 1 < 9; ++i) {
+    EXPECT_LT(X(ids[i]), X(ids[i + 1]));
+  }
+}
+
+TEST_F(PaperDocumentTest, StringValues) {
+  EXPECT_EQ(doc_.StringValue(X("12")), "21 22");
+  EXPECT_EQ(doc_.StringValue(X("14")), "100");
+  EXPECT_EQ(doc_.StringValue(X("24")), "100");
+  EXPECT_EQ(doc_.StringValue(X("11")), "21 2223 24100");
+  EXPECT_EQ(doc_.StringValue(X("10")), "21 2223 2410011 1213 14100");
+}
+
+TEST_F(PaperDocumentTest, NumberValues) {
+  EXPECT_EQ(doc_.NumberValue(X("14")), 100.0);
+  EXPECT_EQ(doc_.NumberValue(X("24")), 100.0);
+  EXPECT_TRUE(std::isnan(doc_.NumberValue(X("12"))));  // "21 22"
+  EXPECT_TRUE(std::isnan(doc_.NumberValue(X("11"))));
+  // Cached second read agrees.
+  EXPECT_EQ(doc_.NumberValue(X("14")), 100.0);
+}
+
+TEST_F(PaperDocumentTest, IsAncestor) {
+  EXPECT_TRUE(doc_.IsAncestor(X("10"), X("14")));
+  EXPECT_TRUE(doc_.IsAncestor(X("11"), X("12")));
+  EXPECT_FALSE(doc_.IsAncestor(X("12"), X("11")));
+  EXPECT_FALSE(doc_.IsAncestor(X("11"), X("11")));
+  EXPECT_FALSE(doc_.IsAncestor(X("11"), X("22")));
+  EXPECT_TRUE(doc_.IsAncestor(doc_.root(), X("24")));
+}
+
+TEST_F(PaperDocumentTest, AttributeNodesHaveElementAncestors) {
+  NodeId attr = doc_.AttrBegin(X("12"));
+  ASSERT_LT(attr, doc_.AttrEnd(X("12")));
+  EXPECT_TRUE(doc_.IsAttribute(attr));
+  EXPECT_EQ(doc_.StringValue(attr), "12");
+  EXPECT_TRUE(doc_.IsAncestor(X("12"), attr));
+  EXPECT_TRUE(doc_.IsAncestor(X("10"), attr));
+}
+
+TEST_F(PaperDocumentTest, IdAxisFigure2) {
+  // strval(x12) = "21 22" references x21 and x22 — the id-"axis" of §4.
+  const std::vector<NodeId>& targets = doc_.IdAxisForward(X("12"));
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0], X("21"));
+  EXPECT_EQ(targets[1], X("22"));
+  // Inverse direction: who references x21?
+  const std::vector<NodeId>& sources = doc_.IdAxisInverse(X("21"));
+  EXPECT_FALSE(sources.empty());
+  bool found = false;
+  for (NodeId s : sources) found = found || s == X("12");
+  EXPECT_TRUE(found);
+}
+
+// --- DocumentBuilder --------------------------------------------------------
+
+TEST(DocumentBuilderTest, BuildsTreeWithLinks) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  b.StartElement("x");
+  b.EndElement();
+  b.AddText("t");
+  b.StartElement("y");
+  b.EndElement();
+  b.EndElement();
+  StatusOr<Document> doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 5u);
+  EXPECT_EQ(doc->first_child(1), 2u);
+  EXPECT_EQ(doc->last_child(1), 4u);
+  EXPECT_EQ(doc->next_sibling(2), 3u);
+  EXPECT_EQ(doc->next_sibling(3), 4u);
+  EXPECT_EQ(doc->prev_sibling(4), 3u);
+}
+
+TEST(DocumentBuilderTest, CoalescesAdjacentText) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  b.AddText("a");
+  b.AddText("b");
+  b.EndElement();
+  StatusOr<Document> doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 3u);
+  EXPECT_EQ(doc->content(2), "ab");
+}
+
+TEST(DocumentBuilderTest, RejectsUnbalancedFinish) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  StatusOr<Document> doc = std::move(b).Finish();
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(DocumentBuilderTest, RejectsLateAttributes) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  b.AddText("x");
+  b.AddAttribute("late", "1");
+  b.EndElement();
+  StatusOr<Document> doc = std::move(b).Finish();
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInternal);
+}
+
+TEST(DocumentBuilderTest, FirstIdWins) {
+  DocumentBuilder b;
+  b.StartElement("r");
+  b.StartElement("a");
+  b.AddAttribute("id", "k");
+  b.EndElement();
+  b.StartElement("b");
+  b.AddAttribute("id", "k");
+  b.EndElement();
+  b.EndElement();
+  StatusOr<Document> doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->name(*doc->GetElementById("k")), "a");
+}
+
+// --- Generators -------------------------------------------------------------
+
+TEST(GeneratorTest, ExponentialDocumentShape) {
+  Document doc = MakeExponentialDocument();
+  ASSERT_EQ(doc.size(), 4u);  // root, a, b, b
+  EXPECT_EQ(doc.name(1), "a");
+  EXPECT_EQ(doc.name(2), "b");
+  EXPECT_EQ(doc.name(3), "b");
+}
+
+TEST(GeneratorTest, GrownPaperDocumentScales) {
+  Document one = MakeGrownPaperDocument(1);
+  Document four = MakeGrownPaperDocument(4);
+  EXPECT_GT(four.size(), one.size() * 3);
+  // Each copy keeps its own id space.
+  EXPECT_TRUE(four.GetElementById("14_0").has_value());
+  EXPECT_TRUE(four.GetElementById("14_3").has_value());
+  EXPECT_FALSE(four.GetElementById("14_4").has_value());
+}
+
+TEST(GeneratorTest, ChainDocumentDepth) {
+  Document doc = MakeChainDocument(10);
+  // root + r + 10 c's + text.
+  EXPECT_EQ(doc.size(), 13u);
+  NodeId deepest = 11;
+  EXPECT_EQ(doc.name(deepest), "c");
+  EXPECT_EQ(doc.StringValue(deepest), "100");
+}
+
+TEST(GeneratorTest, CompleteTreeCounts) {
+  Document doc = MakeCompleteTreeDocument(2, 3);
+  // 2^3 = 8 leaves, 7 inner 'n' nodes, 8 text nodes, root: 24.
+  EXPECT_EQ(doc.size(), 24u);
+}
+
+TEST(GeneratorTest, NumericDocumentHundreds) {
+  Document doc = MakeNumericDocument(14, 7);
+  int hundreds = 0;
+  for (NodeId n = 0; n < doc.size(); ++n) {
+    if (doc.IsElement(n) && doc.name(n) == "v" &&
+        doc.StringValue(n) == "100") {
+      ++hundreds;
+    }
+  }
+  EXPECT_EQ(hundreds, 2);  // leaves 7 and 14
+}
+
+TEST(GeneratorTest, BibliographyShape) {
+  Document doc = MakeBibliographyDocument(8);
+  EXPECT_TRUE(doc.GetElementById("bk0").has_value());
+  EXPECT_TRUE(doc.GetElementById("bk7").has_value());
+  EXPECT_EQ(doc.name(1), "bib");
+}
+
+TEST(GeneratorTest, RandomDocumentIsDeterministic) {
+  const std::vector<std::string> labels = {"a", "b", "c"};
+  Document d1 = MakeRandomDocument(50, labels, 7);
+  Document d2 = MakeRandomDocument(50, labels, 7);
+  Document d3 = MakeRandomDocument(50, labels, 8);
+  EXPECT_EQ(d1.size(), d2.size());
+  EXPECT_EQ(d1.DebugDump(), d2.DebugDump());
+  EXPECT_NE(d1.DebugDump(), d3.DebugDump());
+}
+
+TEST(GeneratorTest, RandomDocumentElementCount) {
+  const std::vector<std::string> labels = {"a", "b"};
+  Document doc = MakeRandomDocument(80, labels, 3);
+  int elements = 0;
+  for (NodeId n = 0; n < doc.size(); ++n) {
+    if (doc.IsElement(n)) ++elements;
+  }
+  EXPECT_EQ(elements, 80);
+}
+
+}  // namespace
+}  // namespace xpe::xml

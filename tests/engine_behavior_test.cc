@@ -1,0 +1,218 @@
+// Engine-behaviour tests: the properties that distinguish the engines
+// (exponential vs polynomial work, table sizes, budgets, fragment
+// dispatch) rather than their common semantics. These are the unit-level
+// counterparts of the bench/ experiments.
+
+#include <gtest/gtest.h>
+
+#include "src/xml/generator.h"
+#include "tests/test_util.h"
+
+namespace xpe {
+namespace {
+
+using test::MustCompile;
+
+/// Q_n of experiment E1: //a/b[//a/b[...//a/b...]] nested n levels.
+std::string NestedQuery(int depth) {
+  std::string q = "//a/b";
+  for (int i = 0; i < depth; ++i) q = "//a/b[" + q + "]";
+  return q;
+}
+
+uint64_t NaiveWork(const xml::Document& doc, const std::string& query) {
+  EvalStats stats;
+  EvalOptions options;
+  options.engine = EngineKind::kNaive;
+  options.stats = &stats;
+  StatusOr<Value> v = Evaluate(MustCompile(query), doc, EvalContext{}, options);
+  EXPECT_TRUE(v.ok());
+  return stats.contexts_evaluated;
+}
+
+TEST(ExponentialBaselineTest, NaiveWorkDoublesPerNestingLevel) {
+  // The intro's claim ([11]'s experiment): re-evaluating predicates per
+  // context node makes work grow exponentially in |Q| even on the
+  // four-node document <a><b/><b/></a>.
+  xml::Document doc = xml::MakeExponentialDocument();
+  uint64_t w4 = NaiveWork(doc, NestedQuery(4));
+  uint64_t w8 = NaiveWork(doc, NestedQuery(8));
+  uint64_t w12 = NaiveWork(doc, NestedQuery(12));
+  // Each extra level multiplies by |{b,b}| = 2; four levels ≈ 16×.
+  EXPECT_GE(w8, w4 * 8);
+  EXPECT_GE(w12, w8 * 8);
+}
+
+TEST(ExponentialBaselineTest, PolynomialEnginesStayFlat) {
+  xml::Document doc = xml::MakeExponentialDocument();
+  for (EngineKind engine : {EngineKind::kTopDown, EngineKind::kMinContext,
+                            EngineKind::kOptMinContext,
+                            EngineKind::kCoreXPath}) {
+    EvalStats s8, s16;
+    EvalOptions options;
+    options.engine = engine;
+    options.stats = &s8;
+    ASSERT_TRUE(Evaluate(MustCompile(NestedQuery(8)), doc, EvalContext{},
+                         options)
+                    .ok());
+    options.stats = &s16;
+    ASSERT_TRUE(Evaluate(MustCompile(NestedQuery(16)), doc, EvalContext{},
+                         options)
+                    .ok());
+    // Work grows at most linearly in |Q| here, far from doubling 8 times.
+    const uint64_t work8 = s8.contexts_evaluated + s8.axis_evals;
+    const uint64_t work16 = s16.contexts_evaluated + s16.axis_evals;
+    EXPECT_LE(work16, work8 * 4 + 64) << EngineKindToString(engine);
+  }
+}
+
+TEST(ExponentialBaselineTest, NestedQueryIsCoreXPath) {
+  // Q_n is Core XPath, so OPTMINCONTEXT dispatches to the linear engine.
+  EXPECT_EQ(MustCompile(NestedQuery(6)).fragment(),
+            xpath::Fragment::kCoreXPath);
+}
+
+TEST(BudgetTest, NaiveRunsOutOfBudget) {
+  xml::Document doc = xml::MakeExponentialDocument();
+  EvalOptions options;
+  options.engine = EngineKind::kNaive;
+  options.budget = 1000;
+  StatusOr<Value> v =
+      Evaluate(MustCompile(NestedQuery(20)), doc, EvalContext{}, options);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, PolynomialEnginesFitTheSameBudget) {
+  xml::Document doc = xml::MakeExponentialDocument();
+  for (EngineKind engine :
+       {EngineKind::kMinContext, EngineKind::kOptMinContext}) {
+    EvalOptions options;
+    options.engine = engine;
+    options.budget = 100'000;
+    EXPECT_TRUE(Evaluate(MustCompile(NestedQuery(20)), doc, EvalContext{},
+                         options)
+                    .ok())
+        << EngineKindToString(engine);
+  }
+}
+
+// --- Space instrumentation (Theorems 7 and 10, unit-scale) --------------------
+
+uint64_t PeakCells(EngineKind engine, const xml::Document& doc,
+                   const std::string& query) {
+  EvalStats stats;
+  EvalOptions options;
+  options.engine = engine;
+  options.stats = &stats;
+  StatusOr<Value> v = Evaluate(MustCompile(query), doc, EvalContext{}, options);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return stats.cells_peak;
+}
+
+TEST(SpaceTest, WadlerTablesGrowLinearly) {
+  // Example 9's query is Extended Wadler: OPTMINCONTEXT's per-expression
+  // tables must grow ~linearly in |D| (Theorem 10). Measure the growth
+  // exponent between |D| and 4|D|: for linear growth the ratio is ~4,
+  // for quadratic ~16. Accept anything clearly below quadratic.
+  const std::string q =
+      "/child::r/child::a/descendant::*[boolean(following::d[(position() != "
+      "last()) and (preceding-sibling::*/preceding::* = 100)]/"
+      "following::d)]";
+  xml::Document d1 = xml::MakeGrownPaperDocument(4);
+  xml::Document d4 = xml::MakeGrownPaperDocument(16);
+  const double ratio =
+      static_cast<double>(PeakCells(EngineKind::kOptMinContext, d4, q)) /
+      static_cast<double>(PeakCells(EngineKind::kOptMinContext, d1, q));
+  EXPECT_LT(ratio, 8.0);  // linear-ish; quadratic would be ≈ 16
+}
+
+TEST(SpaceTest, MinContextStaysWithinQuadraticBound) {
+  const std::string q =
+      "/descendant::*/descendant::*[position() > last()*0.5 or "
+      "self::* = 100]";
+  for (int width : {2, 4, 8}) {
+    xml::Document doc = xml::MakeGrownPaperDocument(width);
+    const uint64_t d = doc.size();
+    const uint64_t peak = PeakCells(EngineKind::kMinContext, doc, q);
+    EXPECT_LE(peak, d * d * 16) << width;  // |Q| table slots, |D|² each
+  }
+}
+
+TEST(SpaceTest, BottomUpTablesAreCubicallyLarger) {
+  // E↑ materializes Θ(|dom|³/2) rows per scalar expression; on the same
+  // input its peak must dwarf MINCONTEXT's.
+  xml::Document doc = xml::MakeGrownPaperDocument(2);
+  const std::string q = "//b[position() = last()]";
+  const uint64_t eup = PeakCells(EngineKind::kBottomUp, doc, q);
+  const uint64_t mc = PeakCells(EngineKind::kMinContext, doc, q);
+  EXPECT_GT(eup, mc * 50);
+}
+
+TEST(SpaceTest, BottomUpRefusesHugeDocuments) {
+  xml::Document doc = xml::MakeNumericDocument(400);
+  EvalOptions options;
+  options.engine = EngineKind::kBottomUp;
+  StatusOr<Value> v =
+      Evaluate(MustCompile("//v"), doc, EvalContext{}, options);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Engine dispatch and argument validation ----------------------------------
+
+TEST(DispatchTest, CoreEngineRejectsNonCoreQueries) {
+  xml::Document doc = xml::MakePaperDocument();
+  EvalOptions options;
+  options.engine = EngineKind::kCoreXPath;
+  StatusOr<Value> v = Evaluate(MustCompile("//b[position() = 1]"), doc,
+                               EvalContext{}, options);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DispatchTest, InvalidContextRejected) {
+  xml::Document doc = xml::MakePaperDocument();
+  xpath::CompiledQuery q = MustCompile("//b");
+  EvalContext bad_node;
+  bad_node.node = doc.size() + 5;
+  EXPECT_FALSE(Evaluate(q, doc, bad_node).ok());
+  EvalContext bad_pos;
+  bad_pos.position = 5;
+  bad_pos.size = 2;
+  EXPECT_FALSE(Evaluate(q, doc, bad_pos).ok());
+}
+
+TEST(DispatchTest, EvaluateNodeSetRejectsScalars) {
+  xml::Document doc = xml::MakePaperDocument();
+  StatusOr<NodeSet> r = EvaluateNodeSet(MustCompile("count(//b)"), doc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DispatchTest, EngineNamesAreStable) {
+  EXPECT_STREQ(EngineKindToString(EngineKind::kNaive), "naive");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kBottomUp), "bottom-up");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kTopDown), "top-down");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kMinContext), "mincontext");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kOptMinContext),
+               "optmincontext");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kCoreXPath), "corexpath");
+  EXPECT_EQ(AllEngines().size(), static_cast<size_t>(kNumEngines));
+}
+
+TEST(StatsTest, ToStringAndReset) {
+  EvalStats stats;
+  stats.AddCells(10);
+  stats.ReleaseCells(4);
+  stats.AddCells(2);
+  EXPECT_EQ(stats.cells_allocated, 12u);
+  EXPECT_EQ(stats.cells_live, 8u);
+  EXPECT_EQ(stats.cells_peak, 10u);
+  EXPECT_NE(stats.ToString().find("cells_peak=10"), std::string::npos);
+  stats.Reset();
+  EXPECT_EQ(stats.cells_allocated, 0u);
+}
+
+}  // namespace
+}  // namespace xpe

@@ -1,0 +1,305 @@
+// Cross-engine conformance: a corpus of queries with golden results,
+// evaluated by *every* engine (naive, E↑, E↓, MINCONTEXT, OPTMINCONTEXT —
+// plus the Core XPath engine where applicable). A disagreement between
+// engines here means one of the five implementations diverged from the
+// shared semantics; this suite is the library's strongest safety net.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xpe {
+namespace {
+
+using test::ConformanceEngines;
+using test::MustCompile;
+using test::MustParse;
+
+/// One conformance case: query + expected ids (on the fixture document).
+struct Case {
+  const char* query;
+  const char* expected;  // space-separated id attributes
+};
+
+/// The fixture document: rich enough to exercise every axis, node kind,
+/// positions, ids and values.
+const char* kFixtureXml = R"(<r id="r">
+<chap id="c1"><sec id="s11"><p id="p1">alpha</p><p id="p2">beta</p></sec>
+<sec id="s12"><p id="p3">100</p><note id="n1">see p1 p3</note></sec></chap>
+<chap id="c2"><sec id="s21"><p id="p4">gamma</p><p id="p5">100</p>
+<p id="p6">delta</p></sec></chap>
+<appendix id="x"><p id="p7">omega</p></appendix>
+</r>)";
+
+class ConformanceTest
+    : public testing::TestWithParam<std::tuple<EngineKind, Case>> {
+ protected:
+  static void SetUpTestSuite() {
+    xml::ParseOptions options;
+    options.whitespace = xml::WhitespaceMode::kDiscard;
+    doc_ = new xml::Document(MustParse(kFixtureXml, options));
+  }
+  static void TearDownTestSuite() {
+    delete doc_;
+    doc_ = nullptr;
+  }
+
+  static xml::Document* doc_;
+};
+
+xml::Document* ConformanceTest::doc_ = nullptr;
+
+std::vector<std::string> Split(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t j = s.find(' ', i);
+    if (j == std::string::npos) j = s.size();
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
+}
+
+TEST_P(ConformanceTest, MatchesGolden) {
+  const auto& [engine, c] = GetParam();
+  xpath::CompiledQuery compiled = MustCompile(c.query);
+  std::vector<std::string> ids = test::EvalIds(compiled, *doc_, engine);
+  EXPECT_EQ(ids, Split(c.expected)) << c.query;
+  // Where the query is Core XPath, the linear engine must agree too.
+  if (compiled.fragment() == xpath::Fragment::kCoreXPath) {
+    EXPECT_EQ(test::EvalIds(compiled, *doc_, EngineKind::kCoreXPath),
+              Split(c.expected))
+        << c.query << " (corexpath)";
+  }
+}
+
+const Case kCases[] = {
+    // Simple paths and node tests.
+    {"/r", "r"},
+    {"/child::r/child::chap", "c1 c2"},
+    {"//p", "p1 p2 p3 p4 p5 p6 p7"},
+    {"//sec/p", "p1 p2 p3 p4 p5 p6"},
+    {"/r/appendix/p", "p7"},
+    {"//nothing", ""},
+    {"//chap//p", "p1 p2 p3 p4 p5 p6"},
+    {"/", "#0"},  // the document node itself (it has no id attribute)
+    // Axes.
+    {"//p[. = 'beta']/parent::sec", "s11"},
+    {"//sec/ancestor::chap", "c1 c2"},
+    {"//note/ancestor-or-self::*", "r c1 s12 n1"},
+    {"//p[. = 100]/following-sibling::*", "n1 p6"},
+    {"//p[. = 'delta']/preceding-sibling::p", "p4 p5"},
+    {"//note/following::p", "p4 p5 p6 p7"},
+    {"//p[. = 'gamma']/preceding::p", "p1 p2 p3"},
+    {"//sec[2]/self::sec", "s12"},
+    {"//p/..", "s11 s12 s21 x"},
+    {"//descendant-or-self::appendix", "x"},
+    // Attributes.
+    {"//chap[@id = 'c2']", "c2"},
+    {"//*[@id = 'p3']", "p3"},
+    {"//sec[@id]", "s11 s12 s21"},
+    {"//p[attribute::id = 'p7']", "p7"},
+    // Positions.
+    {"//p[1]", "p1 p3 p4 p7"},  // first p within each parent
+    {"//p[last()]", "p2 p3 p6 p7"},
+    {"//p[position() = 2]", "p2 p5"},
+    {"//p[position() > 1]", "p2 p5 p6"},
+    {"//sec/p[position() = last()]", "p2 p3 p6"},
+    {"(//p)[1]", "p1"},          // filter: global first
+    {"(//p)[last()]", "p7"},
+    {"(//p)[position() > 4]", "p5 p6 p7"},
+    {"//p[position() = 1 or position() = last()]", "p1 p2 p3 p4 p6 p7"},
+    // Value predicates.
+    {"//p[. = 100]", "p3 p5"},
+    {"//p[. = 'alpha']", "p1"},
+    {"//p[number(.) > 99]", "p3 p5"},
+    {"//sec[p = 100]", "s12 s21"},
+    {"//sec[count(p) > 2]", "s21"},
+    {"//sec[count(p) = 2]", "s11"},
+    {"//chap[sec/p = 'beta']", "c1"},
+    // Boolean connectives.
+    {"//sec[p and note]", "s12"},
+    {"//sec[p or note]", "s11 s12 s21"},
+    {"//sec[not(note)]", "s11 s21"},
+    {"//p[starts-with(., 'a')]", "p1"},
+    {"//p[contains(., 'mm')]", "p4"},
+    {"//p[string-length(.) = 5]", "p1 p4 p6 p7"},
+    // Unions.
+    {"//note | //appendix", "n1 x"},
+    {"//p[. = 100] | //note | /r", "r p3 n1 p5"},
+    {"//sec[p | note]", "s11 s12 s21"},
+    // id().
+    {"id('p1')", "p1"},
+    {"id('p3 p1')", "p1 p3"},
+    {"id(//note)", "p1 p3"},  // note's strval is "see p1 p3"; "see" misses
+    {"id(//note)/parent::sec", "s11 s12"},
+    {"id('s21')/p[2]", "p5"},
+    // Arithmetic & numbers in predicates.
+    {"//p[position() + 1 = 3]", "p2 p5"},
+    {"//p[position() mod 2 = 1]", "p1 p3 p4 p6 p7"},
+    {"//sec[count(p) * 2 = 4]", "s11"},
+    {"//p[position() = floor(last() div 2)]", "p1 p4"},
+    // Mixed nested predicates.
+    {"//chap[sec[p[. = 100]]]", "c1 c2"},
+    {"//sec[p[2]]", "s11 s21"},
+    {"//sec[p[position() = 2][. = 100]]", "s21"},
+    {"//chap[.//note]/sec[1]", "s11"},
+    {"//p[ancestor::chap[@id = 'c1']]", "p1 p2 p3"},
+    {"//p[following::note]", "p1 p2 p3"},
+    {"//p[boolean(following-sibling::p)]", "p1 p4 p5"},
+    // Deeper Wadler-style forms (bottom-up eligible in OPTMINCONTEXT).
+    {"//p[following-sibling::p = 100]", "p4"},
+    {"//sec[boolean(p[position() != last()]/following-sibling::p)]",
+     "s11 s21"},
+    {"//*[preceding-sibling::*/preceding::* = 100]", "p5 p6 x"},
+    // Text nodes.
+    {"//p[text() = 'beta']", "p2"},
+    {"//sec[p/text()]", "s11 s12 s21"},
+    // Kind tests and the self axis.
+    {"//p/self::p", "p1 p2 p3 p4 p5 p6 p7"},
+    {"//p/self::note", ""},
+    {"//node()[self::note]", "n1"},
+    {"//sec/node()[last()]", "p2 n1 p6"},
+    {"//*[self::chap or self::appendix]", "c1 c2 x"},
+    // Attribute axis as a step and in values.
+    {"//sec[@id = 's21']/p", "p4 p5 p6"},
+    {"//p[@id != 'p1'][1]", "p2 p3 p4 p7"},
+    {"//*[@id = 'x']/p", "p7"},
+    // Filter heads inside larger paths.
+    {"(//sec)[2]/p", "p3"},
+    {"(//chap)[last()]/sec/p[last()]", "p6"},
+    {"(//p[. = 100])[2]/following-sibling::*", "p6"},
+    // Unions nested in predicates (distributed by the normalizer).
+    {"//sec[p[. = 100] | note]", "s12 s21"},
+    {"//sec[(p | note) = 100]", "s12 s21"},
+    // id() chains (the §4 id-axis).
+    {"id(id(//note))", ""},  // p1/p3 contents are not ids
+    {"id('s11 s12')/p[1]", "p1 p3"},
+    {"id('s11')/p | id('s21')/p", "p1 p2 p4 p5 p6"},
+    // Arithmetic corners inside predicates.
+    {"//p[position() * 2 > last()]", "p2 p3 p5 p6 p7"},
+    {"//p[last() - position() < 1]", "p2 p3 p6 p7"},
+    {"//p[position() div 2 = 1]", "p2 p5"},
+    {"//p[-position() + 2 = 1]", "p1 p3 p4 p7"},
+    // String functions in predicates.
+    {"//p[substring(., 1, 1) = 'g']", "p4"},
+    {"//p[substring-after(@id, 'p') = '6']", "p6"},
+    {"//p[translate(., 'abg', 'xyg') = 'gxmmx']", "p4"},
+    {"//p[concat(@id, '!') = 'p7!']", "p7"},
+    {"//p[normalize-space(' x ') = 'x']", "p1 p2 p3 p4 p5 p6 p7"},
+    // Booleans and numbers as predicates (via boolean()/position rules).
+    {"//p[true()]", "p1 p2 p3 p4 p5 p6 p7"},
+    {"//p[false()]", ""},
+    {"//p[count(//chap)]", "p2 p5"},   // numeric → position() = 2
+    {"//p[number(@id = 'p1') + 1]", "p3 p4 p7"},  // position() = 1 or 2 per node
+    // Deeper axis mixes.
+    {"//note/ancestor::*[last()]", "r"},
+    {"//note/ancestor::*[1]", "s12"},
+    {"//p[. = 'omega']/ancestor-or-self::*[2]", "x"},
+    {"//sec/descendant-or-self::*[self::p][3]", "p6"},
+    {"//p/following::p[1]", "p2 p3 p4 p5 p6 p7"},
+    {"//p/preceding::p[last()]", "p1"},
+    {"//chap/descendant::p[ancestor::sec[@id = 's21']]", "p4 p5 p6"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, ConformanceTest,
+    testing::Combine(testing::ValuesIn(ConformanceEngines()),
+                     testing::ValuesIn(kCases)),
+    [](const testing::TestParamInfo<std::tuple<EngineKind, Case>>& info) {
+      std::string name = EngineKindToString(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_q" + std::to_string(info.index % std::size(kCases));
+    });
+
+// --- Scalar results across engines -------------------------------------------
+
+struct ScalarCase {
+  const char* query;
+  const char* expected;  // via Value::Repr()
+};
+
+class ScalarConformanceTest
+    : public testing::TestWithParam<std::tuple<EngineKind, ScalarCase>> {};
+
+TEST_P(ScalarConformanceTest, MatchesGolden) {
+  const auto& [engine, c] = GetParam();
+  xml::ParseOptions options;
+  options.whitespace = xml::WhitespaceMode::kDiscard;
+  xml::Document doc = MustParse(kFixtureXml, options);
+  xpath::CompiledQuery compiled = MustCompile(c.query);
+  EvalOptions eval;
+  eval.engine = engine;
+  StatusOr<Value> v = Evaluate(compiled, doc, EvalContext{}, eval);
+  ASSERT_TRUE(v.ok()) << c.query << ": " << v.status().ToString();
+  EXPECT_EQ(v->Repr(), c.expected) << c.query;
+}
+
+const ScalarCase kScalarCases[] = {
+    {"count(//p)", "7"},
+    {"count(//sec/p)", "6"},
+    {"sum(//p[. = 100])", "200"},
+    {"string(//p)", "\"alpha\""},
+    {"string(//p[. = 100])", "\"100\""},
+    {"concat(string(count(//chap)), '-', string(count(//sec)))", "\"2-3\""},
+    {"boolean(//note)", "true"},
+    {"boolean(//nope)", "false"},
+    {"//p = 100", "true"},
+    {"//p = 'zeta'", "false"},
+    {"count(//p[ancestor::appendix])", "1"},
+    {"count(//*)", "15"},
+    {"count(//@id)", "15"},
+    {"string(//note/@id)", "\"n1\""},
+    {"number(//p[@id = 'p3'])", "100"},
+    {"string-length(string(//p[. = 'beta']))", "4"},
+    {"count(/r/chap[1]/sec[2]/node())", "2"},
+    {"count(//text())", "8"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scalars, ScalarConformanceTest,
+    testing::Combine(testing::ValuesIn(ConformanceEngines()),
+                     testing::ValuesIn(kScalarCases)),
+    [](const testing::TestParamInfo<std::tuple<EngineKind, ScalarCase>>&
+           info) {
+      std::string name = EngineKindToString(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_s" +
+             std::to_string(info.index % std::size(kScalarCases));
+    });
+
+// --- Context-node-sensitive evaluation ----------------------------------------
+
+TEST(RelativeContextTest, RelativePathsStartAtContextNode) {
+  xml::ParseOptions options;
+  options.whitespace = xml::WhitespaceMode::kDiscard;
+  xml::Document doc = MustParse(kFixtureXml, options);
+  xpath::CompiledQuery q = MustCompile("p[. = 100]");
+  for (EngineKind engine : ConformanceEngines()) {
+    EvalContext ctx;
+    ctx.node = *doc.GetElementById("s21");
+    EXPECT_EQ(test::EvalIds(q, doc, engine, ctx),
+              std::vector<std::string>{"p5"})
+        << EngineKindToString(engine);
+  }
+}
+
+TEST(RelativeContextTest, DotRefersToContextNode) {
+  xml::Document doc = MustParse("<a><b id=\"b1\">x</b></a>");
+  xpath::CompiledQuery q = MustCompile(".");
+  for (EngineKind engine : ConformanceEngines()) {
+    EvalContext ctx;
+    ctx.node = *doc.GetElementById("b1");
+    EXPECT_EQ(test::EvalIds(q, doc, engine, ctx),
+              std::vector<std::string>{"b1"})
+        << EngineKindToString(engine);
+  }
+}
+
+}  // namespace
+}  // namespace xpe

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "src/xpath/explain.h"
+#include "tests/test_util.h"
+
+namespace xpe::xpath {
+namespace {
+
+using test::MustCompile;
+
+TEST(ExplainTest, CoreQueryReport) {
+  const std::string report = Explain(MustCompile("//a[b]"));
+  EXPECT_NE(report.find("fragment:    CoreXPath"), std::string::npos);
+  EXPECT_NE(report.find("O(|D| * |Q|)"), std::string::npos);
+  EXPECT_NE(report.find("corexpath"), std::string::npos);
+  EXPECT_NE(report.find("result type: node-set"), std::string::npos);
+}
+
+TEST(ExplainTest, WadlerQueryReportsBottomUpCount) {
+  const std::string report =
+      Explain(MustCompile("//a[boolean(following::d)][b = 100]"));
+  EXPECT_NE(report.find("fragment:    ExtendedWadler"), std::string::npos);
+  EXPECT_NE(report.find("bottom-up:   2 subexpression(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("O(|D| * |Q|^2)"), std::string::npos);
+}
+
+TEST(ExplainTest, FullXPathReport) {
+  const std::string report = Explain(MustCompile("//a[b = c]"));
+  EXPECT_NE(report.find("fragment:    FullXPath"), std::string::npos);
+  EXPECT_NE(report.find("mincontext (Algorithm 6)"), std::string::npos);
+  EXPECT_NE(report.find("O(|D|^4 * |Q|^2)"), std::string::npos);
+}
+
+TEST(ExplainTest, ShowsRelevancePerNode) {
+  const std::string report =
+      Explain(MustCompile("//a[position() > last()*0.5]"));
+  EXPECT_NE(report.find("Relev={cp}"), std::string::npos);
+  EXPECT_NE(report.find("Relev={cs}"), std::string::npos);
+  EXPECT_NE(report.find("Relev={cn}"), std::string::npos);
+}
+
+TEST(ExplainTest, ShowsCanonicalForm) {
+  const std::string report = Explain(MustCompile("a[1]"));
+  EXPECT_NE(report.find("canonical:   child::a[(position() = 1)]"),
+            std::string::npos);
+  EXPECT_NE(report.find("query:       a[1]"), std::string::npos);
+}
+
+TEST(ExplainTest, TruncatesLongRenderings) {
+  std::string q = "//a[b = 'this is a rather long string literal that "
+                  "goes on and on and on']";
+  const std::string report = Explain(MustCompile(q));
+  EXPECT_NE(report.find("..."), std::string::npos);
+}
+
+TEST(ExplainTest, ScalarQueryType) {
+  const std::string report = Explain(MustCompile("count(//a) + 1"));
+  EXPECT_NE(report.find("result type: number"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpe::xpath

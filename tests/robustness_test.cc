@@ -1,0 +1,243 @@
+// Robustness and property tests: hostile inputs must yield Status
+// errors (never crashes or hangs), round-trips must be lossless, and the
+// normalizer must be idempotent. Complements the per-module unit suites.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/xml/serializer.h"
+#include "tests/test_util.h"
+
+namespace xpe {
+namespace {
+
+using test::MustCompile;
+using test::MustParse;
+
+// --- Hostile query inputs -----------------------------------------------------
+
+TEST(QueryRobustnessTest, DeepParenthesesAreRejectedNotCrashed) {
+  std::string q(2000, '(');
+  q += "1";
+  q += std::string(2000, ')');
+  StatusOr<xpath::CompiledQuery> c = xpath::Compile(q);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kParseError);
+}
+
+TEST(QueryRobustnessTest, DeepUnaryMinusIsRejected) {
+  std::string q(5000, '-');
+  q += "1";
+  StatusOr<xpath::CompiledQuery> c = xpath::Compile(q);
+  ASSERT_FALSE(c.ok());
+}
+
+TEST(QueryRobustnessTest, DeepPredicateNestingWithinLimitWorks) {
+  // 100 nested predicates are fine (the limit only kicks in far beyond
+  // realistic queries).
+  std::string q = "a";
+  for (int i = 0; i < 100; ++i) q = "a[" + q + "]";
+  EXPECT_TRUE(xpath::Compile(q).ok());
+}
+
+TEST(QueryRobustnessTest, LongFlatPathsAreFine) {
+  // Path steps are parsed iteratively: no depth limit applies.
+  std::string q = "a";
+  for (int i = 0; i < 3000; ++i) q += "/a";
+  EXPECT_TRUE(xpath::Compile(q).ok());
+}
+
+TEST(QueryRobustnessTest, RandomTokenSoupNeverCrashes) {
+  // Seeded pseudo-random strings over the XPath alphabet: every outcome
+  // must be a clean Status (usually a parse error), never UB.
+  const char* pieces[] = {"/",  "//", "[",  "]",    "(",      ")",
+                          "::", "..", "@",  "*",    "and",    "or",
+                          "a",  "1",  "'s'", "$v",  "count",  ",",
+                          "|",  "=",  "!=", "<",    "child",  "-",
+                          "position", "text", " ", "100",     "."};
+  std::mt19937_64 rng(20260610);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string q;
+    const int len = 1 + static_cast<int>(rng() % 12);
+    for (int i = 0; i < len; ++i) {
+      q += pieces[rng() % std::size(pieces)];
+    }
+    StatusOr<xpath::CompiledQuery> c = xpath::Compile(q);
+    if (c.ok()) ++accepted;  // some soups are valid queries — fine
+  }
+  EXPECT_GT(accepted, 0);  // sanity: the generator can produce valid ones
+}
+
+TEST(QueryRobustnessTest, ValidRandomQueriesEvaluateEverywhere) {
+  // Any query that compiles must evaluate cleanly (or fail with a clean
+  // Status) on every engine.
+  xml::Document doc = xml::MakeRandomDocument(20, {"a", "b"}, 99);
+  const char* pieces[] = {"//a", "/a",  "a",      "[1]",        "[last()]",
+                          "/..", "/.",  "[a]",    "[. = 100]",  "/b",
+                          "[position() != 2]",    "[not(b)]",   "/@id"};
+  std::mt19937_64 rng(42);
+  int evaluated = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string q = "a";
+    const int len = static_cast<int>(rng() % 4);
+    for (int i = 0; i < len; ++i) q += pieces[rng() % std::size(pieces)];
+    StatusOr<xpath::CompiledQuery> c = xpath::Compile(q);
+    if (!c.ok()) continue;
+    for (EngineKind engine : test::ConformanceEngines()) {
+      EvalOptions options;
+      options.engine = engine;
+      options.budget = 10'000'000;
+      StatusOr<Value> v = Evaluate(*c, doc, EvalContext{}, options);
+      EXPECT_TRUE(v.ok() ||
+                  v.status().code() == StatusCode::kResourceExhausted)
+          << q << " on " << EngineKindToString(engine) << ": "
+          << v.status().ToString();
+    }
+    ++evaluated;
+  }
+  EXPECT_GT(evaluated, 50);
+}
+
+// --- Hostile XML inputs ---------------------------------------------------------
+
+TEST(XmlRobustnessTest, DeepNestingIsBounded) {
+  std::string text;
+  for (int i = 0; i < 10000; ++i) text += "<d>";
+  StatusOr<xml::Document> doc = xml::Parse(text);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlRobustnessTest, CustomDepthLimit) {
+  xml::ParseOptions options;
+  options.max_depth = 3;
+  EXPECT_TRUE(xml::Parse("<a><b><c/></b></a>", options).ok());
+  StatusOr<xml::Document> deep =
+      xml::Parse("<a><b><c><d/></c></b></a>", options);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlRobustnessTest, MaxNodesLimit) {
+  xml::ParseOptions options;
+  options.max_nodes = 5;
+  StatusOr<xml::Document> doc =
+      xml::Parse("<a><b/><c/><d/><e/><f/></a>", options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlRobustnessTest, RandomByteNoiseNeverCrashes) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = "<a>";
+    const int len = static_cast<int>(rng() % 64);
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>(1 + rng() % 255);
+    }
+    text += "</a>";
+    // Must terminate with either a document or an error.
+    (void)xml::Parse(text);
+  }
+}
+
+TEST(XmlRobustnessTest, TruncationsOfValidDocumentNeverCrash) {
+  const std::string full =
+      "<?xml version=\"1.0\"?><a id=\"1\"><b x='&lt;'>t<!--c--><![CDATA[d]]>"
+      "<?p i?></b></a>";
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    (void)xml::Parse(full.substr(0, cut));  // any Status, no crash
+  }
+}
+
+// --- Round-trip / idempotency properties ----------------------------------------
+
+class RoundTripTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripTest, SerializeParseIsIdentity) {
+  xml::Document doc =
+      xml::MakeRandomDocument(60, {"a", "b", "c"}, GetParam());
+  const std::string text = xml::Serialize(doc);
+  xml::Document again = MustParse(text);
+  EXPECT_EQ(again.size(), doc.size());
+  EXPECT_EQ(again.DebugDump(), doc.DebugDump());
+  EXPECT_EQ(xml::Serialize(again), text);
+}
+
+TEST_P(RoundTripTest, QueriesAgreeAfterRoundTrip) {
+  xml::Document doc =
+      xml::MakeRandomDocument(40, {"a", "b", "c"}, GetParam() * 13);
+  xml::Document again = MustParse(xml::Serialize(doc));
+  for (const char* q : {"//a[b]", "//b[position() = last()]", "count(//c)",
+                        "//a[. = 100]", "//*[@id]"}) {
+    xpath::CompiledQuery compiled = MustCompile(q);
+    StatusOr<Value> v1 = Evaluate(compiled, doc, EvalContext{});
+    StatusOr<Value> v2 = Evaluate(compiled, again, EvalContext{});
+    ASSERT_TRUE(v1.ok() && v2.ok());
+    EXPECT_TRUE(v1->StructurallyEquals(*v2)) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         testing::Values(3, 7, 11, 19, 29));
+
+TEST(NormalizeIdempotencyTest, CanonicalFormIsStable) {
+  // Compiling a query's canonical rendering must reproduce the same
+  // canonical rendering (the normalizer is idempotent).
+  const char* queries[] = {
+      "//a[1]",
+      "a[b and c or d]",
+      "id(//ref)/x",
+      "string() = 'x'",
+      "//a[position() > last()*0.5 or self::* = 100]",
+      "sum(//p) div count(//p)",
+      "(//a | //b)[2]",
+      "..//a[@id='k']",
+      "lang('en')",
+      "-(-2)",
+  };
+  for (const char* q : queries) {
+    const std::string once = MustCompile(q).tree().ToString();
+    const std::string twice = MustCompile(once).tree().ToString();
+    EXPECT_EQ(once, twice) << q;
+  }
+}
+
+TEST(EvalDeterminismTest, RepeatedEvaluationIsStable) {
+  // Lazy caches (NumberValue, id-axis) must not change results.
+  xml::Document doc = xml::MakeBibliographyDocument(12);
+  xpath::CompiledQuery q =
+      MustCompile("id(//book/cites)/title[contains(., 'a')]");
+  StatusOr<Value> first = Evaluate(q, doc, EvalContext{});
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<Value> next = Evaluate(q, doc, EvalContext{});
+    ASSERT_TRUE(next.ok());
+    EXPECT_TRUE(next->StructurallyEquals(*first));
+  }
+}
+
+// --- Budget coverage on every engine --------------------------------------------
+
+TEST(BudgetCoverageTest, EveryEngineHonoursTinyBudgets) {
+  xml::Document doc = xml::MakeGrownPaperDocument(4);
+  xpath::CompiledQuery q = MustCompile(
+      "/descendant::*/descendant::*[position() > last()*0.5 or "
+      "self::* = 100]");
+  for (EngineKind engine :
+       {EngineKind::kNaive, EngineKind::kBottomUp, EngineKind::kTopDown,
+        EngineKind::kMinContext, EngineKind::kOptMinContext}) {
+    EvalOptions options;
+    options.engine = engine;
+    options.budget = 3;
+    StatusOr<Value> v = Evaluate(q, doc, EvalContext{}, options);
+    ASSERT_FALSE(v.ok()) << EngineKindToString(engine);
+    EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted)
+        << EngineKindToString(engine);
+  }
+}
+
+}  // namespace
+}  // namespace xpe

@@ -1,0 +1,96 @@
+#ifndef XPE_TESTS_TEST_UTIL_H_
+#define XPE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/xpe.h"
+
+namespace xpe::test {
+
+/// Compiles or fails the test with the compile error.
+inline xpath::CompiledQuery MustCompile(
+    std::string_view query, const xpath::CompileOptions& options = {}) {
+  StatusOr<xpath::CompiledQuery> compiled = xpath::Compile(query, options);
+  EXPECT_TRUE(compiled.ok()) << "query: " << query << "\n"
+                             << compiled.status().ToString();
+  if (!compiled.ok()) std::abort();
+  return std::move(compiled).value();
+}
+
+/// Parses or fails the test with the parse error.
+inline xml::Document MustParse(std::string_view text,
+                               const xml::ParseOptions& options = {}) {
+  StatusOr<xml::Document> doc = xml::Parse(text, options);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) std::abort();
+  return std::move(doc).value();
+}
+
+/// Evaluates a node-set query and renders each result node as its "id"
+/// attribute value when present (the paper's x10..x24 notation), or
+/// "#<NodeId>" otherwise. Non-OK evaluations fail the test.
+inline std::vector<std::string> EvalIds(
+    const xpath::CompiledQuery& query, const xml::Document& doc,
+    EngineKind engine = EngineKind::kOptMinContext,
+    const EvalContext& ctx = {}) {
+  EvalOptions options;
+  options.engine = engine;
+  StatusOr<NodeSet> result = EvaluateNodeSet(query, doc, ctx, options);
+  EXPECT_TRUE(result.ok()) << "query: " << query.source() << " engine "
+                           << EngineKindToString(engine) << "\n"
+                           << result.status().ToString();
+  if (!result.ok()) return {"<error>"};
+  std::vector<std::string> ids;
+  for (xml::NodeId n : *result) {
+    auto id = doc.Attribute(n, "id");
+    ids.push_back(id ? std::string(*id) : "#" + std::to_string(n));
+  }
+  return ids;
+}
+
+inline std::vector<std::string> EvalIds(
+    std::string_view query, const xml::Document& doc,
+    EngineKind engine = EngineKind::kOptMinContext,
+    const EvalContext& ctx = {}) {
+  return EvalIds(MustCompile(query), doc, engine, ctx);
+}
+
+/// Evaluates a query expected to produce a scalar; fails the test on
+/// error.
+inline Value EvalValue(std::string_view query, const xml::Document& doc,
+                       EngineKind engine = EngineKind::kOptMinContext,
+                       const EvalContext& ctx = {}) {
+  xpath::CompiledQuery compiled = MustCompile(query);
+  EvalOptions options;
+  options.engine = engine;
+  StatusOr<Value> result = Evaluate(compiled, doc, ctx, options);
+  EXPECT_TRUE(result.ok()) << "query: " << query << "\n"
+                           << result.status().ToString();
+  if (!result.ok()) return Value();
+  return std::move(result).value();
+}
+
+/// The engines every conformance test runs against.
+inline std::vector<EngineKind> ConformanceEngines() {
+  return {EngineKind::kNaive, EngineKind::kBottomUp, EngineKind::kTopDown,
+          EngineKind::kMinContext, EngineKind::kOptMinContext};
+}
+
+/// Pretty parameter names for INSTANTIATE_TEST_SUITE_P over engines.
+struct EngineName {
+  template <typename T>
+  std::string operator()(const testing::TestParamInfo<T>& info) const {
+    std::string name = EngineKindToString(std::get<EngineKind>(info.param));
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
+    return name;
+  }
+};
+
+}  // namespace xpe::test
+
+#endif  // XPE_TESTS_TEST_UTIL_H_

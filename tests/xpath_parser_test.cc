@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "src/xpath/parser.h"
+#include "src/xpath/token.h"
+
+namespace xpe::xpath {
+namespace {
+
+std::vector<TokenKind> Kinds(std::string_view query) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(query);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  if (!tokens.ok()) return kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(LexerTest, BasicPath) {
+  EXPECT_EQ(Kinds("/child::a"),
+            (std::vector<TokenKind>{TokenKind::kSlash, TokenKind::kAxisName,
+                                    TokenKind::kDoubleColon, TokenKind::kName,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, StarDisambiguation) {
+  // Leading or post-operator '*' is a name test; after an operand it is
+  // multiplication (XPath 1.0 §3.7).
+  EXPECT_EQ(Kinds("*")[0], TokenKind::kStar);
+  EXPECT_EQ(Kinds("3 * 4")[1], TokenKind::kMultiply);
+  EXPECT_EQ(Kinds("child::*")[2], TokenKind::kStar);
+  EXPECT_EQ(Kinds("* * *"),
+            (std::vector<TokenKind>{TokenKind::kStar, TokenKind::kMultiply,
+                                    TokenKind::kStar, TokenKind::kEof}));
+}
+
+TEST(LexerTest, OperatorNameDisambiguation) {
+  // "div" after an operand is an operator; as a step it is a name test.
+  EXPECT_EQ(Kinds("div")[0], TokenKind::kName);
+  EXPECT_EQ(Kinds("1 div 2")[1], TokenKind::kDiv);
+  EXPECT_EQ(Kinds("mod mod mod"),
+            (std::vector<TokenKind>{TokenKind::kName, TokenKind::kMod,
+                                    TokenKind::kName, TokenKind::kEof}));
+  EXPECT_EQ(Kinds("a and b")[1], TokenKind::kAnd);
+  EXPECT_EQ(Kinds("a or b")[1], TokenKind::kOr);
+}
+
+TEST(LexerTest, FunctionVsNodeTypeVsName) {
+  EXPECT_EQ(Kinds("count(x)")[0], TokenKind::kFunctionName);
+  EXPECT_EQ(Kinds("text()")[0], TokenKind::kNodeType);
+  EXPECT_EQ(Kinds("node()")[0], TokenKind::kNodeType);
+  EXPECT_EQ(Kinds("comment()")[0], TokenKind::kNodeType);
+  EXPECT_EQ(Kinds("processing-instruction()")[0], TokenKind::kNodeType);
+  EXPECT_EQ(Kinds("text")[0], TokenKind::kName);
+}
+
+TEST(LexerTest, AxisNameNeedsDoubleColon) {
+  EXPECT_EQ(Kinds("child::a")[0], TokenKind::kAxisName);
+  EXPECT_EQ(Kinds("child")[0], TokenKind::kName);
+  EXPECT_EQ(Kinds("child :: a")[0], TokenKind::kAxisName);  // spaces ok
+}
+
+TEST(LexerTest, NumbersAndLiterals) {
+  auto tokens = Tokenize("3.14 '$tr' \"two\" .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 3.14);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLiteral);
+  EXPECT_EQ((*tokens)[1].text, "$tr");
+  EXPECT_EQ((*tokens)[2].text, "two");
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 0.5);
+}
+
+TEST(LexerTest, VariablesAndComparisons) {
+  auto tokens = Tokenize("$x != 1 <= 2 >= 3 < 4 > 5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[0].text, "x");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNotEquals);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kLessEquals);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGreaterEquals);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kLess);
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kGreater);
+}
+
+TEST(LexerTest, DotsAndSlashes) {
+  EXPECT_EQ(Kinds(".//..")[0], TokenKind::kDot);
+  EXPECT_EQ(Kinds(".//..")[1], TokenKind::kDoubleSlash);
+  EXPECT_EQ(Kinds(".//..")[2], TokenKind::kDoubleDot);
+  EXPECT_EQ(Kinds("1.5")[0], TokenKind::kNumber);  // not Dot
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("$").ok());
+  EXPECT_FALSE(Tokenize("#").ok());
+  EXPECT_FALSE(Tokenize("ns:name").ok());  // namespaces unsupported
+}
+
+TEST(LexerTest, ErrorPositionsAreColumns) {
+  StatusOr<std::vector<Token>> r = Tokenize("abc #");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().column(), 5);
+}
+
+// --- Parser -----------------------------------------------------------------
+
+/// Parses and renders back to canonical unabbreviated form.
+std::string Rendered(std::string_view query) {
+  StatusOr<QueryTree> tree = ParseXPath(query);
+  EXPECT_TRUE(tree.ok()) << query << "\n" << tree.status().ToString();
+  if (!tree.ok()) return "<error>";
+  return tree->ToString();
+}
+
+TEST(XPathParserTest, UnabbreviatedPath) {
+  EXPECT_EQ(Rendered("/child::a/descendant::b"),
+            "/child::a/descendant::b");
+  EXPECT_EQ(Rendered("following-sibling::*"), "following-sibling::*");
+}
+
+TEST(XPathParserTest, AbbreviationsDesugar) {
+  EXPECT_EQ(Rendered("a"), "child::a");
+  EXPECT_EQ(Rendered("a/b"), "child::a/child::b");
+  EXPECT_EQ(Rendered("//a"),
+            "/descendant-or-self::node()/child::a");
+  EXPECT_EQ(Rendered("a//b"),
+            "child::a/descendant-or-self::node()/child::b");
+  EXPECT_EQ(Rendered("."), "self::node()");
+  EXPECT_EQ(Rendered(".."), "parent::node()");
+  EXPECT_EQ(Rendered("@x"), "attribute::x");
+  EXPECT_EQ(Rendered("../@x"), "parent::node()/attribute::x");
+}
+
+TEST(XPathParserTest, RootAndRootedPaths) {
+  EXPECT_EQ(Rendered("/"), "/");
+  EXPECT_EQ(Rendered("/*"), "/child::*");
+}
+
+TEST(XPathParserTest, NodeTests) {
+  EXPECT_EQ(Rendered("text()"), "child::text()");
+  EXPECT_EQ(Rendered("comment()"), "child::comment()");
+  EXPECT_EQ(Rendered("node()"), "child::node()");
+  EXPECT_EQ(Rendered("processing-instruction()"),
+            "child::processing-instruction()");
+  EXPECT_EQ(Rendered("processing-instruction('php')"),
+            "child::processing-instruction('php')");
+}
+
+TEST(XPathParserTest, PredicatesAttach) {
+  EXPECT_EQ(Rendered("a[b][c]"), "child::a[child::b][child::c]");
+  EXPECT_EQ(Rendered("a[1]"), "child::a[1]");
+}
+
+TEST(XPathParserTest, OperatorPrecedence) {
+  EXPECT_EQ(Rendered("1 or 2 and 3"), "(1 or (2 and 3))");
+  EXPECT_EQ(Rendered("1 = 2 < 3"), "(1 = (2 < 3))");
+  EXPECT_EQ(Rendered("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Rendered("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(Rendered("1 - 2 - 3"), "((1 - 2) - 3)");
+  EXPECT_EQ(Rendered("-2 + 1"), "(-2 + 1)");
+  EXPECT_EQ(Rendered("--1"), "--1");
+  EXPECT_EQ(Rendered("2 div 2 mod 2"), "((2 div 2) mod 2)");
+}
+
+TEST(XPathParserTest, UnionsAndPipes) {
+  EXPECT_EQ(Rendered("a | b"), "(child::a | child::b)");
+  EXPECT_EQ(Rendered("a | b | c"),
+            "((child::a | child::b) | child::c)");
+}
+
+TEST(XPathParserTest, FunctionCalls) {
+  EXPECT_EQ(Rendered("count(a)"), "count(child::a)");
+  EXPECT_EQ(Rendered("concat('a', 'b', 'c')"), "concat('a', 'b', 'c')");
+  EXPECT_EQ(Rendered("position() > last()*0.5"),
+            "(position() > (last() * 0.5))");
+  EXPECT_EQ(Rendered("not(true())"), "not(true())");
+}
+
+TEST(XPathParserTest, FilterExpressions) {
+  EXPECT_EQ(Rendered("(a | b)[1]"),
+            "((child::a | child::b))[1]");
+  EXPECT_EQ(Rendered("id('x')/a"), "id('x')/child::a");
+  EXPECT_EQ(Rendered("id('x')//a"),
+            "id('x')/descendant-or-self::node()/child::a");
+}
+
+TEST(XPathParserTest, VariablesParse) {
+  EXPECT_EQ(Rendered("$v + 1"), "($v + 1)");
+}
+
+TEST(XPathParserTest, RunningExampleParses) {
+  // The paper's query e of §2.4.
+  EXPECT_EQ(
+      Rendered("/descendant::*/descendant::*[position() > last()*0.5 or "
+               "self::* = 100]"),
+      "/descendant::*/descendant::*[((position() > (last() * 0.5)) or "
+      "(self::* = 100))]");
+}
+
+TEST(XPathParserTest, Example9Parses) {
+  StatusOr<QueryTree> tree = ParseXPath(
+      "/child::a/descendant::*[boolean(following::d[(position() != last()) "
+      "and (preceding-sibling::*/preceding::* = 100)]/following::d)]");
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+}
+
+struct BadQueryCase {
+  const char* name;
+  const char* query;
+};
+
+class XPathParserErrorTest : public testing::TestWithParam<BadQueryCase> {};
+
+TEST_P(XPathParserErrorTest, IsRejected) {
+  StatusOr<QueryTree> tree = ParseXPath(GetParam().query);
+  EXPECT_FALSE(tree.ok()) << "accepted: " << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadQueries, XPathParserErrorTest,
+    testing::Values(
+        BadQueryCase{"Empty", ""},
+        BadQueryCase{"TrailingSlash", "a/"},
+        BadQueryCase{"TrailingOperator", "a ="},
+        BadQueryCase{"DoubleOperator", "1 + * 2"},
+        BadQueryCase{"UnbalancedParen", "(1 + 2"},
+        BadQueryCase{"UnbalancedBracket", "a[1"},
+        BadQueryCase{"EmptyPredicate", "a[]"},
+        BadQueryCase{"UnknownFunction", "frobnicate()"},
+        BadQueryCase{"UnknownAxis", "sideways::a"},
+        BadQueryCase{"NamespaceAxis", "namespace::a"},
+        BadQueryCase{"IdAxisNotSyntax", "id::a"},
+        BadQueryCase{"CountArity0", "count()"},
+        BadQueryCase{"CountArity2", "count(a, b)"},
+        BadQueryCase{"ConcatArity1", "concat('x')"},
+        BadQueryCase{"NotArity0", "not()"},
+        BadQueryCase{"TranslateArity2", "translate('a','b')"},
+        BadQueryCase{"LoneDoubleColon", "::a"},
+        BadQueryCase{"EmptyParens", "()"},
+        BadQueryCase{"CommaOutsideCall", "a, b"},
+        BadQueryCase{"NamespaceUriUnsupported", "namespace-uri()"}),
+    [](const testing::TestParamInfo<BadQueryCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace xpe::xpath
