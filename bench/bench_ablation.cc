@@ -27,6 +27,7 @@ void PrintRow(const char* label, const xml::Document& doc,
   options.engine = engine;
   options.stats = &stats;
   options.ablate_outermost_sets = ablate;
+  options.use_index = false;  // measure the paper's algorithm, not the index
   StatusOr<Value> v = Evaluate(query, doc, EvalContext{}, options);
   if (!v.ok()) {
     fprintf(stderr, "%s\n", v.status().ToString().c_str());

@@ -1,0 +1,111 @@
+// Indexed vs. scan step evaluation (the src/index subsystem): the same
+// queries on the same documents, EvalOptions::use_index off vs. on,
+// across document sizes and name selectivities. The tested name "x" is
+// diluted among filler labels, so its postings cover ~1/k of the
+// elements; the scan path stays O(|D|) per step regardless, while the
+// indexed path tracks the postings size. Run with --smoke for the CI
+// regression check (small sizes, still asserting indexed <= scan on the
+// most selective document).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/index/document_index.h"
+
+namespace xpe::bench {
+namespace {
+
+/// Labels with one needle "x" per `dilution` filler entries: the needle
+/// tags ~1/(dilution+1) of the elements.
+std::vector<std::string> DilutedLabels(int dilution) {
+  static const char* kFillers[] = {"a", "b", "c", "d", "e"};
+  std::vector<std::string> labels = {"x"};
+  for (int i = 0; i < dilution; ++i) labels.push_back(kFillers[i % 5]);
+  return labels;
+}
+
+int RunBench(bool smoke) {
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{2'000} : std::vector<int>{2'000, 20'000,
+                                                         200'000};
+  const std::vector<int> dilutions = {1, 9, 99};  // needle ~50%, ~10%, ~1%
+  const char* kQueries[] = {
+      "//x",                    // descendant step from the root
+      "//a/x",                  // child step over a broad frontier
+      "//x/ancestor::a",        // ancestor probe per posting
+      "//a[x]",                 // backward propagation (Core XPath preds)
+      "//x/following::x",       // postings suffix
+  };
+
+  printf("%8s %9s %22s %12s %12s %8s\n", "nodes", "sel", "query", "scan_us",
+         "indexed_us", "speedup");
+  bool smoke_ok = true;
+  for (int n : sizes) {
+    for (int dilution : dilutions) {
+      xml::Document doc =
+          xml::MakeRandomDocument(n, DilutedLabels(dilution), /*seed=*/4242);
+      const index::DocumentIndex& index = doc.index();  // build outside timing
+      const double needle_share =
+          static_cast<double>(
+              index.ElementsNamed(doc.LookupNameId("x")).size()) /
+          static_cast<double>(index.all_elements().size());
+      for (const char* q : kQueries) {
+        xpath::CompiledQuery compiled = MustCompile(q);
+        EvalOptions scan;
+        scan.engine = EngineKind::kOptMinContext;
+        scan.use_index = false;
+        EvalOptions indexed = scan;
+        indexed.use_index = true;
+        const double scan_us = TimeEvalUs(compiled, doc, scan);
+        const double indexed_us = TimeEvalUs(compiled, doc, indexed);
+        printf("%8d %8.1f%% %22s %12.1f %12.1f %7.2fx\n", doc.size(),
+               100.0 * needle_share, q, scan_us, indexed_us,
+               scan_us / indexed_us);
+        if (smoke && dilution == 99 && std::strcmp(q, "//x") == 0) {
+          // Deterministic part of the gate: the indexed path must
+          // actually run. The wall-clock part allows a 2x margin so a
+          // noisy CI runner cannot fail an intact index.
+          EvalStats stats;
+          EvalOptions counted = indexed;
+          counted.stats = &stats;
+          StatusOr<Value> v = Evaluate(compiled, doc, EvalContext{}, counted);
+          if (!v.ok()) {
+            fprintf(stderr, "eval(%s): %s\n", q, v.status().ToString().c_str());
+            std::abort();
+          }
+          if (stats.indexed_steps == 0) {
+            fprintf(stderr, "SMOKE FAIL: //x performed no indexed steps\n");
+            smoke_ok = false;
+          }
+          if (indexed_us > 2.0 * scan_us) {
+            fprintf(stderr,
+                    "SMOKE FAIL: indexed //x more than 2x slower than scan "
+                    "(%.1fus vs %.1fus)\n",
+                    indexed_us, scan_us);
+            smoke_ok = false;
+          }
+        }
+      }
+      if (dilution == dilutions.back()) {
+        printf("%8d index: %zu bytes (%.2f bytes/node)\n\n", doc.size(),
+               index.MemoryUsageBytes(),
+               static_cast<double>(index.MemoryUsageBytes()) / doc.size());
+      }
+    }
+  }
+  if (smoke && !smoke_ok) return 1;
+  if (smoke) printf("smoke ok: indexed descendant step beat the scan path\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return xpe::bench::RunBench(smoke);
+}

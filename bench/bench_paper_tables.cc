@@ -44,6 +44,7 @@ NodeSet EvalFrom(const xpath::CompiledQuery& q, const xml::Document& doc,
                  xml::NodeId cn) {
   EvalOptions options;
   options.engine = EngineKind::kOptMinContext;
+  options.use_index = false;  // reproduce the paper's tables as published
   StatusOr<NodeSet> r = EvaluateNodeSet(q, doc, EvalContext{cn, 1, 1}, options);
   if (!r.ok()) {
     fprintf(stderr, "%s\n", r.status().ToString().c_str());

@@ -166,8 +166,10 @@ class NaiveEvaluator {
 
 StatusOr<Value> EvalNaive(const xpath::CompiledQuery& query,
                           const xml::Document& doc, const EvalContext& ctx,
-                          EvalStats* stats, uint64_t budget) {
-  NaiveEvaluator evaluator(query.tree(), doc, stats, budget);
+                          const EvalOptions& options) {
+  // use_index is deliberately ignored: the naive engine is the index-free
+  // executable specification the differential tests compare against.
+  NaiveEvaluator evaluator(query.tree(), doc, options.stats, options.budget);
   return evaluator.Eval(query.root(), ctx.node, ctx.position, ctx.size);
 }
 

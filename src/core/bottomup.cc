@@ -29,11 +29,12 @@ constexpr NodeId kMaxBottomUpDocument = 192;
 class BottomUpEvaluator {
  public:
   BottomUpEvaluator(const QueryTree& tree, const Document& doc,
-                    EvalStats* stats, uint64_t budget)
+                    const EvalOptions& options)
       : tree_(tree),
         doc_(doc),
-        stats_(stats),
-        budget_(budget),
+        stats_(options.stats),
+        budget_(options.budget),
+        use_index_(options.use_index),
         n_(doc.size()),
         tri_size_(static_cast<size_t>(n_) * (n_ + 1) / 2),
         scalar_tables_(tree.size()),
@@ -235,19 +236,23 @@ class BottomUpEvaluator {
   /// location step, with predicates looked up in their full tables.
   Status ComposeStep(AstId step_id, std::vector<NodeSet>* rel) {
     const AstNode& step = tree_.node(step_id);
-    // Cache the per-frontier-node step results (y → targets).
+    // Cache the per-frontier-node step results (y → targets). One kernel
+    // for all origins: the postings lookup happens once per step.
     std::vector<bool> done(n_, false);
     std::vector<NodeSet> step_of(n_);
+    const StepKernel kernel(doc_, step, use_index_, stats_);
     for (NodeId x = 0; x < n_; ++x) {
       NodeSet next;
       for (NodeId y : (*rel)[x]) {
         if (!done[y]) {
           done[y] = true;
-          if (stats_ != nullptr) ++stats_->axis_evals;
-          NodeSet candidates =
-              step.axis == Axis::kId
-                  ? NodeSet(doc_.IdAxisForward(y))
-                  : StepCandidates(doc_, step.axis, step.test, y);
+          NodeSet candidates;
+          if (step.axis == Axis::kId) {
+            if (stats_ != nullptr) ++stats_->axis_evals;
+            candidates = NodeSet(doc_.IdAxisForward(y));
+          } else {
+            candidates = kernel.Eval(NodeSet::Single(y));
+          }
           std::vector<NodeId> ordered = OrderForAxis(step.axis, candidates);
           for (AstId pred : step.children) {
             std::vector<NodeId> kept;
@@ -272,6 +277,7 @@ class BottomUpEvaluator {
   const Document& doc_;
   EvalStats* stats_;
   uint64_t budget_;
+  bool use_index_;
   uint64_t used_ = 0;
   const NodeId n_;
   const size_t tri_size_;
@@ -283,7 +289,7 @@ class BottomUpEvaluator {
 
 StatusOr<Value> EvalBottomUp(const xpath::CompiledQuery& query,
                              const xml::Document& doc, const EvalContext& ctx,
-                             EvalStats* stats, uint64_t budget) {
+                             const EvalOptions& options) {
   if (doc.size() > kMaxBottomUpDocument) {
     return StatusOr<Value>(Status::ResourceExhausted(
         "E-up materializes |dom|^3-row tables; refusing documents with more "
@@ -291,7 +297,7 @@ StatusOr<Value> EvalBottomUp(const xpath::CompiledQuery& query,
         std::to_string(kMaxBottomUpDocument) +
         " nodes (use MINCONTEXT/OPTMINCONTEXT instead)"));
   }
-  BottomUpEvaluator evaluator(query.tree(), doc, stats, budget);
+  BottomUpEvaluator evaluator(query.tree(), doc, options);
   XPE_RETURN_IF_ERROR(evaluator.Build(query.root()));
   return evaluator.Result(ctx);
 }

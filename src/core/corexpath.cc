@@ -22,8 +22,8 @@ using xpath::QueryTree;
 class CoreXPathEvaluator {
  public:
   CoreXPathEvaluator(const QueryTree& tree, const Document& doc,
-                     EvalStats* stats)
-      : tree_(tree), doc_(doc), stats_(stats) {}
+                     EvalStats* stats, bool use_index)
+      : tree_(tree), doc_(doc), stats_(stats), use_index_(use_index) {}
 
   /// Forward evaluation of a Core XPath location path from start set `x`.
   NodeSet EvalPath(AstId id, const NodeSet& x) {
@@ -31,9 +31,7 @@ class CoreXPathEvaluator {
     NodeSet current = n.absolute ? NodeSet::Single(doc_.root()) : x;
     for (AstId step_id : n.children) {
       const AstNode& step = tree_.node(step_id);
-      if (stats_ != nullptr) ++stats_->axis_evals;
-      NodeSet candidates = ApplyNodeTest(
-          doc_, step.axis, step.test, EvalAxis(doc_, step.axis, current));
+      NodeSet candidates = StepImage(step, current);
       for (AstId pred : step.children) {
         candidates = candidates.Intersect(PredSet(pred, candidates));
       }
@@ -41,6 +39,12 @@ class CoreXPathEvaluator {
       if (stats_ != nullptr) stats_->AddCells(current.size());
     }
     return current;
+  }
+
+  /// χ(X) ∩ T(t) for one step: postings-backed when the step is
+  /// index-eligible, the O(|D|) scan otherwise.
+  NodeSet StepImage(const AstNode& step, const NodeSet& x) {
+    return StepKernel(doc_, step, use_index_, stats_).Eval(x);
   }
 
   /// The set of nodes in `universe` satisfying a Core XPath predicate.
@@ -69,13 +73,15 @@ class CoreXPathEvaluator {
   }
 
   /// {x | π from x is non-empty}: backward propagation through inverse
-  /// axes, O(|D|) per step.
+  /// axes, O(|D|) per step (the node-test restriction drops to a postings
+  /// intersection when the index is on).
   NodeSet PathOrigins(AstId path_id) {
     const AstNode& path = tree_.node(path_id);
     NodeSet current = NodeSet::Universe(doc_.size());
     for (size_t s = path.children.size(); s-- > 0;) {
       const AstNode& step = tree_.node(path.children[s]);
-      NodeSet tested = ApplyNodeTest(doc_, step.axis, step.test, current);
+      NodeSet tested = RestrictByNodeTest(doc_, step.axis, step.test, current,
+                                          use_index_, stats_);
       for (AstId pred : step.children) {
         tested = tested.Intersect(PredSet(pred, tested));
       }
@@ -94,21 +100,23 @@ class CoreXPathEvaluator {
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
+  bool use_index_;
 };
 
 }  // namespace
 
 StatusOr<Value> EvalCoreXPath(const xpath::CompiledQuery& query,
                               const xml::Document& doc,
-                              const EvalContext& ctx, EvalStats* stats,
-                              uint64_t budget) {
-  (void)budget;  // the engine is linear; no budget enforcement needed
+                              const EvalContext& ctx,
+                              const EvalOptions& options) {
+  // The engine is linear; no budget enforcement needed.
   const xpath::AstNode& root = query.tree().node(query.root());
   if (root.kind != xpath::ExprKind::kPath || !root.core_xpath) {
     return StatusOr<Value>(Status::InvalidArgument(
         "query is not in Core XPath (Definition 12): " + query.source()));
   }
-  CoreXPathEvaluator evaluator(query.tree(), doc, stats);
+  CoreXPathEvaluator evaluator(query.tree(), doc, options.stats,
+                               options.use_index);
   return Value::Nodes(
       evaluator.EvalPath(query.root(), NodeSet::Single(ctx.node)));
 }

@@ -33,7 +33,8 @@ std::string EvalStats::ToString() const {
   return "cells_allocated=" + std::to_string(cells_allocated) +
          " cells_peak=" + std::to_string(cells_peak) +
          " contexts=" + std::to_string(contexts_evaluated) +
-         " axis_evals=" + std::to_string(axis_evals);
+         " axis_evals=" + std::to_string(axis_evals) +
+         " indexed_steps=" + std::to_string(indexed_steps);
 }
 
 StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
@@ -49,32 +50,25 @@ StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
   }
   switch (options.engine) {
     case EngineKind::kNaive:
-      return internal::EvalNaive(query, doc, context, options.stats,
-                                 options.budget);
+      return internal::EvalNaive(query, doc, context, options);
     case EngineKind::kBottomUp:
-      return internal::EvalBottomUp(query, doc, context, options.stats,
-                                    options.budget);
+      return internal::EvalBottomUp(query, doc, context, options);
     case EngineKind::kTopDown:
-      return internal::EvalTopDown(query, doc, context, options.stats,
-                                   options.budget);
+      return internal::EvalTopDown(query, doc, context, options);
     case EngineKind::kMinContext:
-      return internal::EvalMinContext(query, doc, context, options.stats,
-                                      options.budget, /*optimized=*/false,
-                                      options.ablate_outermost_sets);
+      return internal::EvalMinContext(query, doc, context, options,
+                                      /*optimized=*/false);
     case EngineKind::kOptMinContext:
       // Algorithm 8 + Theorem 13: a fully Core XPath query runs on the
       // linear-time engine; otherwise bottom-up passes + MINCONTEXT.
       if (query.fragment() == xpath::Fragment::kCoreXPath &&
           !options.ablate_outermost_sets) {
-        return internal::EvalCoreXPath(query, doc, context, options.stats,
-                                       options.budget);
+        return internal::EvalCoreXPath(query, doc, context, options);
       }
-      return internal::EvalMinContext(query, doc, context, options.stats,
-                                      options.budget, /*optimized=*/true,
-                                      options.ablate_outermost_sets);
+      return internal::EvalMinContext(query, doc, context, options,
+                                      /*optimized=*/true);
     case EngineKind::kCoreXPath:
-      return internal::EvalCoreXPath(query, doc, context, options.stats,
-                                     options.budget);
+      return internal::EvalCoreXPath(query, doc, context, options);
   }
   return StatusOr<Value>(Status::InvalidArgument("unknown engine"));
 }

@@ -57,6 +57,12 @@ struct EvalOptions {
   /// Abort with kResourceExhausted after this many single-context
   /// evaluations (0 = unlimited). Guards the exponential naive engine.
   uint64_t budget = 0;
+  /// Evaluate index-eligible location steps against the per-name postings
+  /// of Document::index() instead of the O(|D|) axis scans. Changes cost
+  /// only, never results; the index is built lazily on first indexed
+  /// evaluation. The naive engine ignores this — it stays the index-free
+  /// executable specification the differential tests compare against.
+  bool use_index = true;
   /// Ablation switch (bench_ablation): disables §3.1's "special treatment
   /// of location paths on the outermost level" in MINCONTEXT /
   /// OPTMINCONTEXT — outermost paths are then evaluated as per-origin
@@ -67,8 +73,9 @@ struct EvalOptions {
 };
 
 /// Evaluates a compiled query against a document. `context.node` must be
-/// a node of `doc`. Thread-compatible: concurrent evaluations require
-/// separate Document instances (Document caches are not synchronized).
+/// a node of `doc`. Thread-safe for concurrent evaluations over one
+/// shared Document: engine state is per-call and the Document's lazy
+/// caches (id axis, search index, number cache) are synchronized.
 StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
                          const xml::Document& doc, const EvalContext& context,
                          const EvalOptions& options = {});

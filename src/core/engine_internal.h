@@ -6,42 +6,42 @@
 namespace xpe::internal {
 
 /// Entry points of the individual engines; Evaluate() in engine.cc
-/// dispatches to them. All take the normalized tree of a CompiledQuery.
+/// dispatches to them. All take the normalized tree of a CompiledQuery
+/// plus the caller's EvalOptions (stats sink, budget, use_index, ...).
 
 /// The exponential-time baseline (DESIGN.md S12): direct recursion over
 /// the denotational semantics, re-evaluating every subexpression for
 /// every context it is reached under, like the engines measured in [11].
+/// Ignores EvalOptions::use_index — it is the index-free specification.
 StatusOr<Value> EvalNaive(const xpath::CompiledQuery& query,
                           const xml::Document& doc, const EvalContext& ctx,
-                          EvalStats* stats, uint64_t budget);
+                          const EvalOptions& options);
 
 /// E↓ of Definition 2: vectorized top-down evaluation over context lists.
 StatusOr<Value> EvalTopDown(const xpath::CompiledQuery& query,
                             const xml::Document& doc, const EvalContext& ctx,
-                            EvalStats* stats, uint64_t budget);
+                            const EvalOptions& options);
 
 /// E↑ of [11] §2.3: strict bottom-up context-value tables over all
 /// ⟨cn,cp,cs⟩ triples.
 StatusOr<Value> EvalBottomUp(const xpath::CompiledQuery& query,
                              const xml::Document& doc, const EvalContext& ctx,
-                             EvalStats* stats, uint64_t budget);
+                             const EvalOptions& options);
 
 /// MINCONTEXT (Algorithm 6) when `optimized` is false; OPTMINCONTEXT
 /// (Algorithm 8: bottom-up pre-evaluation of eligible paths + Core XPath
-/// fast path) when true. `ablate_outermost_sets` forwards
-/// EvalOptions::ablate_outermost_sets.
+/// fast path) when true. Reads EvalOptions::ablate_outermost_sets.
 StatusOr<Value> EvalMinContext(const xpath::CompiledQuery& query,
                                const xml::Document& doc,
-                               const EvalContext& ctx, EvalStats* stats,
-                               uint64_t budget, bool optimized,
-                               bool ablate_outermost_sets = false);
+                               const EvalContext& ctx,
+                               const EvalOptions& options, bool optimized);
 
 /// The linear-time Core XPath engine (Definition 12 / Theorem 13).
 /// Fails with InvalidArgument if the query is not Core XPath.
 StatusOr<Value> EvalCoreXPath(const xpath::CompiledQuery& query,
                               const xml::Document& doc,
-                              const EvalContext& ctx, EvalStats* stats,
-                              uint64_t budget);
+                              const EvalContext& ctx,
+                              const EvalOptions& options);
 
 }  // namespace xpe::internal
 

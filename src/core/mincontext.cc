@@ -12,13 +12,19 @@ using xpath::FunctionId;
 using xpath::QueryTree;
 
 MinContextEngine::MinContextEngine(const QueryTree& tree, const Document& doc,
-                                   EvalStats* stats, uint64_t budget)
+                                   const EvalOptions& options)
     : tree_(tree),
       doc_(doc),
-      stats_(stats),
-      budget_(budget),
+      stats_(options.stats),
+      budget_(options.budget),
+      use_index_(options.use_index),
+      ablate_outermost_sets_(options.ablate_outermost_sets),
       scalar_tables_(tree.size()),
       rel_tables_(tree.size()) {}
+
+NodeSet MinContextEngine::StepImage(const AstNode& step, const NodeSet& x) {
+  return StepKernel(doc_, step, use_index_, stats_).Eval(x);
+}
 
 Status MinContextEngine::ChargeBudget() {
   ++used_;
@@ -246,9 +252,7 @@ MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x) {
     return out;
   }
 
-  if (stats_ != nullptr) ++stats_->axis_evals;
-  const NodeSet y_all =
-      ApplyNodeTest(doc_, step.axis, step.test, EvalAxis(doc_, step.axis, x));
+  const NodeSet y_all = StepImage(step, x);
 
   bool positional = false;
   for (AstId pred : step.children) {
@@ -447,9 +451,7 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
           current = targets.ToNodeSet();
           continue;
         }
-        if (stats_ != nullptr) ++stats_->axis_evals;
-        NodeSet y_all = ApplyNodeTest(doc_, step.axis, step.test,
-                                      EvalAxis(doc_, step.axis, current));
+        NodeSet y_all = StepImage(step, current);
         if (step.children.empty()) {
           current = std::move(y_all);
           continue;
@@ -548,11 +550,9 @@ StatusOr<Value> MinContextEngine::Run(const EvalContext& ctx, bool optimized) {
 
 StatusOr<Value> EvalMinContext(const xpath::CompiledQuery& query,
                                const xml::Document& doc,
-                               const EvalContext& ctx, EvalStats* stats,
-                               uint64_t budget, bool optimized,
-                               bool ablate_outermost_sets) {
-  MinContextEngine engine(query.tree(), doc, stats, budget);
-  engine.set_ablate_outermost_sets(ablate_outermost_sets);
+                               const EvalContext& ctx,
+                               const EvalOptions& options, bool optimized) {
+  MinContextEngine engine(query.tree(), doc, options);
   return engine.Run(ctx, optimized);
 }
 

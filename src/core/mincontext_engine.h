@@ -22,15 +22,12 @@ namespace xpe::internal {
 ///    eval_inner_locpath, ≤ |dom|² cells in total).
 class MinContextEngine {
  public:
+  /// Reads stats/budget/use_index/ablate_outermost_sets from `options`.
   MinContextEngine(const xpath::QueryTree& tree, const xml::Document& doc,
-                   EvalStats* stats, uint64_t budget);
+                   const EvalOptions& options);
 
   /// Algorithm 6 (optimized=false) / Algorithm 8 (optimized=true).
   StatusOr<Value> Run(const EvalContext& ctx, bool optimized);
-
-  /// Ablation: evaluate outermost paths through the inner pair-relation
-  /// machinery instead of §3.1's set representation (bench_ablation).
-  void set_ablate_outermost_sets(bool v) { ablate_outermost_sets_ = v; }
 
  private:
   // --- table storage ----------------------------------------------------
@@ -88,6 +85,11 @@ class MinContextEngine {
   StatusOr<std::vector<std::pair<xml::NodeId, NodeSet>>> EvalStepRelation(
       xpath::AstId step_id, const NodeSet& x);
 
+  /// χ(X) ∩ T(t) for one step: the document index's postings when the
+  /// step is index-eligible and use_index_ is on, the O(|D|) scan
+  /// otherwise.
+  NodeSet StepImage(const xpath::AstNode& step, const NodeSet& x);
+
   /// Shared predicate filtering for one origin's ordered candidate list.
   StatusOr<std::vector<xml::NodeId>> FilterByPredicatesSingle(
       const std::vector<xpath::AstId>& preds,
@@ -113,8 +115,9 @@ class MinContextEngine {
   const xml::Document& doc_;
   EvalStats* stats_;
   uint64_t budget_;
+  bool use_index_;
+  bool ablate_outermost_sets_;
   uint64_t used_ = 0;
-  bool ablate_outermost_sets_ = false;
 
   std::vector<ScalarTable> scalar_tables_;
   std::vector<RelTable> rel_tables_;

@@ -23,6 +23,9 @@ struct EvalStats {
   uint64_t contexts_evaluated = 0;
   /// χ(X)/χ⁻¹(X) computations.
   uint64_t axis_evals = 0;
+  /// Location steps answered from the document index's postings instead
+  /// of an O(|D|) axis scan (EvalOptions::use_index).
+  uint64_t indexed_steps = 0;
 
   void AddCells(uint64_t n) {
     cells_allocated += n;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/index/step_index.h"
+
 namespace xpe {
 
 using xml::Document;
@@ -53,6 +55,37 @@ NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
                        NodeId origin) {
   return ApplyNodeTest(doc, axis, test,
                        EvalAxis(doc, axis, NodeSet::Single(origin)));
+}
+
+StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
+                       bool use_index, EvalStats* stats)
+    : doc_(doc), step_(step), stats_(stats) {
+  if (use_index && step.index_eligible) {
+    postings_ =
+        &index::StepPostings(doc, doc.index(), step.axis, step.test);
+  }
+}
+
+NodeSet RestrictByNodeTest(const Document& doc, Axis axis,
+                           const NodeTest& test, const NodeSet& nodes,
+                           bool use_index, EvalStats* stats) {
+  if (use_index && index::NodeTestIndexable(test)) {
+    if (stats != nullptr) ++stats->indexed_steps;
+    return index::IndexedApplyNodeTest(doc, doc.index(), axis, test, nodes);
+  }
+  return ApplyNodeTest(doc, axis, test, nodes);
+}
+
+NodeSet StepKernel::Eval(const NodeSet& x) const {
+  if (postings_ != nullptr &&
+      index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
+    if (stats_ != nullptr) ++stats_->indexed_steps;
+    return index::IndexedStepOverPostings(doc_, *postings_, step_.axis,
+                                          step_.test, x);
+  }
+  if (stats_ != nullptr) ++stats_->axis_evals;
+  return ApplyNodeTest(doc_, step_.axis, step_.test,
+                       EvalAxis(doc_, step_.axis, x));
 }
 
 }  // namespace xpe

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/axes/axis.h"
+#include "src/core/stats.h"
 #include "src/xml/document.h"
 #include "src/xpath/ast.h"
 
@@ -31,6 +32,36 @@ std::vector<xml::NodeId> OrderForAxis(Axis axis, const NodeSet& set);
 /// origin, in document order.
 NodeSet StepCandidates(const xml::Document& doc, Axis axis,
                        const xpath::NodeTest& test, xml::NodeId origin);
+
+/// One location step's χ(X) ∩ T(t) evaluator, shared by all engines so
+/// the index-vs-scan dispatch and its stats accounting live in one
+/// place. Construction resolves the document index's postings once (when
+/// `use_index` is on and the step is index-eligible), so per-origin loops
+/// pay no repeated name lookups; Eval then answers from the postings or
+/// falls back to the O(|D|) scan. Does not handle the id "axis" —
+/// callers special-case Axis::kId before constructing a kernel.
+class StepKernel {
+ public:
+  StepKernel(const xml::Document& doc, const xpath::AstNode& step,
+             bool use_index, EvalStats* stats);
+
+  /// Equivalent to ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)).
+  NodeSet Eval(const NodeSet& x) const;
+
+ private:
+  const xml::Document& doc_;
+  const xpath::AstNode& step_;
+  /// Resolved postings when the indexed path applies, nullptr for scan.
+  const std::vector<xml::NodeId>* postings_ = nullptr;
+  EvalStats* stats_;
+};
+
+/// T(t) ∩ nodes for the backward-propagation passes: a postings
+/// intersection when `use_index` is on and the test is postings-backed
+/// (counted in stats->indexed_steps), the ApplyNodeTest scan otherwise.
+NodeSet RestrictByNodeTest(const xml::Document& doc, Axis axis,
+                           const xpath::NodeTest& test, const NodeSet& nodes,
+                           bool use_index, EvalStats* stats);
 
 }  // namespace xpe
 

@@ -31,8 +31,12 @@ struct Ctx {
 class TopDownEvaluator {
  public:
   TopDownEvaluator(const QueryTree& tree, const Document& doc,
-                   EvalStats* stats, uint64_t budget)
-      : tree_(tree), doc_(doc), stats_(stats), budget_(budget) {}
+                   const EvalOptions& options)
+      : tree_(tree),
+        doc_(doc),
+        stats_(options.stats),
+        budget_(options.budget),
+        use_index_(options.use_index) {}
 
   /// E↓[[e]](c1,...,cl): one result per context.
   StatusOr<std::vector<Value>> EvalList(AstId id,
@@ -263,12 +267,17 @@ class TopDownEvaluator {
     for (const NodeSet& x : xs) x_all = x_all.Union(x);
     std::vector<std::pair<NodeId, NodeSet>> s_rel;
     s_rel.reserve(x_all.size());
+    // One kernel for the whole per-origin loop: the postings lookup
+    // happens once per step, not once per origin.
+    const StepKernel kernel(doc_, step, use_index_, stats_);
     for (NodeId x : x_all) {
-      if (stats_ != nullptr) ++stats_->axis_evals;
-      NodeSet targets =
-          step.axis == Axis::kId
-              ? NodeSet(doc_.IdAxisForward(x))
-              : StepCandidates(doc_, step.axis, step.test, x);
+      NodeSet targets;
+      if (step.axis == Axis::kId) {
+        if (stats_ != nullptr) ++stats_->axis_evals;
+        targets = NodeSet(doc_.IdAxisForward(x));
+      } else {
+        targets = kernel.Eval(NodeSet::Single(x));
+      }
       if (stats_ != nullptr) stats_->AddCells(targets.size());
       s_rel.emplace_back(x, std::move(targets));
     }
@@ -314,6 +323,7 @@ class TopDownEvaluator {
   const Document& doc_;
   EvalStats* stats_;
   uint64_t budget_;
+  bool use_index_;
   uint64_t used_ = 0;
 };
 
@@ -321,8 +331,8 @@ class TopDownEvaluator {
 
 StatusOr<Value> EvalTopDown(const xpath::CompiledQuery& query,
                             const xml::Document& doc, const EvalContext& ctx,
-                            EvalStats* stats, uint64_t budget) {
-  TopDownEvaluator evaluator(query.tree(), doc, stats, budget);
+                            const EvalOptions& options) {
+  TopDownEvaluator evaluator(query.tree(), doc, options);
   const xpath::AstNode& root = query.tree().node(query.root());
   if (root.type == xpath::ValueType::kNodeSet) {
     XPE_ASSIGN_OR_RETURN(

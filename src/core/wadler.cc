@@ -90,8 +90,10 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
       continue;
     }
 
-    // Y' := members of the propagated set passing this step's node test.
-    NodeSet tested = ApplyNodeTest(doc_, step.axis, step.test, current);
+    // Y' := members of the propagated set passing this step's node test
+    // (a postings intersection when the index is on).
+    NodeSet tested = RestrictByNodeTest(doc_, step.axis, step.test, current,
+                                        use_index_, stats_);
     if (step.children.empty()) {
       if (stats_ != nullptr) ++stats_->axis_evals;
       current = EvalAxisInverse(doc_, step.axis, tested);
@@ -125,10 +127,9 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
     // evaluate positions over each origin's *full* candidate list (see
     // DESIGN.md on the §6 position-semantics erratum), then keep origins
     // whose surviving candidates intersect the propagated set.
-    if (stats_ != nullptr) stats_->axis_evals += 2;
+    if (stats_ != nullptr) ++stats_->axis_evals;
     NodeSet origins = EvalAxisInverse(doc_, step.axis, tested);
-    NodeSet universe = ApplyNodeTest(doc_, step.axis, step.test,
-                                     EvalAxis(doc_, step.axis, origins));
+    NodeSet universe = StepImage(step, origins);
     for (AstId pred : step.children) {
       XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, universe));
     }

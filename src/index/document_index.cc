@@ -1,0 +1,53 @@
+#include "src/index/document_index.h"
+
+namespace xpe::index {
+
+using xml::kInvalidNodeId;
+using xml::kNoString;
+using xml::NodeId;
+using xml::NodeKind;
+
+DocumentIndex::DocumentIndex(const xml::Document& doc) {
+  const NodeId n = doc.size();
+  const uint32_t names = doc.name_count();
+  element_postings_.resize(names);
+  attribute_postings_.resize(names);
+  depths_.resize(n, 0);
+  for (auto& map : kind_maps_) map = DenseBitmap(n);
+
+  for (NodeId id = 0; id < n; ++id) {
+    const NodeKind kind = doc.kind(id);
+    kind_maps_[static_cast<size_t>(kind)].Set(id);
+    const NodeId parent = doc.parent(id);
+    depths_[id] = parent == kInvalidNodeId ? 0 : depths_[parent] + 1;
+    const uint32_t name = doc.name_id(id);
+    switch (kind) {
+      case NodeKind::kElement:
+        elements_.push_back(id);
+        if (name != kNoString) element_postings_[name].push_back(id);
+        break;
+      case NodeKind::kAttribute:
+        attributes_.push_back(id);
+        if (name != kNoString) attribute_postings_[name].push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+size_t DocumentIndex::MemoryUsageBytes() const {
+  size_t bytes = depths_.capacity() * sizeof(uint32_t) +
+                 (elements_.capacity() + attributes_.capacity()) *
+                     sizeof(NodeId);
+  for (const auto& postings : element_postings_) {
+    bytes += sizeof(postings) + postings.capacity() * sizeof(NodeId);
+  }
+  for (const auto& postings : attribute_postings_) {
+    bytes += sizeof(postings) + postings.capacity() * sizeof(NodeId);
+  }
+  for (const auto& map : kind_maps_) bytes += map.MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace xpe::index

@@ -1,0 +1,277 @@
+#include "src/index/step_index.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/core/step_common.h"
+#include "src/xpath/relevance.h"
+
+namespace xpe::index {
+
+namespace {
+
+using xml::Document;
+using xml::kNoString;
+using xml::NodeId;
+using xml::NodeKind;
+using xpath::NodeTest;
+
+const std::vector<NodeId> kEmptyPostings;
+
+/// Appends the postings members inside [lo, hi) — a binary-searched
+/// contiguous range, since postings are sorted by NodeId.
+void AppendRange(const std::vector<NodeId>& postings, NodeId lo, NodeId hi,
+                 NodeSet* out) {
+  auto begin = std::lower_bound(postings.begin(), postings.end(), lo);
+  auto end = std::lower_bound(begin, postings.end(), hi);
+  for (auto it = begin; it != end; ++it) out->PushBackOrdered(*it);
+}
+
+/// Sorted-list intersection; gallops (binary probes from the smaller
+/// side) when one input dwarfs the other.
+NodeSet IntersectSorted(const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b) {
+  const std::vector<NodeId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<NodeId>& big = a.size() <= b.size() ? b : a;
+  NodeSet out;
+  if (small.size() * 16 < big.size()) {
+    for (NodeId id : small) {
+      if (std::binary_search(big.begin(), big.end(), id)) {
+        out.PushBackOrdered(id);
+      }
+    }
+    return out;
+  }
+  auto ia = small.begin();
+  auto ib = big.begin();
+  while (ia != small.end() && ib != big.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      out.PushBackOrdered(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+/// True when probing `candidates` postings with an O(log |X|) binary
+/// search each would cost more than the O(|D|) scan the kernel replaces
+/// (see IndexedStepWorthwhile). Keeps dense-postings / broad-frontier
+/// shapes (e.g. `child::*` from a near-universe set) from regressing by
+/// the log factor while preserving the selective-name wins.
+bool ScanIsCheaper(size_t candidates, size_t origins, NodeId doc_size) {
+  return candidates * std::bit_width(origins + 1) > doc_size;
+}
+
+/// The postings subrange a child step inspects: candidates inside the
+/// covering interval of X's subtrees.
+std::pair<std::vector<NodeId>::const_iterator,
+          std::vector<NodeId>::const_iterator>
+ChildWindow(const Document& doc, const std::vector<NodeId>& postings,
+            const NodeSet& x) {
+  NodeId hi = 0;
+  for (NodeId origin : x) hi = std::max(hi, doc.subtree_end(origin));
+  auto begin =
+      std::lower_bound(postings.begin(), postings.end(), x.First() + 1);
+  auto end = std::lower_bound(begin, postings.end(), hi);
+  return {begin, end};
+}
+
+NodeSet ChildStep(const Document& doc, const std::vector<NodeId>& postings,
+                  const NodeSet& x) {
+  // Each candidate in the window pays one O(log |X|) parent probe.
+  auto [begin, end] = ChildWindow(doc, postings, x);
+  const std::vector<NodeId>& ids = x.ids();
+  NodeSet out;
+  for (auto it = begin; it != end; ++it) {
+    if (std::binary_search(ids.begin(), ids.end(), doc.parent(*it))) {
+      out.PushBackOrdered(*it);
+    }
+  }
+  return out;
+}
+
+NodeSet DescendantStep(const Document& doc,
+                       const std::vector<NodeId>& postings, const NodeSet& x,
+                       bool or_self) {
+  // The maximal subtree intervals of X are disjoint and ascending (nested
+  // origins are subsumed), so one merge pass stays in document order.
+  NodeSet out;
+  NodeId covered_end = 0;
+  for (NodeId origin : x) {
+    if (origin < covered_end) continue;  // inside the previous interval
+    covered_end = doc.subtree_end(origin);
+    AppendRange(postings, or_self ? origin : origin + 1, covered_end, &out);
+  }
+  return out;
+}
+
+NodeSet AncestorStep(const Document& doc, const std::vector<NodeId>& postings,
+                     const NodeSet& x, bool or_self) {
+  // e is a proper ancestor of some x iff the first origin after e still
+  // lies inside e's subtree (e < x < subtree_end(e)).
+  const std::vector<NodeId>& ids = x.ids();
+  NodeSet out;
+  for (NodeId e : postings) {
+    auto it = std::upper_bound(ids.begin(), ids.end(), e);
+    const bool proper = it != ids.end() && *it < doc.subtree_end(e);
+    if (proper || (or_self && std::binary_search(ids.begin(), ids.end(), e))) {
+      out.PushBackOrdered(e);
+    }
+  }
+  return out;
+}
+
+NodeSet AttributeStep(const Document& doc,
+                      const std::vector<NodeId>& postings, const NodeSet& x) {
+  // Attribute slots [x+1, AttrEnd(x)) of distinct elements are disjoint
+  // and ascending, so per-origin range scans preserve document order.
+  NodeSet out;
+  for (NodeId origin : x) {
+    if (!doc.IsElement(origin)) continue;
+    AppendRange(postings, doc.AttrBegin(origin), doc.AttrEnd(origin), &out);
+  }
+  return out;
+}
+
+NodeSet ParentStep(const Document& doc, Axis axis, const NodeTest& test,
+                   const NodeSet& x) {
+  std::vector<NodeId> parents;
+  parents.reserve(x.size());
+  for (NodeId origin : x) {
+    NodeId p = doc.parent(origin);
+    if (p != xml::kInvalidNodeId && MatchesNodeTest(doc, axis, test, p)) {
+      parents.push_back(p);
+    }
+  }
+  return NodeSet(std::move(parents));  // sorts + dedups
+}
+
+NodeSet FollowingStep(const Document& doc,
+                      const std::vector<NodeId>& postings, const NodeSet& x) {
+  // y follows some x iff y >= min over X of subtree_end(x): a postings
+  // suffix.
+  NodeId threshold = xml::kInvalidNodeId;
+  for (NodeId origin : x) {
+    threshold = std::min(threshold, doc.subtree_end(origin));
+  }
+  NodeSet out;
+  AppendRange(postings, threshold, static_cast<NodeId>(doc.size()), &out);
+  return out;
+}
+
+NodeSet PrecedingStep(const Document& doc,
+                      const std::vector<NodeId>& postings, const NodeSet& x) {
+  // y precedes some x iff subtree_end(y) <= max(X): a postings prefix
+  // filtered by the subtree_end test (ancestors of max(X) fail it).
+  const NodeId max_x = x.ids().back();
+  NodeSet out;
+  auto end = std::lower_bound(postings.begin(), postings.end(), max_x);
+  for (auto it = postings.begin(); it != end; ++it) {
+    if (doc.subtree_end(*it) <= max_x) out.PushBackOrdered(*it);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool NodeTestIndexable(const xpath::NodeTest& test) {
+  return test.kind == NodeTest::Kind::kName ||
+         test.kind == NodeTest::Kind::kAny;
+}
+
+const std::vector<NodeId>& StepPostings(const Document& doc,
+                                        const DocumentIndex& index, Axis axis,
+                                        const NodeTest& test) {
+  const bool attr = axis == Axis::kAttribute;
+  if (test.kind == NodeTest::Kind::kAny) {
+    return attr ? index.all_attributes() : index.all_elements();
+  }
+  const uint32_t name_id = doc.LookupNameId(test.name);
+  if (name_id == kNoString) return kEmptyPostings;
+  return attr ? index.AttributesNamed(name_id) : index.ElementsNamed(name_id);
+}
+
+bool IndexedStepWorthwhile(const Document& doc,
+                           const std::vector<NodeId>& postings, Axis axis,
+                           const NodeSet& x) {
+  if (x.empty() || postings.empty()) return true;  // trivially cheap
+  switch (axis) {
+    case Axis::kChild: {
+      auto [begin, end] = ChildWindow(doc, postings, x);
+      return !ScanIsCheaper(static_cast<size_t>(end - begin), x.size(),
+                            doc.size());
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      return !ScanIsCheaper(postings.size(), x.size(), doc.size());
+    default:
+      // Every other kernel is bounded by its output plus logarithmic
+      // probes, never by the postings size alone.
+      return true;
+  }
+}
+
+NodeSet IndexedStep(const Document& doc, const DocumentIndex& index,
+                    Axis axis, const NodeTest& test, const NodeSet& x) {
+  if (!xpath::StepIsIndexEligible(axis, test)) {
+    // Defensive fallback: stay correct for combinations the compile-time
+    // annotation should have filtered out.
+    return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+  }
+  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
+  if (!IndexedStepWorthwhile(doc, postings, axis, x)) {
+    return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+  }
+  return IndexedStepOverPostings(doc, postings, axis, test, x);
+}
+
+NodeSet IndexedStepOverPostings(const Document& doc,
+                                const std::vector<NodeId>& postings,
+                                Axis axis, const NodeTest& test,
+                                const NodeSet& x) {
+  if (x.empty() || postings.empty()) return {};
+  switch (axis) {
+    case Axis::kSelf:
+      return IntersectSorted(postings, x.ids());
+    case Axis::kChild:
+      return ChildStep(doc, postings, x);
+    case Axis::kParent:
+      return ParentStep(doc, axis, test, x);
+    case Axis::kDescendant:
+      return DescendantStep(doc, postings, x, /*or_self=*/false);
+    case Axis::kDescendantOrSelf:
+      return DescendantStep(doc, postings, x, /*or_self=*/true);
+    case Axis::kAncestor:
+      return AncestorStep(doc, postings, x, /*or_self=*/false);
+    case Axis::kAncestorOrSelf:
+      return AncestorStep(doc, postings, x, /*or_self=*/true);
+    case Axis::kFollowing:
+      return FollowingStep(doc, postings, x);
+    case Axis::kPreceding:
+      return PrecedingStep(doc, postings, x);
+    case Axis::kAttribute:
+      return AttributeStep(doc, postings, x);
+    default:
+      return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+  }
+}
+
+NodeSet IndexedApplyNodeTest(const Document& doc, const DocumentIndex& index,
+                             Axis axis, const xpath::NodeTest& test,
+                             const NodeSet& nodes) {
+  if (!NodeTestIndexable(test)) {
+    return ApplyNodeTest(doc, axis, test, nodes);
+  }
+  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
+  // The frequent backward-propagation case: testing against the universe
+  // selects exactly the postings.
+  if (nodes.size() == doc.size()) return NodeSet(postings);
+  return IntersectSorted(postings, nodes.ids());
+}
+
+}  // namespace xpe::index

@@ -1,0 +1,93 @@
+#ifndef XPE_INDEX_STEP_INDEX_H_
+#define XPE_INDEX_STEP_INDEX_H_
+
+#include "src/axes/axis.h"
+#include "src/index/document_index.h"
+#include "src/xpath/ast.h"
+
+namespace xpe::index {
+
+/// Index-accelerated location-step kernels. Each function is semantically
+/// identical to the O(|D|) scan it replaces (same node set, same document
+/// order); they differ only in cost, which is driven by the postings size
+/// of the tested name — sublinear in |D| whenever the name is selective.
+///
+/// Eligibility is a static property of the (axis, node-test) pair and is
+/// decided at compile time by xpath::StepIsIndexEligible (see
+/// relevance.h), which annotates AstNode::index_eligible; engines consult
+/// that flag plus EvalOptions::use_index before calling in here. Both
+/// functions fall back to the scan path for ineligible inputs, so calling
+/// them is always safe, just not always fast.
+
+/// χ(X) ∩ T(t) — equivalent to
+/// ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)).
+///
+/// The workhorse cases (P = postings of the tested name, X = |x|):
+///  - descendant/descendant-or-self: binary-search merge of P against the
+///    disjoint maximal subtree intervals [x, subtree_end(x)) of X —
+///    O(X + occ + log P);
+///  - child: postings scan over the covering interval with an O(log X)
+///    parent membership probe per candidate;
+///  - ancestor/ancestor-or-self: one O(log X) interval probe per posting,
+///    O(P log X);
+///  - attribute: per-origin binary search of the attribute postings;
+///  - following/preceding: postings suffix / prefix via the subtree_end
+///    threshold arguments of §2.1's document-order characterization;
+///  - self/parent: O(X log P) and O(X log X) probes.
+///
+/// The child and ancestor kernels additionally self-gate: when the
+/// candidate-postings × log|X| estimate exceeds the O(|D|) scan (dense
+/// postings over a broad frontier, e.g. `child::*` from a near-universe
+/// set), they fall back to the scan so the indexed path is never
+/// asymptotically worse.
+NodeSet IndexedStep(const xml::Document& doc, const DocumentIndex& index,
+                    Axis axis, const xpath::NodeTest& test, const NodeSet& x);
+
+/// The postings list IndexedStep consults for `axis::test`: the name's
+/// element or attribute postings (attribute axis → attributes), the
+/// all-elements/all-attributes list for `*`, the empty list for names
+/// absent from the document. Per-origin loops resolve this once per step
+/// and call IndexedStepOverPostings, avoiding one name lookup per origin.
+const std::vector<xml::NodeId>& StepPostings(const xml::Document& doc,
+                                             const DocumentIndex& index,
+                                             Axis axis,
+                                             const xpath::NodeTest& test);
+
+/// IndexedStep with the postings already resolved. `postings` must be
+/// StepPostings(doc, index, axis, test) and (axis, test) must be
+/// index-eligible (xpath::StepIsIndexEligible). Always takes the indexed
+/// path; consult IndexedStepWorthwhile first so dense-postings shapes go
+/// to the scan instead.
+NodeSet IndexedStepOverPostings(const xml::Document& doc,
+                                const std::vector<xml::NodeId>& postings,
+                                Axis axis, const xpath::NodeTest& test,
+                                const NodeSet& x);
+
+/// The cost gate behind the "self-gate" above, exposed so callers that
+/// do their own dispatch (StepKernel) can account indexed vs. scan steps
+/// truthfully: false when the candidate-postings × log|X| estimate for
+/// `axis` exceeds the O(|D|) scan (child/ancestor over dense postings
+/// and broad frontiers); true for every other axis.
+bool IndexedStepWorthwhile(const xml::Document& doc,
+                           const std::vector<xml::NodeId>& postings,
+                           Axis axis, const NodeSet& x);
+
+/// True iff the node test alone (any axis) can be answered from postings:
+/// name tests and `*`. Kind tests (text(), comment(), ...) and node() are
+/// not postings-backed.
+bool NodeTestIndexable(const xpath::NodeTest& test);
+
+/// T(t) ∩ nodes — equivalent to ApplyNodeTest(doc, axis, test, nodes) but
+/// computed as a sorted-list intersection of the name's postings with
+/// `nodes` (galloping when the sizes are skewed) instead of a per-node
+/// string comparison scan. Used by the backward-propagation passes, where
+/// `nodes` is often the universe and the intersection is just the
+/// postings list itself.
+NodeSet IndexedApplyNodeTest(const xml::Document& doc,
+                             const DocumentIndex& index, Axis axis,
+                             const xpath::NodeTest& test,
+                             const NodeSet& nodes);
+
+}  // namespace xpe::index
+
+#endif  // XPE_INDEX_STEP_INDEX_H_

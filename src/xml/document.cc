@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 
 #include "src/common/numeric.h"
 #include "src/common/str_util.h"
+#include "src/index/document_index.h"
 
 namespace xpe::xml {
+
+/// See the declaration in document.h: the immovable synchronization
+/// primitives of the lazy caches, boxed so Document stays move-only.
+struct Document::LazyCaches {
+  std::once_flag id_axis_once;
+  std::once_flag index_once;
+  std::once_flag number_once;
+  std::unique_ptr<index::DocumentIndex> document_index;
+};
+
+Document::Document() : caches_(std::make_unique<LazyCaches>()) {}
+Document::~Document() = default;
+Document::Document(Document&&) noexcept = default;
+Document& Document::operator=(Document&&) noexcept = default;
 
 const char* NodeKindToString(NodeKind kind) {
   switch (kind) {
@@ -52,7 +68,7 @@ std::string_view Document::content(NodeId id) const {
 }
 
 uint32_t Document::LookupNameId(std::string_view name) const {
-  auto it = name_ids_.find(std::string(name));
+  auto it = name_ids_.find(name);
   return it == name_ids_.end() ? kNoString : it->second;
 }
 
@@ -85,15 +101,20 @@ std::string Document::StringValue(NodeId id) const {
 }
 
 double Document::NumberValue(NodeId id) const {
-  if (number_cache_.empty()) {
-    number_cache_.resize(nodes_.size(), 0.0);
-    number_cached_.resize(nodes_.size(), 0);
+  // Lock-free per-entry memoization: the once_flag sizes the arrays, the
+  // release store of the flag publishes the value. Concurrent fillers
+  // recompute the same deterministic double, which is harmless.
+  std::call_once(caches_->number_once, [this] {
+    number_cache_ = std::vector<std::atomic<double>>(nodes_.size());
+    number_cached_ = std::vector<std::atomic<uint8_t>>(nodes_.size());
+  });
+  if (number_cached_[id].load(std::memory_order_acquire)) {
+    return number_cache_[id].load(std::memory_order_relaxed);
   }
-  if (!number_cached_[id]) {
-    number_cache_[id] = XPathStringToNumber(StringValue(id));
-    number_cached_[id] = 1;
-  }
-  return number_cache_[id];
+  const double value = XPathStringToNumber(StringValue(id));
+  number_cache_[id].store(value, std::memory_order_relaxed);
+  number_cached_[id].store(1, std::memory_order_release);
+  return value;
 }
 
 std::vector<NodeId> Document::DerefIds(std::string_view keys) const {
@@ -107,7 +128,7 @@ std::vector<NodeId> Document::DerefIds(std::string_view keys) const {
 }
 
 std::optional<NodeId> Document::GetElementById(std::string_view key) const {
-  auto it = id_index_.find(std::string(key));
+  auto it = id_index_.find(key);
   if (it == id_index_.end()) return std::nullopt;
   return it->second;
 }
@@ -120,17 +141,23 @@ void Document::BuildIdAxis() const {
     for (NodeId y : targets) id_axis_inverse_[y].push_back(x);
     id_axis_forward_[x] = std::move(targets);
   }
-  id_axis_built_ = true;
 }
 
 const std::vector<NodeId>& Document::IdAxisInverse(NodeId y) const {
-  if (!id_axis_built_) BuildIdAxis();
+  std::call_once(caches_->id_axis_once, [this] { BuildIdAxis(); });
   return id_axis_inverse_[y];
 }
 
 const std::vector<NodeId>& Document::IdAxisForward(NodeId x) const {
-  if (!id_axis_built_) BuildIdAxis();
+  std::call_once(caches_->id_axis_once, [this] { BuildIdAxis(); });
   return id_axis_forward_[x];
+}
+
+const index::DocumentIndex& Document::index() const {
+  std::call_once(caches_->index_once, [this] {
+    caches_->document_index = std::make_unique<index::DocumentIndex>(*this);
+  });
+  return *caches_->document_index;
 }
 
 std::string Document::DebugDump() const {

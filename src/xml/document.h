@@ -1,6 +1,8 @@
 #ifndef XPE_XML_DOCUMENT_H_
 #define XPE_XML_DOCUMENT_H_
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,7 +12,21 @@
 #include "src/common/status.h"
 #include "src/xml/node.h"
 
+namespace xpe::index {
+class DocumentIndex;
+}  // namespace xpe::index
+
 namespace xpe::xml {
+
+/// Heterogeneous-lookup hash for the string-keyed maps below: lets
+/// find(std::string_view) probe without materializing a std::string per
+/// lookup (LookupNameId runs on hot evaluation paths).
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// An immutable XML document: the paper's `dom` plus the functions §2.1
 /// defines over it (document order, node tests `T`, `strval`, `deref_ids`).
@@ -18,15 +34,19 @@ namespace xpe::xml {
 /// Nodes are stored in one preorder arena, so NodeId comparison *is*
 /// document-order comparison and every subtree is the contiguous id
 /// interval [id, subtree_end(id)). Build documents with DocumentBuilder or
-/// the parser (see parser.h); once built, a Document is logically const —
-/// the value caches below are the only mutable state and the class is not
-/// thread-safe for concurrent first-use of those caches.
+/// the parser (see parser.h); once built, a Document is logically const
+/// and safe for concurrent read-only use from any number of threads: the
+/// lazily built caches are synchronized — the id-axis tables and the
+/// search index behind index() by std::once_flag, the per-node number
+/// cache by per-entry release/acquire atomics — so concurrent first-use
+/// is fine. Moving a Document concurrent with reads is, as usual, not.
 class Document {
  public:
-  Document() = default;
+  Document();
+  ~Document();
 
-  Document(Document&&) = default;
-  Document& operator=(Document&&) = default;
+  Document(Document&&) noexcept;
+  Document& operator=(Document&&) noexcept;
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
 
@@ -62,6 +82,15 @@ class Document {
   /// it (useful for O(1) node-test comparisons).
   uint32_t LookupNameId(std::string_view name) const;
   uint32_t name_id(NodeId id) const { return nodes_[id].name; }
+  /// Number of distinct interned names (the postings-table width of the
+  /// search index).
+  uint32_t name_count() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// The per-document search index (per-name postings, depths, kind maps;
+  /// see src/index/document_index.h). Built lazily on first use in O(|D|),
+  /// guarded by a std::once_flag — concurrent callers all get the same
+  /// fully built index.
+  const index::DocumentIndex& index() const;
 
   /// Attribute nodes of an element: the id range
   /// [AttrBegin(e), AttrEnd(e)). Empty range for non-elements.
@@ -107,21 +136,33 @@ class Document {
  private:
   friend class DocumentBuilder;
 
+  /// Synchronization state for the lazy caches: once_flags for the
+  /// one-shot builds (id axis, search index, number-cache sizing) and
+  /// the index storage itself. Heap-allocated because std::once_flag is
+  /// immovable while Document is move-only; defined in document.cc.
+  struct LazyCaches;
+
   void BuildIdAxis() const;
 
   std::vector<NodeRecord> nodes_;
   std::vector<std::string> names_;        // interned names
   std::vector<std::string> contents_;     // text/comment/PI/attr payloads
-  std::unordered_map<std::string, uint32_t> name_ids_;
-  std::unordered_map<std::string, NodeId> id_index_;
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      name_ids_;
+  std::unordered_map<std::string, NodeId, StringViewHash, std::equal_to<>>
+      id_index_;
   std::string id_attribute_name_ = "id";
 
-  // Lazy caches (see class comment re. thread-safety).
-  mutable std::vector<double> number_cache_;
-  mutable std::vector<uint8_t> number_cached_;
-  mutable bool id_axis_built_ = false;
+  // Lazy caches (see class comment re. thread-safety). The id-axis
+  // vectors are published through the once_flag in caches_; the number
+  // cache is filled lock-free with per-entry release/acquire pairs
+  // (NumberValue is deterministic, so racing fillers store the same
+  // value).
+  mutable std::vector<std::atomic<double>> number_cache_;
+  mutable std::vector<std::atomic<uint8_t>> number_cached_;
   mutable std::vector<std::vector<NodeId>> id_axis_forward_;
   mutable std::vector<std::vector<NodeId>> id_axis_inverse_;
+  mutable std::unique_ptr<LazyCaches> caches_;
 };
 
 /// Incrementally builds a Document in document order. Used by the XML

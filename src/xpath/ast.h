@@ -101,6 +101,10 @@ struct AstNode {
   /// §5: this node is evaluated bottom-up by OPTMINCONTEXT. Set on
   /// boolean(π) / π RelOp s occurrences and on eligible outermost paths.
   bool bottom_up_eligible = false;
+  /// kStep only: this step's (axis, node test) pair can be answered from
+  /// the per-name postings of the document index (src/index/step_index.h).
+  /// Set by AnnotateIndexEligibility; honored when EvalOptions::use_index.
+  bool index_eligible = false;
 };
 
 /// The parse tree T of a query: an arena of AstNodes plus the root id.

@@ -14,6 +14,7 @@ StatusOr<CompiledQuery> Compile(std::string_view query,
   ComputeRelevance(&compiled.tree_);
   ClassifyFragments(&compiled.tree_);
   compiled.fragment_ = ClassifyQuery(compiled.tree_);
+  AnnotateIndexEligibility(&compiled.tree_);
   return compiled;
 }
 

@@ -41,7 +41,7 @@ class CompiledQuery {
 
 /// Parses + normalizes + types + analyzes an XPath 1.0 query:
 /// the complete front-end pipeline (lexer → parser → Normalize →
-/// ComputeRelevance → ClassifyFragments).
+/// ComputeRelevance → ClassifyFragments → AnnotateIndexEligibility).
 StatusOr<CompiledQuery> Compile(std::string_view query,
                                 const CompileOptions& options = {});
 

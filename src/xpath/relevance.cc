@@ -58,8 +58,47 @@ uint8_t Compute(QueryTree* tree, AstId id) {
   return n.relev;
 }
 
+void Annotate(QueryTree* tree, AstId id) {
+  AstNode& n = tree->node(id);
+  if (n.kind == ExprKind::kStep) {
+    n.index_eligible = StepIsIndexEligible(n.axis, n.test);
+  }
+  for (AstId child : n.children) Annotate(tree, child);
+}
+
 }  // namespace
 
 void ComputeRelevance(QueryTree* tree) { Compute(tree, tree->root()); }
+
+bool StepIsIndexEligible(Axis axis, const NodeTest& test) {
+  if (test.kind != NodeTest::Kind::kName &&
+      test.kind != NodeTest::Kind::kAny) {
+    return false;  // kind tests and node() are not postings-backed
+  }
+  switch (axis) {
+    case Axis::kSelf:
+    case Axis::kChild:
+    case Axis::kParent:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+    case Axis::kAttribute:
+      return true;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      // `ancestor::*` is near-universe on deep documents; postings would
+      // be probed one by one for no gain, so only name tests qualify.
+      return test.kind == NodeTest::Kind::kName;
+    default:
+      // Sibling axes have no postings-friendly characterization; the id
+      // "axis" has its own dedicated tables.
+      return false;
+  }
+}
+
+void AnnotateIndexEligibility(QueryTree* tree) {
+  Annotate(tree, tree->root());
+}
 
 }  // namespace xpe::xpath

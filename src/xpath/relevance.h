@@ -19,6 +19,19 @@ namespace xpe::xpath {
 /// Requires a normalized tree (zero-arg context functions rewritten).
 void ComputeRelevance(QueryTree* tree);
 
+/// True iff the index-accelerated step kernels (src/index/step_index.h)
+/// implement `axis::test`: name tests and `*` on the self, child, parent,
+/// descendant(-or-self), following, preceding and attribute axes, plus
+/// name tests on ancestor(-or-self). A static property of the pair — it
+/// depends on no document — so it is decided once at compile time.
+bool StepIsIndexEligible(Axis axis, const NodeTest& test);
+
+/// Marks every kStep whose (axis, node test) the index kernels can
+/// evaluate, setting AstNode::index_eligible (one O(|Q|) pass). Engines
+/// consult the flag at run time when EvalOptions::use_index is on; the
+/// document index itself is then built lazily on first use.
+void AnnotateIndexEligibility(QueryTree* tree);
+
 }  // namespace xpe::xpath
 
 #endif  // XPE_XPATH_RELEVANCE_H_

@@ -30,6 +30,8 @@
 #include "src/core/functions.h"     // the effective semantics function F
 #include "src/core/stats.h"         // EvalStats instrumentation
 #include "src/core/value.h"         // the four XPath value types
+#include "src/index/document_index.h"  // per-document search index
+#include "src/index/step_index.h"   // index-accelerated step kernels
 #include "src/xml/document.h"       // Document / DocumentBuilder
 #include "src/xml/generator.h"      // synthetic document generators
 #include "src/xml/parser.h"         // xml::Parse

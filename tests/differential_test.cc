@@ -90,18 +90,24 @@ TEST_P(DifferentialTest, AllEnginesAgreeWithNaive) {
       engines.push_back(EngineKind::kCoreXPath);
     }
     for (EngineKind engine : engines) {
-      EvalOptions opts;
-      opts.engine = engine;
-      StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
-      ASSERT_TRUE(actual.ok())
-          << query << " on " << EngineKindToString(engine) << ": "
-          << actual.status().ToString();
-      EXPECT_TRUE(actual->StructurallyEquals(*expected))
-          << "query:    " << query << "\nengine:   "
-          << EngineKindToString(engine)
-          << "\nseed:     " << GetParam()
-          << "\nexpected: " << expected->Repr()
-          << "\nactual:   " << actual->Repr();
+      // Indexed step kernels must be invisible in the results: every
+      // engine agrees with the (index-free) naive engine both ways.
+      for (bool use_index : {false, true}) {
+        EvalOptions opts;
+        opts.engine = engine;
+        opts.use_index = use_index;
+        StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
+        ASSERT_TRUE(actual.ok())
+            << query << " on " << EngineKindToString(engine) << ": "
+            << actual.status().ToString();
+        EXPECT_TRUE(actual->StructurallyEquals(*expected))
+            << "query:    " << query << "\nengine:   "
+            << EngineKindToString(engine)
+            << "\nuse_index " << use_index
+            << "\nseed:     " << GetParam()
+            << "\nexpected: " << expected->Repr()
+            << "\nactual:   " << actual->Repr();
+      }
     }
   }
 }
@@ -133,14 +139,18 @@ TEST_P(RelativeDifferentialTest, AgreeFromEveryContextNode) {
       for (EngineKind engine :
            {EngineKind::kTopDown, EngineKind::kMinContext,
             EngineKind::kOptMinContext, EngineKind::kBottomUp}) {
-        EvalOptions opts;
-        opts.engine = engine;
-        StatusOr<Value> actual = Evaluate(compiled, doc, ctx, opts);
-        ASSERT_TRUE(actual.ok()) << query;
-        EXPECT_TRUE(actual->StructurallyEquals(*expected))
-            << "query: " << query << " cn=" << cn << " engine "
-            << EngineKindToString(engine) << "\nexpected "
-            << expected->Repr() << "\nactual " << actual->Repr();
+        for (bool use_index : {false, true}) {
+          EvalOptions opts;
+          opts.engine = engine;
+          opts.use_index = use_index;
+          StatusOr<Value> actual = Evaluate(compiled, doc, ctx, opts);
+          ASSERT_TRUE(actual.ok()) << query;
+          EXPECT_TRUE(actual->StructurallyEquals(*expected))
+              << "query: " << query << " cn=" << cn << " engine "
+              << EngineKindToString(engine) << " use_index " << use_index
+              << "\nexpected " << expected->Repr() << "\nactual "
+              << actual->Repr();
+        }
       }
     }
   }
@@ -204,14 +214,17 @@ TEST_P(AuctionDifferentialTest, EnginesAgreeOnJoins) {
     for (EngineKind engine : {EngineKind::kTopDown, EngineKind::kMinContext,
                               EngineKind::kOptMinContext,
                               EngineKind::kBottomUp}) {
-      EvalOptions opts;
-      opts.engine = engine;
-      StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
-      ASSERT_TRUE(actual.ok()) << query;
-      EXPECT_TRUE(actual->StructurallyEquals(*expected))
-          << query << " on " << EngineKindToString(engine) << " seed "
-          << GetParam() << "\nexpected " << expected->Repr() << "\nactual "
-          << actual->Repr();
+      for (bool use_index : {false, true}) {
+        EvalOptions opts;
+        opts.engine = engine;
+        opts.use_index = use_index;
+        StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
+        ASSERT_TRUE(actual.ok()) << query;
+        EXPECT_TRUE(actual->StructurallyEquals(*expected))
+            << query << " on " << EngineKindToString(engine) << " use_index "
+            << use_index << " seed " << GetParam() << "\nexpected "
+            << expected->Repr() << "\nactual " << actual->Repr();
+      }
     }
   }
 }

@@ -1,0 +1,266 @@
+// Unit tests for the src/index subsystem: DocumentIndex construction
+// (postings, depths, kind maps), the indexed step kernels' equivalence
+// with the scan path they replace, the compile-time eligibility
+// annotation, and the thread-safety of Document's lazy caches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/core/step_common.h"
+#include "src/index/document_index.h"
+#include "src/index/step_index.h"
+#include "src/xml/generator.h"
+#include "src/xpath/relevance.h"
+#include "tests/test_util.h"
+
+namespace xpe {
+namespace {
+
+using index::DocumentIndex;
+using test::MustCompile;
+using test::MustParse;
+using xml::NodeId;
+using xml::NodeKind;
+using xpath::NodeTest;
+
+NodeTest NameTest(std::string name) {
+  NodeTest t;
+  t.kind = NodeTest::Kind::kName;
+  t.name = std::move(name);
+  return t;
+}
+
+NodeTest AnyTest() { return NodeTest(); }  // kAny is the default
+
+TEST(DocumentIndexTest, PostingsDepthsAndKindMapsOnPaperDocument) {
+  xml::Document doc = xml::MakePaperDocument();
+  const DocumentIndex& idx = doc.index();
+
+  ASSERT_EQ(idx.size(), doc.size());
+  EXPECT_EQ(idx.name_count(), doc.name_count());
+
+  // Postings partition the elements by tag, in document order.
+  size_t named_total = 0;
+  for (const char* tag : {"a", "b", "c", "d"}) {
+    const std::vector<NodeId>& postings =
+        idx.ElementsNamed(doc.LookupNameId(tag));
+    EXPECT_FALSE(postings.empty()) << tag;
+    named_total += postings.size();
+    for (size_t i = 0; i < postings.size(); ++i) {
+      EXPECT_TRUE(doc.IsElement(postings[i]));
+      EXPECT_EQ(doc.name(postings[i]), tag);
+      if (i > 0) EXPECT_LT(postings[i - 1], postings[i]);
+    }
+  }
+  EXPECT_EQ(named_total, idx.all_elements().size());
+
+  // The paper document carries one id attribute per element.
+  const std::vector<NodeId>& ids = idx.AttributesNamed(doc.LookupNameId("id"));
+  EXPECT_EQ(ids.size(), idx.all_elements().size());
+  EXPECT_EQ(ids.size(), idx.all_attributes().size());
+
+  // Depths: root 0, children of an element one deeper, attributes hang
+  // below their owner.
+  EXPECT_EQ(idx.depth(doc.root()), 0u);
+  for (NodeId id = 1; id < doc.size(); ++id) {
+    EXPECT_EQ(idx.depth(id), idx.depth(doc.parent(id)) + 1) << id;
+  }
+
+  // Kind maps agree with the node records and count exactly.
+  uint64_t elements = 0;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    EXPECT_EQ(idx.kind_map(doc.kind(id)).Test(id), true);
+    elements += doc.IsElement(id);
+  }
+  EXPECT_EQ(idx.kind_map(NodeKind::kElement).count(), elements);
+  EXPECT_EQ(idx.kind_map(NodeKind::kRoot).count(), 1u);
+
+  EXPECT_GT(idx.MemoryUsageBytes(), 0u);
+}
+
+TEST(DocumentIndexTest, UnknownAndUnnamedLookupsAreEmpty) {
+  xml::Document doc = MustParse("<a><b/>text<!--c--><?p q?></a>");
+  const DocumentIndex& idx = doc.index();
+  EXPECT_TRUE(idx.ElementsNamed(doc.LookupNameId("nosuch")).empty());
+  EXPECT_TRUE(idx.AttributesNamed(doc.LookupNameId("a")).empty());
+  // Text/comment/PI nodes appear in kind maps but in no postings.
+  EXPECT_EQ(idx.kind_map(NodeKind::kText).count(), 1u);
+  EXPECT_EQ(idx.kind_map(NodeKind::kComment).count(), 1u);
+  EXPECT_EQ(idx.kind_map(NodeKind::kProcessingInstruction).count(), 1u);
+  EXPECT_EQ(idx.all_elements().size(), 2u);
+}
+
+/// Every eligible (axis, test) pair, evaluated from assorted origin sets
+/// on random documents: the indexed kernel must reproduce the scan path
+/// node for node.
+TEST(StepIndexTest, IndexedStepMatchesScanPath) {
+  const std::vector<NodeTest> tests = {NameTest("a"), NameTest("b"),
+                                       NameTest("nosuch"), NameTest("id"),
+                                       AnyTest()};
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    xml::Document doc = xml::MakeRandomDocument(60, {"a", "b", "c"}, seed);
+    const DocumentIndex& idx = doc.index();
+    // Origin sets: every node alone, plus stride-3 and stride-7 sets.
+    std::vector<NodeSet> origin_sets;
+    for (NodeId id = 0; id < doc.size(); ++id) {
+      origin_sets.push_back(NodeSet::Single(id));
+    }
+    for (NodeId stride : {3, 7}) {
+      NodeSet set;
+      for (NodeId id = 0; id < doc.size(); id += stride) {
+        set.PushBackOrdered(id);
+      }
+      origin_sets.push_back(std::move(set));
+    }
+    origin_sets.push_back(NodeSet::Universe(doc.size()));
+
+    for (int a = 0; a < kNumAxes; ++a) {
+      const Axis axis = static_cast<Axis>(a);
+      for (const NodeTest& test : tests) {
+        if (!xpath::StepIsIndexEligible(axis, test)) continue;
+        for (const NodeSet& x : origin_sets) {
+          NodeSet scan =
+              ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+          NodeSet indexed = index::IndexedStep(doc, idx, axis, test, x);
+          ASSERT_EQ(indexed, scan)
+              << "seed " << seed << " axis " << AxisToString(axis) << " test "
+              << test.ToString() << " |x|=" << x.size() << "\nscan    "
+              << scan.ToString() << "\nindexed " << indexed.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(StepIndexTest, IndexedApplyNodeTestMatchesScanPath) {
+  xml::Document doc = xml::MakeRandomDocument(80, {"a", "b", "c"}, 99);
+  const DocumentIndex& idx = doc.index();
+  std::vector<NodeSet> sets = {NodeSet::Universe(doc.size()), NodeSet(),
+                               NodeSet::Single(0)};
+  NodeSet stride;
+  for (NodeId id = 0; id < doc.size(); id += 5) stride.PushBackOrdered(id);
+  sets.push_back(std::move(stride));
+  for (Axis axis : {Axis::kChild, Axis::kAttribute}) {
+    for (const NodeTest& test :
+         {NameTest("a"), NameTest("id"), NameTest("zz"), AnyTest()}) {
+      for (const NodeSet& set : sets) {
+        EXPECT_EQ(index::IndexedApplyNodeTest(doc, idx, axis, test, set),
+                  ApplyNodeTest(doc, axis, test, set))
+            << AxisToString(axis) << " " << test.ToString();
+      }
+    }
+  }
+}
+
+TEST(StepIndexTest, EligibilityMatrix) {
+  const NodeTest name = NameTest("a");
+  const NodeTest any = AnyTest();
+  NodeTest text;
+  text.kind = NodeTest::Kind::kText;
+  NodeTest node;
+  node.kind = NodeTest::Kind::kNode;
+
+  for (Axis axis : {Axis::kSelf, Axis::kChild, Axis::kParent,
+                    Axis::kDescendant, Axis::kDescendantOrSelf,
+                    Axis::kFollowing, Axis::kPreceding, Axis::kAttribute}) {
+    EXPECT_TRUE(xpath::StepIsIndexEligible(axis, name)) << AxisToString(axis);
+    EXPECT_TRUE(xpath::StepIsIndexEligible(axis, any)) << AxisToString(axis);
+  }
+  for (Axis axis : {Axis::kAncestor, Axis::kAncestorOrSelf}) {
+    EXPECT_TRUE(xpath::StepIsIndexEligible(axis, name));
+    EXPECT_FALSE(xpath::StepIsIndexEligible(axis, any));
+  }
+  for (Axis axis : {Axis::kFollowingSibling, Axis::kPrecedingSibling,
+                    Axis::kId}) {
+    EXPECT_FALSE(xpath::StepIsIndexEligible(axis, name)) << AxisToString(axis);
+  }
+  for (Axis axis : {Axis::kChild, Axis::kDescendant}) {
+    EXPECT_FALSE(xpath::StepIsIndexEligible(axis, text));
+    EXPECT_FALSE(xpath::StepIsIndexEligible(axis, node));
+  }
+}
+
+TEST(StepIndexTest, CompileAnnotatesEligibleSteps) {
+  xpath::CompiledQuery q = MustCompile("//b/ancestor::a/child::c[text()]");
+  int eligible = 0, steps = 0;
+  for (xpath::AstId id = 0; id < q.tree().size(); ++id) {
+    const xpath::AstNode& n = q.tree().node(id);
+    if (n.kind != xpath::ExprKind::kStep) continue;
+    ++steps;
+    eligible += n.index_eligible;
+    EXPECT_EQ(n.index_eligible, xpath::StepIsIndexEligible(n.axis, n.test));
+  }
+  // descendant-or-self::node() (from //) is ineligible; text() too.
+  EXPECT_GE(steps, 4);
+  EXPECT_EQ(eligible, 3);
+}
+
+/// Engines produce identical results with the index on and off, and the
+/// stats confirm the indexed path actually ran.
+TEST(StepIndexTest, EnginesUseIndexAndAgree) {
+  xml::Document doc = xml::MakeGrownPaperDocument(4);
+  for (const char* query : {"//b/c", "//c/ancestor::b", "//b[c]/d",
+                            "/descendant::d[. = 100]"}) {
+    xpath::CompiledQuery compiled = MustCompile(query);
+    for (EngineKind engine :
+         {EngineKind::kTopDown, EngineKind::kMinContext,
+          EngineKind::kOptMinContext, EngineKind::kCoreXPath}) {
+      if (engine == EngineKind::kCoreXPath &&
+          compiled.fragment() != xpath::Fragment::kCoreXPath) {
+        continue;
+      }
+      EvalStats stats_on, stats_off;
+      EvalOptions on;
+      on.engine = engine;
+      on.use_index = true;
+      on.stats = &stats_on;
+      EvalOptions off = on;
+      off.use_index = false;
+      off.stats = &stats_off;
+      StatusOr<Value> with_index = Evaluate(compiled, doc, EvalContext{}, on);
+      StatusOr<Value> without = Evaluate(compiled, doc, EvalContext{}, off);
+      ASSERT_TRUE(with_index.ok()) << query;
+      ASSERT_TRUE(without.ok()) << query;
+      EXPECT_TRUE(with_index->StructurallyEquals(*without))
+          << query << " on " << EngineKindToString(engine);
+      EXPECT_GT(stats_on.indexed_steps, 0u)
+          << query << " on " << EngineKindToString(engine);
+      EXPECT_EQ(stats_off.indexed_steps, 0u);
+    }
+  }
+}
+
+/// Concurrent first-use of every lazy Document cache: the once_flag /
+/// mutex guards must make this race-free (run under TSan in CI to get
+/// the full benefit).
+TEST(DocumentThreadSafetyTest, ConcurrentLazyCacheFirstUse) {
+  xml::Document doc = xml::MakeAuctionDocument(6, 7);
+  xpath::CompiledQuery query = MustCompile("id(//itemref)/name");
+  std::vector<std::thread> threads;
+  std::vector<size_t> index_sizes(8, 0);
+  std::vector<double> numbers(8, 0);
+  std::vector<size_t> results(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      index_sizes[t] = doc.index().all_elements().size();
+      numbers[t] = doc.NumberValue(doc.size() / 2);
+      StatusOr<NodeSet> r = EvaluateNodeSet(query, doc);
+      results[t] = r.ok() ? r->size() : static_cast<size_t>(-1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(index_sizes[t], index_sizes[0]);
+    // NumberValue may legitimately be NaN; all threads must still agree.
+    EXPECT_TRUE(numbers[t] == numbers[0] ||
+                (std::isnan(numbers[t]) && std::isnan(numbers[0])));
+    EXPECT_EQ(results[t], results[0]);
+  }
+  EXPECT_NE(results[0], static_cast<size_t>(-1));
+}
+
+}  // namespace
+}  // namespace xpe
