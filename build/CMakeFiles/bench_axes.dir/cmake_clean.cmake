@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_axes.dir/bench/bench_axes.cc.o"
+  "CMakeFiles/bench_axes.dir/bench/bench_axes.cc.o.d"
+  "bench_axes"
+  "bench_axes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_axes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doc_scaling_core.dir/bench/bench_doc_scaling_core.cc.o"
+  "CMakeFiles/bench_doc_scaling_core.dir/bench/bench_doc_scaling_core.cc.o.d"
+  "bench_doc_scaling_core"
+  "bench_doc_scaling_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doc_scaling_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

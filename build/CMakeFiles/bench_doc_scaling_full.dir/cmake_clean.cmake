@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doc_scaling_full.dir/bench/bench_doc_scaling_full.cc.o"
+  "CMakeFiles/bench_doc_scaling_full.dir/bench/bench_doc_scaling_full.cc.o.d"
+  "bench_doc_scaling_full"
+  "bench_doc_scaling_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doc_scaling_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

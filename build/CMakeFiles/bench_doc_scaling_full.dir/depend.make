@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_doc_scaling_full.
+# This may be replaced when dependencies are built.

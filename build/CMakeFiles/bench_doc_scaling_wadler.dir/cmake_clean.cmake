@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doc_scaling_wadler.dir/bench/bench_doc_scaling_wadler.cc.o"
+  "CMakeFiles/bench_doc_scaling_wadler.dir/bench/bench_doc_scaling_wadler.cc.o.d"
+  "bench_doc_scaling_wadler"
+  "bench_doc_scaling_wadler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doc_scaling_wadler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

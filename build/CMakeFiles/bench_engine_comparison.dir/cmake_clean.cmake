@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_comparison.dir/bench/bench_engine_comparison.cc.o"
+  "CMakeFiles/bench_engine_comparison.dir/bench/bench_engine_comparison.cc.o.d"
+  "bench_engine_comparison"
+  "bench_engine_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

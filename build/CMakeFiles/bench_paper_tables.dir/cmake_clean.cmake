@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_tables.dir/bench/bench_paper_tables.cc.o"
+  "CMakeFiles/bench_paper_tables.dir/bench/bench_paper_tables.cc.o.d"
+  "bench_paper_tables"
+  "bench_paper_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_growth.dir/bench/bench_query_growth.cc.o"
+  "CMakeFiles/bench_query_growth.dir/bench/bench_query_growth.cc.o.d"
+  "bench_query_growth"
+  "bench_query_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml_parse.dir/bench/bench_xml_parse.cc.o"
+  "CMakeFiles/bench_xml_parse.dir/bench/bench_xml_parse.cc.o.d"
+  "bench_xml_parse"
+  "bench_xml_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

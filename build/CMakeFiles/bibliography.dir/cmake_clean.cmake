@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography.dir/examples/bibliography.cpp.o"
+  "CMakeFiles/bibliography.dir/examples/bibliography.cpp.o.d"
+  "bibliography"
+  "bibliography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

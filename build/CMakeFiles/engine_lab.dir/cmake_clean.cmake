@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_lab.dir/examples/engine_lab.cpp.o"
+  "CMakeFiles/engine_lab.dir/examples/engine_lab.cpp.o.d"
+  "engine_lab"
+  "engine_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

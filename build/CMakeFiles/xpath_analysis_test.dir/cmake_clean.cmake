@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_analysis_test.dir/tests/xpath_analysis_test.cc.o"
+  "CMakeFiles/xpath_analysis_test.dir/tests/xpath_analysis_test.cc.o.d"
+  "xpath_analysis_test"
+  "xpath_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

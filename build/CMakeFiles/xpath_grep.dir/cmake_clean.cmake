@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_grep.dir/examples/xpath_grep.cpp.o"
+  "CMakeFiles/xpath_grep.dir/examples/xpath_grep.cpp.o.d"
+  "xpath_grep"
+  "xpath_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axes/axis.cc" "CMakeFiles/xpe.dir/src/axes/axis.cc.o" "gcc" "CMakeFiles/xpe.dir/src/axes/axis.cc.o.d"
+  "/root/repo/src/axes/node_set.cc" "CMakeFiles/xpe.dir/src/axes/node_set.cc.o" "gcc" "CMakeFiles/xpe.dir/src/axes/node_set.cc.o.d"
+  "/root/repo/src/baseline/naive.cc" "CMakeFiles/xpe.dir/src/baseline/naive.cc.o" "gcc" "CMakeFiles/xpe.dir/src/baseline/naive.cc.o.d"
+  "/root/repo/src/common/numeric.cc" "CMakeFiles/xpe.dir/src/common/numeric.cc.o" "gcc" "CMakeFiles/xpe.dir/src/common/numeric.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/xpe.dir/src/common/status.cc.o" "gcc" "CMakeFiles/xpe.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "CMakeFiles/xpe.dir/src/common/str_util.cc.o" "gcc" "CMakeFiles/xpe.dir/src/common/str_util.cc.o.d"
+  "/root/repo/src/core/bottomup.cc" "CMakeFiles/xpe.dir/src/core/bottomup.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/bottomup.cc.o.d"
+  "/root/repo/src/core/corexpath.cc" "CMakeFiles/xpe.dir/src/core/corexpath.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/corexpath.cc.o.d"
+  "/root/repo/src/core/engine.cc" "CMakeFiles/xpe.dir/src/core/engine.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/engine.cc.o.d"
+  "/root/repo/src/core/functions.cc" "CMakeFiles/xpe.dir/src/core/functions.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/functions.cc.o.d"
+  "/root/repo/src/core/mincontext.cc" "CMakeFiles/xpe.dir/src/core/mincontext.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/mincontext.cc.o.d"
+  "/root/repo/src/core/step_common.cc" "CMakeFiles/xpe.dir/src/core/step_common.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/step_common.cc.o.d"
+  "/root/repo/src/core/topdown.cc" "CMakeFiles/xpe.dir/src/core/topdown.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/topdown.cc.o.d"
+  "/root/repo/src/core/value.cc" "CMakeFiles/xpe.dir/src/core/value.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/value.cc.o.d"
+  "/root/repo/src/core/wadler.cc" "CMakeFiles/xpe.dir/src/core/wadler.cc.o" "gcc" "CMakeFiles/xpe.dir/src/core/wadler.cc.o.d"
+  "/root/repo/src/index/document_index.cc" "CMakeFiles/xpe.dir/src/index/document_index.cc.o" "gcc" "CMakeFiles/xpe.dir/src/index/document_index.cc.o.d"
+  "/root/repo/src/index/step_index.cc" "CMakeFiles/xpe.dir/src/index/step_index.cc.o" "gcc" "CMakeFiles/xpe.dir/src/index/step_index.cc.o.d"
+  "/root/repo/src/xml/document.cc" "CMakeFiles/xpe.dir/src/xml/document.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xml/document.cc.o.d"
+  "/root/repo/src/xml/generator.cc" "CMakeFiles/xpe.dir/src/xml/generator.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xml/generator.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "CMakeFiles/xpe.dir/src/xml/parser.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "CMakeFiles/xpe.dir/src/xml/serializer.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xml/serializer.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "CMakeFiles/xpe.dir/src/xpath/ast.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/compile.cc" "CMakeFiles/xpe.dir/src/xpath/compile.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/compile.cc.o.d"
+  "/root/repo/src/xpath/explain.cc" "CMakeFiles/xpe.dir/src/xpath/explain.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/explain.cc.o.d"
+  "/root/repo/src/xpath/fragments.cc" "CMakeFiles/xpe.dir/src/xpath/fragments.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/fragments.cc.o.d"
+  "/root/repo/src/xpath/function_id.cc" "CMakeFiles/xpe.dir/src/xpath/function_id.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/function_id.cc.o.d"
+  "/root/repo/src/xpath/lexer.cc" "CMakeFiles/xpe.dir/src/xpath/lexer.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/lexer.cc.o.d"
+  "/root/repo/src/xpath/normalize.cc" "CMakeFiles/xpe.dir/src/xpath/normalize.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/normalize.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "CMakeFiles/xpe.dir/src/xpath/parser.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/relevance.cc" "CMakeFiles/xpe.dir/src/xpath/relevance.cc.o" "gcc" "CMakeFiles/xpe.dir/src/xpath/relevance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(axes_test "/root/repo/build/axes_test")
+set_tests_properties(axes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(differential_test "/root/repo/build/differential_test")
+set_tests_properties(differential_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(document_test "/root/repo/build/document_test")
+set_tests_properties(document_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(engine_behavior_test "/root/repo/build/engine_behavior_test")
+set_tests_properties(engine_behavior_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(engine_conformance_test "/root/repo/build/engine_conformance_test")
+set_tests_properties(engine_conformance_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(explain_test "/root/repo/build/explain_test")
+set_tests_properties(explain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(functions_test "/root/repo/build/functions_test")
+set_tests_properties(functions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(paper_examples_test "/root/repo/build/paper_examples_test")
+set_tests_properties(paper_examples_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(robustness_test "/root/repo/build/robustness_test")
+set_tests_properties(robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(xml_parser_test "/root/repo/build/xml_parser_test")
+set_tests_properties(xml_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(xpath_analysis_test "/root/repo/build/xpath_analysis_test")
+set_tests_properties(xpath_analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(xpath_parser_test "/root/repo/build/xpath_parser_test")
+set_tests_properties(xpath_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
