@@ -1,0 +1,202 @@
+// Evaluator session reuse vs. one-shot Evaluate(): the tentpole claim of
+// the session-memory refactor. A reused Evaluator keeps its arena blocks
+// and scratch-buffer capacity across calls, so repeated queries stop
+// paying the per-evaluation table allocations the one-shot wrapper
+// re-pays every time. This harness counts malloc-level allocations (via
+// a global operator-new hook) and wall-clock for K repeated evaluations
+// per polynomial engine and document size, in both modes.
+//
+// --smoke exits non-zero unless, for every case, the reused session
+// performs strictly fewer allocations and is not slower than the
+// one-shot loop beyond a generous noise margin. CI runs this.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Only the count is tracked; the pointers go
+// straight to malloc/free.
+// ---------------------------------------------------------------------------
+
+static std::atomic<uint64_t> g_allocations{0};
+
+static void* CountedAlloc(size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+static void* CountedAlignedAlloc(size_t n, std::align_val_t al) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const size_t align = static_cast<size_t>(al);
+  const size_t size = (n + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, size == 0 ? align : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(size_t n) { return CountedAlloc(n); }
+void* operator new[](size_t n) { return CountedAlloc(n); }
+void* operator new(size_t n, std::align_val_t al) {
+  return CountedAlignedAlloc(n, al);
+}
+void* operator new[](size_t n, std::align_val_t al) {
+  return CountedAlignedAlloc(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace xpe::bench {
+namespace {
+
+struct Case {
+  EngineKind engine;
+  const char* query;
+  int width;
+  int iters;
+};
+
+struct Run {
+  uint64_t allocations;
+  double millis;
+};
+
+/// K evaluations through the free one-shot Evaluate().
+Run RunOneShot(const xpath::CompiledQuery& query, const xml::Document& doc,
+               const EvalOptions& options, int iters) {
+  const uint64_t a0 = g_allocations.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    StatusOr<Value> v = Evaluate(query, doc, EvalContext{}, options);
+    if (!v.ok()) {
+      fprintf(stderr, "one-shot eval(%s): %s\n", query.source().c_str(),
+              v.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return {g_allocations.load() - a0,
+          std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+/// K evaluations on one reused Evaluator session (constructed inside the
+/// measured region: the comparison is honest about session setup).
+Run RunReused(const xpath::CompiledQuery& query, const xml::Document& doc,
+              const EvalOptions& options, int iters) {
+  const uint64_t a0 = g_allocations.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  Evaluator session;
+  for (int i = 0; i < iters; ++i) {
+    StatusOr<Value> v = session.Evaluate(query, doc, EvalContext{}, options);
+    if (!v.ok()) {
+      fprintf(stderr, "session eval(%s): %s\n", query.source().c_str(),
+              v.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return {g_allocations.load() - a0,
+          std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  using namespace xpe;
+  using namespace xpe::bench;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  // One query with a positional predicate for the table engines (it makes
+  // every engine build real context-value tables), one Core XPath query
+  // for the linear engine.
+  constexpr const char* kTableQuery =
+      "/descendant::*/child::*[position() != last()]";
+  constexpr const char* kCoreQuery = "//a[b and not(c)]/descendant::b";
+
+  // E-up materializes |dom|^3 tables — keep its documents tiny.
+  const std::vector<Case> cases = {
+      {EngineKind::kBottomUp, kTableQuery, 1, 40},
+      {EngineKind::kBottomUp, kTableQuery, 2, 20},
+      {EngineKind::kTopDown, kTableQuery, 8, 60},
+      {EngineKind::kTopDown, kTableQuery, 24, 30},
+      {EngineKind::kMinContext, kTableQuery, 8, 60},
+      {EngineKind::kMinContext, kTableQuery, 24, 30},
+      {EngineKind::kOptMinContext, kTableQuery, 8, 60},
+      {EngineKind::kOptMinContext, kTableQuery, 24, 30},
+      {EngineKind::kCoreXPath, kCoreQuery, 8, 200},
+      {EngineKind::kCoreXPath, kCoreQuery, 24, 100},
+  };
+
+  printf("Evaluator reuse vs. one-shot Evaluate (K repeated queries)\n");
+  printf("%-14s %6s %5s | %12s %12s %7s | %9s %9s\n", "engine", "|D|", "K",
+         "1shot allocs", "reuse allocs", "ratio", "1shot ms", "reuse ms");
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    xml::Document doc = xml::MakeGrownPaperDocument(c.width);
+    xpath::CompiledQuery query = MustCompile(c.query);
+    EvalOptions options;
+    options.engine = c.engine;
+
+    // Warm the document's lazy caches (index, id axis) and the heap so
+    // neither arm pays one-time costs.
+    {
+      StatusOr<Value> v = Evaluate(query, doc, EvalContext{}, options);
+      if (!v.ok()) {
+        fprintf(stderr, "warmup eval(%s, %s): %s\n", c.query,
+                EngineKindToString(c.engine), v.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    const Run oneshot = RunOneShot(query, doc, options, c.iters);
+    const Run reused = RunReused(query, doc, options, c.iters);
+    const double ratio =
+        oneshot.allocations == 0
+            ? 1.0
+            : static_cast<double>(reused.allocations) /
+                  static_cast<double>(oneshot.allocations);
+    printf("%-14s %6u %5d | %12llu %12llu %6.2fx | %9.2f %9.2f\n",
+           EngineKindToString(c.engine), doc.size(), c.iters,
+           static_cast<unsigned long long>(oneshot.allocations),
+           static_cast<unsigned long long>(reused.allocations), ratio,
+           oneshot.millis, reused.millis);
+
+    if (smoke && reused.allocations >= oneshot.allocations) {
+      fprintf(stderr,
+              "FAIL: %s |D|=%u: reused session allocations (%llu) not "
+              "strictly below one-shot (%llu)\n",
+              EngineKindToString(c.engine), doc.size(),
+              static_cast<unsigned long long>(reused.allocations),
+              static_cast<unsigned long long>(oneshot.allocations));
+      ok = false;
+    }
+    // Wall-clock must be no worse; allow generous noise headroom on
+    // shared CI machines.
+    if (smoke && reused.millis > oneshot.millis * 1.5 + 5.0) {
+      fprintf(stderr, "FAIL: %s |D|=%u: reused session slower (%.2fms) than "
+              "one-shot (%.2fms) beyond noise margin\n",
+              EngineKindToString(c.engine), doc.size(), reused.millis,
+              oneshot.millis);
+      ok = false;
+    }
+  }
+
+  if (!ok) return 1;
+  printf("%s\n", smoke ? "smoke OK: reuse strictly cheaper everywhere"
+                       : "done");
+  return 0;
+}

@@ -1,0 +1,161 @@
+#ifndef XPE_AXES_ARENA_H_
+#define XPE_AXES_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace xpe {
+
+/// A monotonic bump allocator for evaluation-lifetime table storage.
+/// Allocations are never freed individually; Reset() recycles the whole
+/// arena while *retaining* its blocks, so an evaluator session that is
+/// reused across calls stops allocating once the arena has grown to the
+/// peak working-set of its query/document mix. Engines put their
+/// context-value tables here (see NodeTable); short-lived inner-loop
+/// scratch belongs in the EvalWorkspace pools instead, which reclaim
+/// capacity immediately.
+///
+/// Not thread-safe: one arena belongs to one evaluation session.
+class EvalArena {
+ public:
+  EvalArena() = default;
+  EvalArena(const EvalArena&) = delete;
+  EvalArena& operator=(const EvalArena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power
+  /// of two ≤ alignof(std::max_align_t)). Valid until Reset().
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Grows the *most recent* allocation in place when it still sits at
+  /// the bump cursor and the block has room; returns false otherwise
+  /// (the caller then Allocates fresh storage and copies). This is what
+  /// makes ArenaVector growth cheap in the common one-writer case.
+  bool TryExtend(const void* ptr, size_t old_bytes, size_t new_bytes);
+
+  /// Recycles the arena: all previous allocations become invalid, all
+  /// blocks are retained for reuse. O(1).
+  void Reset();
+
+  /// Bytes handed out since the last Reset() (incl. alignment padding).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total capacity of all retained blocks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  /// High-water mark of bytes_used() across the arena's whole lifetime:
+  /// the real-memory footprint a reused session converges to.
+  size_t bytes_peak() const { return bytes_peak_; }
+  /// Number of malloc-level block allocations ever performed. A reused
+  /// session's steady state keeps this constant across calls.
+  uint64_t block_allocations() const { return block_allocations_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+  };
+
+  /// Makes `blocks_[active_]` (growing it if needed) able to serve
+  /// `bytes` from a fresh cursor.
+  void NewBlock(size_t bytes);
+
+  static constexpr size_t kMinBlockBytes = 1 << 12;
+
+  std::vector<Block> blocks_;
+  size_t active_ = 0;  // block currently bump-allocated from
+  size_t cursor_ = 0;  // offset of the next free byte in blocks_[active_]
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_peak_ = 0;
+  uint64_t block_allocations_ = 0;
+};
+
+/// A std::vector-shaped growable array of trivially copyable elements
+/// whose storage lives in an EvalArena. Superseded capacity is abandoned
+/// to the arena (monotonic), so use it for buffers that live until the
+/// end of the evaluation — NodeTable is the main client.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  ArenaVector() = default;
+  explicit ArenaVector(EvalArena* arena) : arena_(arena) {}
+
+  // Move-only: a copy would alias the arena-backed buffer, and a later
+  // push_back through either alias would corrupt the other.
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+  ArenaVector(ArenaVector&& other) noexcept { *this = std::move(other); }
+  ArenaVector& operator=(ArenaVector&& other) noexcept {
+    arena_ = other.arena_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    return *this;
+  }
+
+  /// Rebinds to `arena` and empties the vector (storage is abandoned).
+  void Reset(EvalArena* arena) {
+    arena_ = arena;
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  void push_back(T v) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = v;
+  }
+  void append(const T* src, size_t n) {
+    if (n == 0) return;  // keeps memcpy away from null empty-span data()
+    if (size_ + n > capacity_) Grow(size_ + n);
+    std::memcpy(data_ + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+  void resize(size_t n, T fill) {
+    if (n > capacity_) Grow(n);
+    for (size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+  void clear() { size_ = 0; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+
+ private:
+  void Grow(size_t need) {
+    size_t new_cap = capacity_ == 0 ? 16 : capacity_ * 2;
+    if (new_cap < need) new_cap = need;
+    if (capacity_ > 0 && arena_->TryExtend(data_, capacity_ * sizeof(T),
+                                           new_cap * sizeof(T))) {
+      capacity_ = new_cap;
+      return;
+    }
+    T* fresh =
+        static_cast<T*>(arena_->Allocate(new_cap * sizeof(T), alignof(T)));
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  EvalArena* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace xpe
+
+#endif  // XPE_AXES_ARENA_H_

@@ -12,6 +12,12 @@ NodeSet::NodeSet(std::vector<xml::NodeId> ids) : ids_(std::move(ids)) {
   ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
 }
 
+NodeSet NodeSet::FromSorted(std::span<const xml::NodeId> ids) {
+  NodeSet out;
+  out.ids_.assign(ids.begin(), ids.end());
+  return out;
+}
+
 NodeSet NodeSet::Universe(xml::NodeId size) {
   std::vector<xml::NodeId> ids(size);
   std::iota(ids.begin(), ids.end(), 0);
@@ -59,6 +65,34 @@ std::string NodeSet::ToString() const {
   }
   out += "}";
   return out;
+}
+
+void UnionInto(std::span<const xml::NodeId> a, std::span<const xml::NodeId> b,
+               std::vector<xml::NodeId>* out) {
+  out->clear();
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(*out));
+}
+
+void IntersectInto(std::span<const xml::NodeId> a,
+                   std::span<const xml::NodeId> b,
+                   std::vector<xml::NodeId>* out) {
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+void DifferenceInto(std::span<const xml::NodeId> a,
+                    std::span<const xml::NodeId> b,
+                    std::vector<xml::NodeId>* out) {
+  out->clear();
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(*out));
+}
+
+void SortUnique(std::vector<xml::NodeId>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
 }
 
 NodeSet NodeBitmap::ToNodeSet() const {

@@ -1,6 +1,7 @@
 #ifndef XPE_AXES_NODE_SET_H_
 #define XPE_AXES_NODE_SET_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,9 @@ class NodeSet {
   explicit NodeSet(std::vector<xml::NodeId> ids);
 
   static NodeSet Single(xml::NodeId id) { return NodeSet({id}); }
+  /// Copies an already sorted duplicate-free id sequence (e.g. a
+  /// NodeTable row or pooled scratch buffer).
+  static NodeSet FromSorted(std::span<const xml::NodeId> ids);
   /// All ids in [0, size): the paper's `dom` (attributes included; callers
   /// that need tree-only sets filter by kind).
   static NodeSet Universe(xml::NodeId size);
@@ -56,6 +60,22 @@ class NodeSet {
  private:
   std::vector<xml::NodeId> ids_;
 };
+
+/// Set algebra over sorted duplicate-free id sequences writing into a
+/// caller-owned buffer (cleared first; must not alias an input). These
+/// are the allocation-free work-horses of the session-pooled engines:
+/// `out` is typically an EvalWorkspace scratch buffer whose capacity
+/// survives across evaluations.
+void UnionInto(std::span<const xml::NodeId> a, std::span<const xml::NodeId> b,
+               std::vector<xml::NodeId>* out);
+void IntersectInto(std::span<const xml::NodeId> a,
+                   std::span<const xml::NodeId> b,
+                   std::vector<xml::NodeId>* out);
+void DifferenceInto(std::span<const xml::NodeId> a,
+                    std::span<const xml::NodeId> b,
+                    std::vector<xml::NodeId>* out);
+/// Sorts and deduplicates in place (for buffers filled out of order).
+void SortUnique(std::vector<xml::NodeId>* ids);
 
 /// A dense membership bitmap over one document's nodes. The O(|D|) axis
 /// algorithms of axis.h use it for their single-pass marking phases.

@@ -4,6 +4,11 @@
 // every node-set subexpression a complete pair relation over dom². This
 // is the memory-hungry reference point the paper improves on; the E5
 // space benchmark depends on these tables being materialized for real.
+//
+// Pair relations are flat NodeTables on the session arena (one
+// contiguous id buffer per table, no per-row heap vectors); the scalar
+// tables stay std::vector<Value> because Value is not trivially
+// destructible.
 
 #include "src/core/engine_internal.h"
 #include "src/core/functions.h"
@@ -28,9 +33,10 @@ constexpr NodeId kMaxBottomUpDocument = 192;
 
 class BottomUpEvaluator {
  public:
-  BottomUpEvaluator(const QueryTree& tree, const Document& doc,
-                    const EvalOptions& options)
-      : tree_(tree),
+  BottomUpEvaluator(EvalWorkspace& ws, const QueryTree& tree,
+                    const Document& doc, const EvalOptions& options)
+      : ws_(ws),
+        tree_(tree),
         doc_(doc),
         stats_(options.stats),
         budget_(options.budget),
@@ -68,7 +74,7 @@ class BottomUpEvaluator {
   StatusOr<Value> Result(const EvalContext& ctx) const {
     const AstNode& root = tree_.node(tree_.root());
     if (root.type == xpath::ValueType::kNodeSet) {
-      return Value::Nodes(rel_tables_[tree_.root()][ctx.node]);
+      return Value::Nodes(rel_tables_[tree_.root()].RowAsNodeSet(ctx.node));
     }
     return scalar_tables_[tree_.root()][CtxIndex(
         ctx.node, std::min<uint32_t>(ctx.position, n_),
@@ -161,27 +167,34 @@ class BottomUpEvaluator {
   /// node-sets from their relation row.
   Value ChildValue(AstId id, NodeId cn, uint32_t cp, uint32_t cs) const {
     if (tree_.node(id).type == xpath::ValueType::kNodeSet) {
-      return Value::Nodes(rel_tables_[id][cn]);
+      return Value::Nodes(rel_tables_[id].RowAsNodeSet(cn));
     }
     return Lookup(id, cn, cp, cs);
   }
 
+  /// A fresh per-origin relation table on the session arena.
+  NodeTable NewRelation() {
+    NodeTable table;
+    table.Reset(ws_.arena(), n_);
+    return table;
+  }
+
   Status BuildRelation(AstId id) {
     const AstNode& n = tree_.node(id);
-    std::vector<NodeSet>& rel = rel_tables_[id];
-    rel.assign(n_, NodeSet());
+    NodeTable rel = NewRelation();
     switch (n.kind) {
       case ExprKind::kPath: {
         size_t step_begin = 0;
         if (n.has_head) {
-          rel = rel_tables_[n.children[0]];
+          rel.CopyRows(rel_tables_[n.children[0]]);
           step_begin = 1;
         } else if (n.absolute) {
           // {(x0, y) | x0 ∈ dom, (root, y) ∈ R'}: computed by running the
           // steps from root and copying to every origin afterwards.
-          for (NodeId x = 0; x < n_; ++x) rel[x] = NodeSet::Single(doc_.root());
+          const NodeId root = doc_.root();
+          for (NodeId x = 0; x < n_; ++x) rel.SetRow(x, {&root, 1});
         } else {
-          for (NodeId x = 0; x < n_; ++x) rel[x] = NodeSet::Single(x);
+          for (NodeId x = 0; x < n_; ++x) rel.SetRow(x, {&x, 1});
         }
         for (size_t s = step_begin; s < n.children.size(); ++s) {
           XPE_RETURN_IF_ERROR(ComposeStep(n.children[s], &rel));
@@ -189,28 +202,36 @@ class BottomUpEvaluator {
         break;
       }
       case ExprKind::kUnion: {
-        rel = rel_tables_[n.children[0]];
-        for (size_t c = 1; c < n.children.size(); ++c) {
-          for (NodeId x = 0; x < n_; ++x) {
-            rel[x] = rel[x].Union(rel_tables_[n.children[c]][x]);
+        EvalWorkspace::ScratchIds row = ws_.AcquireIds();
+        EvalWorkspace::ScratchIds merged = ws_.AcquireIds();
+        for (NodeId x = 0; x < n_; ++x) {
+          const std::span<const NodeId> first = rel_tables_[n.children[0]].Row(x);
+          row->assign(first.begin(), first.end());
+          for (size_t c = 1; c < n.children.size(); ++c) {
+            UnionInto(*row, rel_tables_[n.children[c]].Row(x), merged.get());
+            std::swap(*row, *merged);
           }
+          rel.SetRow(x, *row);
         }
         break;
       }
       case ExprKind::kFilter: {
-        rel = rel_tables_[n.children[0]];
-        for (size_t p = 1; p < n.children.size(); ++p) {
-          for (NodeId x = 0; x < n_; ++x) {
-            const std::vector<NodeId>& list = rel[x].ids();
-            const uint32_t m = static_cast<uint32_t>(list.size());
-            NodeSet kept;
+        EvalWorkspace::ScratchIds row = ws_.AcquireIds();
+        EvalWorkspace::ScratchIds kept = ws_.AcquireIds();
+        for (NodeId x = 0; x < n_; ++x) {
+          const std::span<const NodeId> head = rel_tables_[n.children[0]].Row(x);
+          row->assign(head.begin(), head.end());
+          for (size_t p = 1; p < n.children.size(); ++p) {
+            const uint32_t m = static_cast<uint32_t>(row->size());
+            kept->clear();
             for (uint32_t j = 0; j < m; ++j) {
-              if (Lookup(n.children[p], list[j], j + 1, m).boolean()) {
-                kept.PushBackOrdered(list[j]);
+              if (Lookup(n.children[p], (*row)[j], j + 1, m).boolean()) {
+                kept->push_back((*row)[j]);
               }
             }
-            rel[x] = std::move(kept);
+            std::swap(*row, *kept);
           }
+          rel.SetRow(x, *row);
         }
         break;
       }
@@ -218,61 +239,84 @@ class BottomUpEvaluator {
         if (n.fn != FunctionId::kId) {
           return Status::Internal("node-set function unsupported in E-up");
         }
+        EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
         for (NodeId x = 0; x < n_; ++x) {
           const Value& s = Lookup(n.children[0], x, 1, 1);
-          rel[x] = NodeSet(doc_.DerefIds(s.ToString(doc_)));
+          const std::vector<NodeId> derefed = doc_.DerefIds(s.ToString(doc_));
+          targets->assign(derefed.begin(), derefed.end());
+          SortUnique(targets.get());
+          rel.SetRow(x, *targets);
         }
         break;
       }
       default:
         return Status::Internal("relation kind unsupported in E-up");
     }
-    uint64_t cells = 0;
-    for (const NodeSet& row : rel) cells += row.size() + 1;
-    return Charge(cells);
+    const uint64_t cells = rel.cells();
+    rel_tables_[id] = std::move(rel);
+    return Charge(cells + n_);
   }
 
   /// rel := rel ∘ step: every origin's frontier advances through one
   /// location step, with predicates looked up in their full tables.
-  Status ComposeStep(AstId step_id, std::vector<NodeSet>* rel) {
+  Status ComposeStep(AstId step_id, NodeTable* rel) {
     const AstNode& step = tree_.node(step_id);
-    // Cache the per-frontier-node step results (y → targets). One kernel
-    // for all origins: the postings lookup happens once per step.
-    std::vector<bool> done(n_, false);
-    std::vector<NodeSet> step_of(n_);
-    const StepKernel kernel(doc_, step, use_index_, stats_);
+    // Pass 1: the per-frontier-node step relation (y → targets), one row
+    // per distinct y across all origins' frontiers. One kernel for all
+    // origins: the postings lookup happens once per step.
+    EvalWorkspace::ScratchBits in_frontier = ws_.AcquireBits(n_);
     for (NodeId x = 0; x < n_; ++x) {
-      NodeSet next;
-      for (NodeId y : (*rel)[x]) {
-        if (!done[y]) {
-          done[y] = true;
-          NodeSet candidates;
-          if (step.axis == Axis::kId) {
-            if (stats_ != nullptr) ++stats_->axis_evals;
-            candidates = NodeSet(doc_.IdAxisForward(y));
-          } else {
-            candidates = kernel.Eval(NodeSet::Single(y));
-          }
-          std::vector<NodeId> ordered = OrderForAxis(step.axis, candidates);
-          for (AstId pred : step.children) {
-            std::vector<NodeId> kept;
-            const uint32_t m = static_cast<uint32_t>(ordered.size());
-            for (uint32_t j = 0; j < m; ++j) {
-              if (Lookup(pred, ordered[j], j + 1, m).boolean()) {
-                kept.push_back(ordered[j]);
-              }
-            }
-            ordered = std::move(kept);
-          }
-          step_of[y] = NodeSet(std::move(ordered));
-        }
-        next = next.Union(step_of[y]);
-      }
-      (*rel)[x] = std::move(next);
+      for (NodeId y : rel->Row(x)) in_frontier.Set(y);
     }
+    const StepKernel kernel(doc_, step, use_index_, stats_);
+    NodeTable step_of;
+    step_of.Reset(ws_.arena(), n_);
+    EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds ordered = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds kept = ws_.AcquireIds();
+    for (NodeId y = 0; y < n_; ++y) {
+      if (!in_frontier.Test(y)) continue;
+      if (step.axis == Axis::kId) {
+        if (stats_ != nullptr) ++stats_->axis_evals;
+        const std::vector<NodeId>& targets = doc_.IdAxisForward(y);
+        candidates->assign(targets.begin(), targets.end());
+        SortUnique(candidates.get());
+      } else {
+        kernel.EvalInto({&y, 1}, candidates.get());
+      }
+      OrderForAxisInto(step.axis, *candidates, ordered.get());
+      for (AstId pred : step.children) {
+        const uint32_t m = static_cast<uint32_t>(ordered->size());
+        kept->clear();
+        for (uint32_t j = 0; j < m; ++j) {
+          if (Lookup(pred, (*ordered)[j], j + 1, m).boolean()) {
+            kept->push_back((*ordered)[j]);
+          }
+        }
+        std::swap(*ordered, *kept);
+      }
+      SortUnique(ordered.get());  // back to document order
+      step_of.SetRow(y, *ordered);
+    }
+
+    // Pass 2: every origin's new frontier is the union of its current
+    // frontier members' step rows.
+    NodeTable next = NewRelation();
+    EvalWorkspace::ScratchIds merged = ws_.AcquireIds();
+    for (NodeId x = 0; x < n_; ++x) {
+      merged->clear();
+      for (NodeId y : rel->Row(x)) {
+        const std::span<const NodeId> targets = step_of.Row(y);
+        merged->insert(merged->end(), targets.begin(), targets.end());
+      }
+      SortUnique(merged.get());
+      next.SetRow(x, *merged);
+    }
+    *rel = std::move(next);
     return Status::OK();
   }
 
+  EvalWorkspace& ws_;
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
@@ -282,12 +326,13 @@ class BottomUpEvaluator {
   const NodeId n_;
   const size_t tri_size_;
   std::vector<std::vector<Value>> scalar_tables_;
-  std::vector<std::vector<NodeSet>> rel_tables_;
+  std::vector<NodeTable> rel_tables_;
 };
 
 }  // namespace
 
-StatusOr<Value> EvalBottomUp(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalBottomUp(EvalWorkspace& ws,
+                             const xpath::CompiledQuery& query,
                              const xml::Document& doc, const EvalContext& ctx,
                              const EvalOptions& options) {
   if (doc.size() > kMaxBottomUpDocument) {
@@ -297,7 +342,7 @@ StatusOr<Value> EvalBottomUp(const xpath::CompiledQuery& query,
         std::to_string(kMaxBottomUpDocument) +
         " nodes (use MINCONTEXT/OPTMINCONTEXT instead)"));
   }
-  BottomUpEvaluator evaluator(query.tree(), doc, options);
+  BottomUpEvaluator evaluator(ws, query.tree(), doc, options);
   XPE_RETURN_IF_ERROR(evaluator.Build(query.root()));
   return evaluator.Result(ctx);
 }

@@ -1,7 +1,14 @@
 // The linear-time Core XPath engine ([11], recalled as Definition 12 /
 // Theorem 13). Every operation is a constant number of O(|D|) set passes
 // per query node: axis images for the steps, inverse-axis backward
-// propagation for path predicates, and bitmap algebra for and/or/not.
+// propagation for path predicates, and set algebra for and/or/not.
+//
+// All intermediate sets live in pooled EvalWorkspace scratch buffers, so
+// a reused evaluator session runs the per-step loops without heap
+// allocation (the axis scans still materialize their image internally).
+
+#include <algorithm>
+#include <numeric>
 
 #include "src/core/engine_internal.h"
 #include "src/core/step_common.h"
@@ -21,82 +28,122 @@ using xpath::QueryTree;
 
 class CoreXPathEvaluator {
  public:
-  CoreXPathEvaluator(const QueryTree& tree, const Document& doc,
-                     EvalStats* stats, bool use_index)
-      : tree_(tree), doc_(doc), stats_(stats), use_index_(use_index) {}
+  CoreXPathEvaluator(EvalWorkspace& ws, const QueryTree& tree,
+                     const Document& doc, EvalStats* stats, bool use_index)
+      : ws_(ws), tree_(tree), doc_(doc), stats_(stats),
+        use_index_(use_index) {}
 
-  /// Forward evaluation of a Core XPath location path from start set `x`.
-  NodeSet EvalPath(AstId id, const NodeSet& x) {
+  /// Forward evaluation of a Core XPath location path from start set `x`
+  /// into `out` (a pooled scratch buffer).
+  void EvalPath(AstId id, std::span<const NodeId> x,
+                std::vector<NodeId>* out) {
     const AstNode& n = tree_.node(id);
-    NodeSet current = n.absolute ? NodeSet::Single(doc_.root()) : x;
+    EvalWorkspace::ScratchIds current = ws_.AcquireIds();
+    if (n.absolute) {
+      current->push_back(doc_.root());
+    } else {
+      current->assign(x.begin(), x.end());
+    }
+    EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds sel = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds tmp = ws_.AcquireIds();
     for (AstId step_id : n.children) {
       const AstNode& step = tree_.node(step_id);
-      NodeSet candidates = StepImage(step, current);
+      StepKernel(doc_, step, use_index_, stats_)
+          .EvalInto(*current, candidates.get());
       for (AstId pred : step.children) {
-        candidates = candidates.Intersect(PredSet(pred, candidates));
+        PredSet(pred, *candidates, sel.get());
+        IntersectInto(*candidates, *sel, tmp.get());
+        std::swap(*candidates, *tmp);
       }
-      current = std::move(candidates);
-      if (stats_ != nullptr) stats_->AddCells(current.size());
+      std::swap(*current, *candidates);
+      if (stats_ != nullptr) stats_->AddCells(current->size());
     }
-    return current;
+    std::swap(*out, *current);
   }
 
-  /// χ(X) ∩ T(t) for one step: postings-backed when the step is
-  /// index-eligible, the O(|D|) scan otherwise.
-  NodeSet StepImage(const AstNode& step, const NodeSet& x) {
-    return StepKernel(doc_, step, use_index_, stats_).Eval(x);
-  }
-
-  /// The set of nodes in `universe` satisfying a Core XPath predicate.
-  NodeSet PredSet(AstId id, const NodeSet& universe) {
+  /// The set of nodes in `universe` satisfying a Core XPath predicate,
+  /// written into `out`.
+  void PredSet(AstId id, std::span<const NodeId> universe,
+               std::vector<NodeId>* out) {
     const AstNode& n = tree_.node(id);
     switch (n.kind) {
-      case ExprKind::kBinaryOp:
+      case ExprKind::kBinaryOp: {
+        EvalWorkspace::ScratchIds lhs = ws_.AcquireIds();
+        EvalWorkspace::ScratchIds rhs = ws_.AcquireIds();
+        PredSet(n.children[0], universe, lhs.get());
+        PredSet(n.children[1], universe, rhs.get());
         if (n.op == BinOp::kAnd) {
-          return PredSet(n.children[0], universe)
-              .Intersect(PredSet(n.children[1], universe));
+          IntersectInto(*lhs, *rhs, out);
+        } else {
+          // kOr (ClassifyFragments admits nothing else).
+          UnionInto(*lhs, *rhs, out);
         }
-        // kOr (ClassifyFragments admits nothing else).
-        return PredSet(n.children[0], universe)
-            .Union(PredSet(n.children[1], universe));
-      case ExprKind::kFunctionCall:
+        return;
+      }
+      case ExprKind::kFunctionCall: {
+        EvalWorkspace::ScratchIds inner = ws_.AcquireIds();
         if (n.fn == FunctionId::kNot) {
-          return universe.Difference(PredSet(n.children[0], universe));
+          PredSet(n.children[0], universe, inner.get());
+          DifferenceInto(universe, *inner, out);
+          return;
         }
         // boolean(π): nodes from which π selects at least one node,
         // computed by backward propagation — never by evaluating π from
         // every node separately.
-        return PathOrigins(n.children[0]).Intersect(universe);
+        PathOrigins(n.children[0], inner.get());
+        IntersectInto(*inner, universe, out);
+        return;
+      }
       default:
-        return {};
+        out->clear();
+        return;
     }
   }
 
   /// {x | π from x is non-empty}: backward propagation through inverse
   /// axes, O(|D|) per step (the node-test restriction drops to a postings
-  /// intersection when the index is on).
-  NodeSet PathOrigins(AstId path_id) {
+  /// intersection when the index is on). Written into `out`.
+  void PathOrigins(AstId path_id, std::vector<NodeId>* out) {
     const AstNode& path = tree_.node(path_id);
-    NodeSet current = NodeSet::Universe(doc_.size());
+    EvalWorkspace::ScratchIds current = ws_.AcquireIds();
+    current->resize(doc_.size());
+    std::iota(current->begin(), current->end(), 0);
+    EvalWorkspace::ScratchIds tested = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds sel = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds tmp = ws_.AcquireIds();
     for (size_t s = path.children.size(); s-- > 0;) {
       const AstNode& step = tree_.node(path.children[s]);
-      NodeSet tested = RestrictByNodeTest(doc_, step.axis, step.test, current,
-                                          use_index_, stats_);
+      RestrictByNodeTestInto(doc_, step.axis, step.test, *current,
+                             use_index_, stats_, tested.get());
       for (AstId pred : step.children) {
-        tested = tested.Intersect(PredSet(pred, tested));
+        PredSet(pred, *tested, sel.get());
+        IntersectInto(*tested, *sel, tmp.get());
+        std::swap(*tested, *tmp);
       }
       if (stats_ != nullptr) ++stats_->axis_evals;
-      current = EvalAxisInverse(doc_, step.axis, tested);
-      if (stats_ != nullptr) stats_->AddCells(current.size());
+      // The inverse-axis pass stays NodeSet-valued (axis.cc's single
+      // per-step allocations, not per-row ones).
+      const NodeSet origins =
+          EvalAxisInverse(doc_, step.axis, NodeSet::FromSorted(*tested));
+      current->assign(origins.begin(), origins.end());
+      if (stats_ != nullptr) stats_->AddCells(current->size());
     }
     if (path.absolute) {
-      return current.Contains(doc_.root()) ? NodeSet::Universe(doc_.size())
-                                           : NodeSet();
+      const bool reaches_root =
+          std::binary_search(current->begin(), current->end(), doc_.root());
+      out->clear();
+      if (reaches_root) {
+        out->resize(doc_.size());
+        std::iota(out->begin(), out->end(), 0);
+      }
+      return;
     }
-    return current;
+    std::swap(*out, *current);
   }
 
  private:
+  EvalWorkspace& ws_;
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
@@ -105,7 +152,8 @@ class CoreXPathEvaluator {
 
 }  // namespace
 
-StatusOr<Value> EvalCoreXPath(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalCoreXPath(EvalWorkspace& ws,
+                              const xpath::CompiledQuery& query,
                               const xml::Document& doc,
                               const EvalContext& ctx,
                               const EvalOptions& options) {
@@ -115,10 +163,12 @@ StatusOr<Value> EvalCoreXPath(const xpath::CompiledQuery& query,
     return StatusOr<Value>(Status::InvalidArgument(
         "query is not in Core XPath (Definition 12): " + query.source()));
   }
-  CoreXPathEvaluator evaluator(query.tree(), doc, options.stats,
+  CoreXPathEvaluator evaluator(ws, query.tree(), doc, options.stats,
                                options.use_index);
-  return Value::Nodes(
-      evaluator.EvalPath(query.root(), NodeSet::Single(ctx.node)));
+  EvalWorkspace::ScratchIds result = ws.AcquireIds();
+  const xml::NodeId start = ctx.node;
+  evaluator.EvalPath(query.root(), {&start, 1}, result.get());
+  return Value::Nodes(NodeSet::FromSorted(*result));
 }
 
 }  // namespace xpe::internal

@@ -1,6 +1,9 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
+
 #include "src/core/engine_internal.h"
+#include "src/core/evaluator.h"
 #include "src/core/stats.h"
 
 namespace xpe {
@@ -34,12 +37,15 @@ std::string EvalStats::ToString() const {
          " cells_peak=" + std::to_string(cells_peak) +
          " contexts=" + std::to_string(contexts_evaluated) +
          " axis_evals=" + std::to_string(axis_evals) +
-         " indexed_steps=" + std::to_string(indexed_steps);
+         " indexed_steps=" + std::to_string(indexed_steps) +
+         " arena_bytes_peak=" + std::to_string(arena_bytes_peak);
 }
 
-StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
-                         const xml::Document& doc, const EvalContext& context,
-                         const EvalOptions& options) {
+StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
+                                       const xpath::CompiledQuery& query,
+                                       const xml::Document& doc,
+                                       const EvalContext& context,
+                                       const EvalOptions& options) {
   if (context.node >= doc.size()) {
     return StatusOr<Value>(
         Status::InvalidArgument("context node is not part of the document"));
@@ -48,29 +54,51 @@ StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
     return StatusOr<Value>(Status::InvalidArgument(
         "context must satisfy 1 <= position <= size"));
   }
+  auto record_arena = [&](StatusOr<Value> result) {
+    if (options.stats != nullptr) {
+      options.stats->arena_bytes_peak = std::max<uint64_t>(
+          options.stats->arena_bytes_peak, ws.arena()->bytes_peak());
+    }
+    return result;
+  };
   switch (options.engine) {
     case EngineKind::kNaive:
       return internal::EvalNaive(query, doc, context, options);
     case EngineKind::kBottomUp:
-      return internal::EvalBottomUp(query, doc, context, options);
+      return record_arena(
+          internal::EvalBottomUp(ws, query, doc, context, options));
     case EngineKind::kTopDown:
-      return internal::EvalTopDown(query, doc, context, options);
+      return record_arena(
+          internal::EvalTopDown(ws, query, doc, context, options));
     case EngineKind::kMinContext:
-      return internal::EvalMinContext(query, doc, context, options,
-                                      /*optimized=*/false);
+      return record_arena(internal::EvalMinContext(ws, query, doc, context,
+                                                   options,
+                                                   /*optimized=*/false));
     case EngineKind::kOptMinContext:
       // Algorithm 8 + Theorem 13: a fully Core XPath query runs on the
       // linear-time engine; otherwise bottom-up passes + MINCONTEXT.
       if (query.fragment() == xpath::Fragment::kCoreXPath &&
           !options.ablate_outermost_sets) {
-        return internal::EvalCoreXPath(query, doc, context, options);
+        return record_arena(
+            internal::EvalCoreXPath(ws, query, doc, context, options));
       }
-      return internal::EvalMinContext(query, doc, context, options,
-                                      /*optimized=*/true);
+      return record_arena(internal::EvalMinContext(ws, query, doc, context,
+                                                   options,
+                                                   /*optimized=*/true));
     case EngineKind::kCoreXPath:
-      return internal::EvalCoreXPath(query, doc, context, options);
+      return record_arena(
+          internal::EvalCoreXPath(ws, query, doc, context, options));
   }
   return StatusOr<Value>(Status::InvalidArgument("unknown engine"));
+}
+
+StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
+                         const xml::Document& doc, const EvalContext& context,
+                         const EvalOptions& options) {
+  // A one-shot session: same dispatch as Evaluator, so results are
+  // identical by construction; only the memory reuse differs.
+  EvalWorkspace ws;
+  return internal::EvaluateWith(ws, query, doc, context, options);
 }
 
 StatusOr<NodeSet> EvaluateNodeSet(const xpath::CompiledQuery& query,

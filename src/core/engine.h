@@ -76,6 +76,11 @@ struct EvalOptions {
 /// a node of `doc`. Thread-safe for concurrent evaluations over one
 /// shared Document: engine state is per-call and the Document's lazy
 /// caches (id axis, search index, number cache) are synchronized.
+///
+/// This is a thin wrapper that runs a one-shot evaluation session; for
+/// repeated queries construct an Evaluator (evaluator.h) and reuse it —
+/// its pooled arena and scratch buffers make the per-call table setup
+/// allocation-free. Results are identical either way.
 StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
                          const xml::Document& doc, const EvalContext& context,
                          const EvalOptions& options = {});

@@ -2,43 +2,62 @@
 #define XPE_CORE_ENGINE_INTERNAL_H_
 
 #include "src/core/engine.h"
+#include "src/core/evaluator.h"
 
 namespace xpe::internal {
 
-/// Entry points of the individual engines; Evaluate() in engine.cc
-/// dispatches to them. All take the normalized tree of a CompiledQuery
-/// plus the caller's EvalOptions (stats sink, budget, use_index, ...).
+/// Validates the context and dispatches to the engine selected by
+/// `options`, running it on `ws` (arena recycled by the caller). Both
+/// the free Evaluate() (one-shot workspace) and Evaluator sessions
+/// (pooled workspace) funnel through here, which is what guarantees
+/// their results are identical.
+StatusOr<Value> EvaluateWith(EvalWorkspace& ws,
+                             const xpath::CompiledQuery& query,
+                             const xml::Document& doc,
+                             const EvalContext& context,
+                             const EvalOptions& options);
+
+/// Entry points of the individual engines; EvaluateWith dispatches to
+/// them. All take the normalized tree of a CompiledQuery plus the
+/// caller's EvalOptions (stats sink, budget, use_index, ...); the
+/// polynomial engines additionally take the session workspace their
+/// context-value tables and scratch buffers live in.
 
 /// The exponential-time baseline (DESIGN.md S12): direct recursion over
 /// the denotational semantics, re-evaluating every subexpression for
 /// every context it is reached under, like the engines measured in [11].
-/// Ignores EvalOptions::use_index — it is the index-free specification.
+/// Ignores EvalOptions::use_index — it is the index-free specification —
+/// and takes no workspace: its only state is the call stack.
 StatusOr<Value> EvalNaive(const xpath::CompiledQuery& query,
                           const xml::Document& doc, const EvalContext& ctx,
                           const EvalOptions& options);
 
 /// E↓ of Definition 2: vectorized top-down evaluation over context lists.
-StatusOr<Value> EvalTopDown(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalTopDown(EvalWorkspace& ws,
+                            const xpath::CompiledQuery& query,
                             const xml::Document& doc, const EvalContext& ctx,
                             const EvalOptions& options);
 
 /// E↑ of [11] §2.3: strict bottom-up context-value tables over all
 /// ⟨cn,cp,cs⟩ triples.
-StatusOr<Value> EvalBottomUp(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalBottomUp(EvalWorkspace& ws,
+                             const xpath::CompiledQuery& query,
                              const xml::Document& doc, const EvalContext& ctx,
                              const EvalOptions& options);
 
 /// MINCONTEXT (Algorithm 6) when `optimized` is false; OPTMINCONTEXT
 /// (Algorithm 8: bottom-up pre-evaluation of eligible paths + Core XPath
 /// fast path) when true. Reads EvalOptions::ablate_outermost_sets.
-StatusOr<Value> EvalMinContext(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalMinContext(EvalWorkspace& ws,
+                               const xpath::CompiledQuery& query,
                                const xml::Document& doc,
                                const EvalContext& ctx,
                                const EvalOptions& options, bool optimized);
 
 /// The linear-time Core XPath engine (Definition 12 / Theorem 13).
 /// Fails with InvalidArgument if the query is not Core XPath.
-StatusOr<Value> EvalCoreXPath(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalCoreXPath(EvalWorkspace& ws,
+                              const xpath::CompiledQuery& query,
                               const xml::Document& doc,
                               const EvalContext& ctx,
                               const EvalOptions& options);

@@ -1,0 +1,52 @@
+#include "src/core/evaluator.h"
+
+#include "src/core/engine_internal.h"
+
+namespace xpe {
+
+EvalWorkspace::ScratchIds EvalWorkspace::AcquireIds() {
+  std::unique_ptr<std::vector<xml::NodeId>> vec;
+  if (!id_pool_.empty()) {
+    vec = std::move(id_pool_.back());
+    id_pool_.pop_back();
+    vec->clear();
+  } else {
+    vec = std::make_unique<std::vector<xml::NodeId>>();
+  }
+  return ScratchIds(this, std::move(vec));
+}
+
+EvalWorkspace::ScratchBits EvalWorkspace::AcquireBits(size_t n) {
+  std::unique_ptr<std::vector<uint8_t>> vec;
+  if (!bit_pool_.empty()) {
+    vec = std::move(bit_pool_.back());
+    bit_pool_.pop_back();
+  } else {
+    vec = std::make_unique<std::vector<uint8_t>>();
+  }
+  vec->assign(n, 0);
+  return ScratchBits(this, std::move(vec));
+}
+
+StatusOr<Value> Evaluator::Evaluate(const xpath::CompiledQuery& query,
+                                    const xml::Document& doc,
+                                    const EvalContext& context,
+                                    const EvalOptions& options) {
+  workspace_.BeginEvaluation();
+  return internal::EvaluateWith(workspace_, query, doc, context, options);
+}
+
+StatusOr<NodeSet> Evaluator::EvaluateNodeSet(const xpath::CompiledQuery& query,
+                                             const xml::Document& doc,
+                                             const EvalContext& context,
+                                             const EvalOptions& options) {
+  XPE_ASSIGN_OR_RETURN(Value v, Evaluate(query, doc, context, options));
+  if (!v.is_node_set()) {
+    return StatusOr<NodeSet>(Status::InvalidArgument(
+        "query evaluates to " +
+        std::string(xpath::ValueTypeToString(v.type())) + ", not a node-set"));
+  }
+  return v.node_set();
+}
+
+}  // namespace xpe

@@ -11,9 +11,11 @@ using xpath::ExprKind;
 using xpath::FunctionId;
 using xpath::QueryTree;
 
-MinContextEngine::MinContextEngine(const QueryTree& tree, const Document& doc,
+MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
+                                   const Document& doc,
                                    const EvalOptions& options)
-    : tree_(tree),
+    : ws_(ws),
+      tree_(tree),
       doc_(doc),
       stats_(options.stats),
       budget_(options.budget),
@@ -55,17 +57,13 @@ void MinContextEngine::StoreScalarConst(AstId id, Value v) {
   t.const_value = std::move(v);
 }
 
-void MinContextEngine::StoreRelRow(AstId id, NodeId origin, NodeSet targets) {
-  RelTable& t = rel_table(id);
-  if (t.by_origin.empty()) {
-    t.by_origin.resize(doc_.size());
-    t.origin_computed.assign(doc_.size(), 0);
-  }
-  if (!t.origin_computed[origin] && stats_ != nullptr) {
+void MinContextEngine::StoreRelRow(AstId id, NodeId origin,
+                                   std::span<const NodeId> targets) {
+  NodeTable& t = rel_table(id);
+  if (!t.has_row(origin) && stats_ != nullptr) {
     stats_->AddCells(targets.size() + 1);
   }
-  t.origin_computed[origin] = 1;
-  t.by_origin[origin] = std::move(targets);
+  t.SetRow(origin, targets);
 }
 
 /// Looks up table(id) at context node `cn`, computing the row lazily when
@@ -75,11 +73,10 @@ StatusOr<Value> MinContextEngine::EvalSingleContext(AstId id, NodeId cn,
   const AstNode& n = tree_.node(id);
   if (!DependsOnPosition(id)) {
     if (IsNodeSetTyped(id)) {
-      RelTable& rel = rel_table(id);
-      if (rel.by_origin.empty() || !rel.origin_computed[cn]) {
+      if (!rel_table(id).has_row(cn)) {
         XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, NodeSet::Single(cn)));
       }
-      return Value::Nodes(rel_table(id).by_origin[cn]);
+      return Value::Nodes(rel_table(id).RowAsNodeSet(cn));
     }
     ScalarTable& t = scalar_table(id);
     if (t.bottom_up_done) return t.by_cn[cn];
@@ -224,32 +221,36 @@ Status MinContextEngine::EvalByCnodeOnly(AstId id, const NodeSet& x) {
   return Status::OK();
 }
 
-StatusOr<std::vector<NodeId>> MinContextEngine::FilterByPredicatesSingle(
-    const std::vector<AstId>& preds, std::vector<NodeId> candidates) {
+Status MinContextEngine::FilterByPredicatesSingle(
+    const std::vector<AstId>& preds, std::vector<NodeId>* candidates) {
+  EvalWorkspace::ScratchIds kept = ws_.AcquireIds();
   for (AstId pred : preds) {
-    std::vector<NodeId> kept;
-    const uint32_t m = static_cast<uint32_t>(candidates.size());
+    kept->clear();
+    const uint32_t m = static_cast<uint32_t>(candidates->size());
     for (uint32_t j = 0; j < m; ++j) {
-      XPE_ASSIGN_OR_RETURN(Value v,
-                           EvalSingleContext(pred, candidates[j], j + 1, m));
-      if (v.boolean()) kept.push_back(candidates[j]);
+      XPE_ASSIGN_OR_RETURN(
+          Value v, EvalSingleContext(pred, (*candidates)[j], j + 1, m));
+      if (v.boolean()) kept->push_back((*candidates)[j]);
     }
-    candidates = std::move(kept);
+    std::swap(*candidates, *kept);
   }
-  return candidates;
+  return Status::OK();
 }
 
-StatusOr<std::vector<std::pair<NodeId, NodeSet>>>
-MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x) {
+Status MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x,
+                                          NodeTable* out) {
   const AstNode& step = tree_.node(step_id);
-  std::vector<std::pair<NodeId, NodeSet>> out;
-  out.reserve(x.size());
+  out->Reset(ws_.arena(), doc_.size());
 
   if (step.axis == Axis::kId) {
+    EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
     for (NodeId origin : x) {
-      out.emplace_back(origin, NodeSet(doc_.IdAxisForward(origin)));
+      const std::vector<NodeId>& fwd = doc_.IdAxisForward(origin);
+      targets->assign(fwd.begin(), fwd.end());
+      SortUnique(targets.get());
+      out->SetRow(origin, *targets);
     }
-    return out;
+    return Status::OK();
   }
 
   const NodeSet y_all = StepImage(step, x);
@@ -273,41 +274,40 @@ MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x) {
       survivors = std::move(kept);
     }
     for (NodeId origin : x) {
-      NodeSet targets;
+      out->BeginRow(origin);
       for (NodeId y : survivors) {
-        if (AxisRelates(doc_, step.axis, origin, y)) {
-          targets.PushBackOrdered(y);
-        }
+        if (AxisRelates(doc_, step.axis, origin, y)) out->PushOrdered(y);
       }
-      out.emplace_back(origin, std::move(targets));
+      out->CommitRow();
     }
-    return out;
+    return Status::OK();
   }
 
   // At least one predicate reads cp/cs: loop over previous/current
   // context-node pairs (the §3.1 "treating position and size in a loop").
+  EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
+  EvalWorkspace::ScratchIds ordered = ws_.AcquireIds();
   for (NodeId origin : x) {
-    NodeSet candidates;
+    candidates->clear();
     for (NodeId y : y_all) {
       if (AxisRelates(doc_, step.axis, origin, y)) {
-        candidates.PushBackOrdered(y);
+        candidates->push_back(y);
       }
     }
-    XPE_ASSIGN_OR_RETURN(
-        std::vector<NodeId> kept,
-        FilterByPredicatesSingle(step.children,
-                                 OrderForAxis(step.axis, candidates)));
-    out.emplace_back(origin, NodeSet(std::move(kept)));
+    OrderForAxisInto(step.axis, *candidates, ordered.get());
+    XPE_RETURN_IF_ERROR(FilterByPredicatesSingle(step.children, ordered.get()));
+    SortUnique(ordered.get());  // back to document order
+    out->SetRow(origin, *ordered);
   }
-  return out;
+  return Status::OK();
 }
 
 Status MinContextEngine::EvalInnerNodeSet(AstId id, const NodeSet& x) {
-  RelTable& table = rel_table(id);
   NodeSet missing;
-  for (NodeId origin : x) {
-    if (table.by_origin.empty() || !table.origin_computed[origin]) {
-      missing.PushBackOrdered(origin);
+  {
+    const NodeTable& table = rel_table(id);
+    for (NodeId origin : x) {
+      if (!table.has_row(origin)) missing.PushBackOrdered(origin);
     }
   }
   if (missing.empty()) return Status::OK();
@@ -317,50 +317,67 @@ Status MinContextEngine::EvalInnerNodeSet(AstId id, const NodeSet& x) {
     case ExprKind::kPath: {
       size_t step_begin = 0;
       // Per-origin frontiers (the pair relation of eval_inner_locpath,
-      // grouped by origin).
-      std::vector<NodeSet> rows(missing.size());
+      // grouped by origin), keyed by index into `missing`. Arena tables:
+      // each step builds the next generation, the previous one is
+      // abandoned to the arena.
+      NodeTable rows;
+      rows.Reset(ws_.arena(), static_cast<uint32_t>(missing.size()));
       if (n.has_head) {
         XPE_RETURN_IF_ERROR(EvalInnerNodeSet(n.children[0], missing));
         for (size_t i = 0; i < missing.size(); ++i) {
-          rows[i] = rel_table(n.children[0]).by_origin[missing[i]];
+          rows.SetRow(static_cast<uint32_t>(i),
+                      rel_table(n.children[0]).Row(missing[i]));
         }
         step_begin = 1;
       } else if (n.absolute) {
-        for (NodeSet& row : rows) row = NodeSet::Single(doc_.root());
+        const NodeId root = doc_.root();
+        for (size_t i = 0; i < missing.size(); ++i) {
+          rows.SetRow(static_cast<uint32_t>(i), {&root, 1});
+        }
       } else {
         for (size_t i = 0; i < missing.size(); ++i) {
-          rows[i] = NodeSet::Single(missing[i]);
+          const NodeId origin = missing[i];
+          rows.SetRow(static_cast<uint32_t>(i), {&origin, 1});
         }
       }
+      EvalWorkspace::ScratchIds frontier_ids = ws_.AcquireIds();
+      EvalWorkspace::ScratchIds merged = ws_.AcquireIds();
       for (size_t s = step_begin; s < n.children.size(); ++s) {
-        NodeSet frontier;
-        for (const NodeSet& row : rows) frontier = frontier.Union(row);
-        XPE_ASSIGN_OR_RETURN(auto step_rel,
-                             EvalStepRelation(n.children[s], frontier));
+        frontier_ids->clear();
+        for (size_t i = 0; i < missing.size(); ++i) {
+          const std::span<const NodeId> row =
+              rows.Row(static_cast<uint32_t>(i));
+          frontier_ids->insert(frontier_ids->end(), row.begin(), row.end());
+        }
+        SortUnique(frontier_ids.get());
+        const NodeSet frontier = NodeSet::FromSorted(*frontier_ids);
         // The step relation is the paper's table(N) for this location
         // step — transient here, but it is the Θ(|D|²) object inner
         // paths pay for, so it must show up in the space instrumentation.
+        NodeTable step_rel;
+        XPE_RETURN_IF_ERROR(
+            EvalStepRelation(n.children[s], frontier, &step_rel));
         uint64_t transient_cells = 0;
-        for (const auto& [origin, targets] : step_rel) {
-          transient_cells += targets.size() + 1;
+        for (NodeId y : frontier) {
+          transient_cells += step_rel.Row(y).size() + 1;
         }
         if (stats_ != nullptr) stats_->AddCells(transient_cells);
-        // Index the relation by origin for the per-row joins.
-        std::vector<const NodeSet*> by_node(doc_.size(), nullptr);
-        for (const auto& [origin, targets] : step_rel) {
-          by_node[origin] = &targets;
-        }
-        for (NodeSet& row : rows) {
-          NodeSet next;
-          for (NodeId y : row) {
-            if (by_node[y] != nullptr) next = next.Union(*by_node[y]);
+        NodeTable next;
+        next.Reset(ws_.arena(), static_cast<uint32_t>(missing.size()));
+        for (size_t i = 0; i < missing.size(); ++i) {
+          merged->clear();
+          for (NodeId y : rows.Row(static_cast<uint32_t>(i))) {
+            const std::span<const NodeId> targets = step_rel.Row(y);
+            merged->insert(merged->end(), targets.begin(), targets.end());
           }
-          row = std::move(next);
+          SortUnique(merged.get());
+          next.SetRow(static_cast<uint32_t>(i), *merged);
         }
+        rows = std::move(next);
         if (stats_ != nullptr) stats_->ReleaseCells(transient_cells);
       }
       for (size_t i = 0; i < missing.size(); ++i) {
-        StoreRelRow(id, missing[i], std::move(rows[i]));
+        StoreRelRow(id, missing[i], rows.Row(static_cast<uint32_t>(i)));
       }
       return Status::OK();
     }
@@ -368,32 +385,40 @@ Status MinContextEngine::EvalInnerNodeSet(AstId id, const NodeSet& x) {
       for (AstId child : n.children) {
         XPE_RETURN_IF_ERROR(EvalInnerNodeSet(child, missing));
       }
+      EvalWorkspace::ScratchIds row = ws_.AcquireIds();
       for (NodeId origin : missing) {
-        NodeSet row;
+        row->clear();
         for (AstId child : n.children) {
-          row = row.Union(rel_table(child).by_origin[origin]);
+          const std::span<const NodeId> part = rel_table(child).Row(origin);
+          row->insert(row->end(), part.begin(), part.end());
         }
-        StoreRelRow(id, origin, std::move(row));
+        SortUnique(row.get());
+        StoreRelRow(id, origin, *row);
       }
       return Status::OK();
     }
     case ExprKind::kFilter: {
       XPE_RETURN_IF_ERROR(EvalInnerNodeSet(n.children[0], missing));
-      NodeSet all_targets;
+      EvalWorkspace::ScratchIds all_ids = ws_.AcquireIds();
       for (NodeId origin : missing) {
-        all_targets =
-            all_targets.Union(rel_table(n.children[0]).by_origin[origin]);
+        const std::span<const NodeId> row =
+            rel_table(n.children[0]).Row(origin);
+        all_ids->insert(all_ids->end(), row.begin(), row.end());
       }
+      SortUnique(all_ids.get());
+      const NodeSet all_targets = NodeSet::FromSorted(*all_ids);
       std::vector<AstId> preds(n.children.begin() + 1, n.children.end());
       for (AstId pred : preds) {
         XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, all_targets));
       }
+      EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
       for (NodeId origin : missing) {
-        const NodeSet& head_row = rel_table(n.children[0]).by_origin[origin];
+        const std::span<const NodeId> head_row =
+            rel_table(n.children[0]).Row(origin);
         // Filter predicates count positions in document order.
-        XPE_ASSIGN_OR_RETURN(std::vector<NodeId> kept,
-                             FilterByPredicatesSingle(preds, head_row.ids()));
-        StoreRelRow(id, origin, NodeSet(std::move(kept)));
+        candidates->assign(head_row.begin(), head_row.end());
+        XPE_RETURN_IF_ERROR(FilterByPredicatesSingle(preds, candidates.get()));
+        StoreRelRow(id, origin, *candidates);
       }
       return Status::OK();
     }
@@ -404,16 +429,22 @@ Status MinContextEngine::EvalInnerNodeSet(AstId id, const NodeSet& x) {
       }
       const AstId arg = n.children[0];
       XPE_RETURN_IF_ERROR(EvalByCnodeOnly(arg, missing));
+      EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
       if (Relev(arg) == 0) {
         XPE_ASSIGN_OR_RETURN(Value s,
                              EvalSingleContext(arg, missing.First(), 0, 0));
-        NodeSet targets(doc_.DerefIds(s.ToString(doc_)));
-        for (NodeId origin : missing) StoreRelRow(id, origin, targets);
+        const std::vector<NodeId> derefed = doc_.DerefIds(s.ToString(doc_));
+        targets->assign(derefed.begin(), derefed.end());
+        SortUnique(targets.get());
+        for (NodeId origin : missing) StoreRelRow(id, origin, *targets);
         return Status::OK();
       }
       for (NodeId origin : missing) {
         XPE_ASSIGN_OR_RETURN(Value s, EvalSingleContext(arg, origin, 0, 0));
-        StoreRelRow(id, origin, NodeSet(doc_.DerefIds(s.ToString(doc_))));
+        const std::vector<NodeId> derefed = doc_.DerefIds(s.ToString(doc_));
+        targets->assign(derefed.begin(), derefed.end());
+        SortUnique(targets.get());
+        StoreRelRow(id, origin, *targets);
       }
       return Status::OK();
     }
@@ -433,7 +464,8 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
       if (n.has_head) {
         XPE_RETURN_IF_ERROR(EvalInnerNodeSet(n.children[0], x));
         for (NodeId origin : x) {
-          current = current.Union(rel_table(n.children[0]).by_origin[origin]);
+          current = current.Union(
+              NodeSet::FromSorted(rel_table(n.children[0]).Row(origin)));
         }
         step_begin = 1;
       } else if (n.absolute) {
@@ -475,21 +507,23 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
           }
           current = std::move(survivors);
         } else {
-          NodeSet result;
+          EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
+          EvalWorkspace::ScratchIds ordered = ws_.AcquireIds();
+          EvalWorkspace::ScratchIds result = ws_.AcquireIds();
           for (NodeId origin : current) {
-            NodeSet candidates;
+            candidates->clear();
             for (NodeId y : y_all) {
               if (AxisRelates(doc_, step.axis, origin, y)) {
-                candidates.PushBackOrdered(y);
+                candidates->push_back(y);
               }
             }
-            XPE_ASSIGN_OR_RETURN(
-                std::vector<NodeId> kept,
-                FilterByPredicatesSingle(step.children,
-                                         OrderForAxis(step.axis, candidates)));
-            result = result.Union(NodeSet(std::move(kept)));
+            OrderForAxisInto(step.axis, *candidates, ordered.get());
+            XPE_RETURN_IF_ERROR(
+                FilterByPredicatesSingle(step.children, ordered.get()));
+            result->insert(result->end(), ordered->begin(), ordered->end());
           }
-          current = std::move(result);
+          SortUnique(result.get());
+          current = NodeSet::FromSorted(*result);
         }
       }
       return current;
@@ -509,16 +543,17 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
       for (AstId pred : preds) {
         XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, head));
       }
-      XPE_ASSIGN_OR_RETURN(std::vector<NodeId> kept,
-                           FilterByPredicatesSingle(preds, head.ids()));
-      return NodeSet(std::move(kept));
+      EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
+      candidates->assign(head.begin(), head.end());
+      XPE_RETURN_IF_ERROR(FilterByPredicatesSingle(preds, candidates.get()));
+      return NodeSet::FromSorted(*candidates);
     }
     case ExprKind::kFunctionCall: {
       // id(s) at the outermost level.
       XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, x));
       NodeSet out;
       for (NodeId origin : x) {
-        out = out.Union(rel_table(id).by_origin[origin]);
+        out = out.Union(NodeSet::FromSorted(rel_table(id).Row(origin)));
       }
       return out;
     }
@@ -538,7 +573,7 @@ StatusOr<Value> MinContextEngine::Run(const EvalContext& ctx, bool optimized) {
       // Ablation of §3.1's second idea: the outermost path runs through
       // the pair-relation evaluator like any inner path.
       XPE_RETURN_IF_ERROR(EvalInnerNodeSet(root, NodeSet::Single(ctx.node)));
-      return Value::Nodes(rel_table(root).by_origin[ctx.node]);
+      return Value::Nodes(rel_table(root).RowAsNodeSet(ctx.node));
     }
     XPE_ASSIGN_OR_RETURN(NodeSet result,
                          EvalOutermostLocpath(root, NodeSet::Single(ctx.node)));
@@ -548,11 +583,12 @@ StatusOr<Value> MinContextEngine::Run(const EvalContext& ctx, bool optimized) {
   return EvalSingleContext(root, ctx.node, ctx.position, ctx.size);
 }
 
-StatusOr<Value> EvalMinContext(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalMinContext(EvalWorkspace& ws,
+                               const xpath::CompiledQuery& query,
                                const xml::Document& doc,
                                const EvalContext& ctx,
                                const EvalOptions& options, bool optimized) {
-  MinContextEngine engine(query.tree(), doc, options);
+  MinContextEngine engine(ws, query.tree(), doc, options);
   return engine.Run(ctx, optimized);
 }
 

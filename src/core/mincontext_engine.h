@@ -1,9 +1,12 @@
 #ifndef XPE_CORE_MINCONTEXT_ENGINE_H_
 #define XPE_CORE_MINCONTEXT_ENGINE_H_
 
+#include <span>
 #include <vector>
 
+#include "src/axes/node_table.h"
 #include "src/core/engine.h"
+#include "src/core/evaluator.h"
 #include "src/core/functions.h"
 #include "src/core/step_common.h"
 
@@ -11,20 +14,24 @@ namespace xpe::internal {
 
 /// The MINCONTEXT evaluator of §3/§6, extended with the §4/§5 bottom-up
 /// path machinery that turns it into OPTMINCONTEXT. One instance performs
-/// one evaluation (tables are query+document specific).
+/// one evaluation (tables are query+document specific); all pair-relation
+/// storage lives in the session workspace's arena, so a reused Evaluator
+/// re-serves the tables from retained memory.
 ///
 /// Table layout follows §3.1's "restriction to the relevant context":
 ///  - Relev(N) = ∅        → one value;
 ///  - Relev(N) ⊆ {cn}     → value per context node (≤ |dom| rows);
 ///  - scalar nodes touching cp/cs are never materialized — they are
 ///    evaluated per single context inside the ⟨cp,cs⟩ loops;
-///  - node-set nodes store per-origin result sets (the pair relations of
-///    eval_inner_locpath, ≤ |dom|² cells in total).
+///  - node-set nodes store per-origin result rows in a flat NodeTable
+///    (the pair relations of eval_inner_locpath, ≤ |dom|² cells in
+///    total, one contiguous buffer per expression).
 class MinContextEngine {
  public:
-  /// Reads stats/budget/use_index/ablate_outermost_sets from `options`.
-  MinContextEngine(const xpath::QueryTree& tree, const xml::Document& doc,
-                   const EvalOptions& options);
+  /// Reads stats/budget/use_index/ablate_outermost_sets from `options`;
+  /// tables and scratch live in `ws`.
+  MinContextEngine(EvalWorkspace& ws, const xpath::QueryTree& tree,
+                   const xml::Document& doc, const EvalOptions& options);
 
   /// Algorithm 6 (optimized=false) / Algorithm 8 (optimized=true).
   StatusOr<Value> Run(const EvalContext& ctx, bool optimized);
@@ -40,17 +47,20 @@ class MinContextEngine {
     /// Set by EvalBottomUpPath: by_cn holds a row for *every* node.
     bool bottom_up_done = false;
   };
-  struct RelTable {
-    std::vector<uint8_t> origin_computed;
-    std::vector<NodeSet> by_origin;
-  };
 
   ScalarTable& scalar_table(xpath::AstId id) { return scalar_tables_[id]; }
-  RelTable& rel_table(xpath::AstId id) { return rel_tables_[id]; }
+  /// The per-origin relation table of a node-set expression, bound to
+  /// the session arena on first use (num_keys = |dom|).
+  NodeTable& rel_table(xpath::AstId id) {
+    NodeTable& t = rel_tables_[id];
+    if (!t.initialized()) t.Reset(ws_.arena(), doc_.size());
+    return t;
+  }
 
   void StoreScalarRow(xpath::AstId id, xml::NodeId cn, Value v);
   void StoreScalarConst(xpath::AstId id, Value v);
-  void StoreRelRow(xpath::AstId id, xml::NodeId origin, NodeSet targets);
+  void StoreRelRow(xpath::AstId id, xml::NodeId origin,
+                   std::span<const xml::NodeId> targets);
 
   uint8_t Relev(xpath::AstId id) const { return tree_.node(id).relev; }
   bool DependsOnPosition(xpath::AstId id) const {
@@ -80,20 +90,22 @@ class MinContextEngine {
   /// filters, id(s) calls).
   Status EvalInnerNodeSet(xpath::AstId id, const NodeSet& x);
 
-  /// One location step from the origins in `x`: the {(x,y)} pair relation,
-  /// with predicate filtering (looped over ⟨cp,cs⟩ when needed).
-  StatusOr<std::vector<std::pair<xml::NodeId, NodeSet>>> EvalStepRelation(
-      xpath::AstId step_id, const NodeSet& x);
+  /// One location step from the origins in `x`: fills `out` (reset to
+  /// per-origin keys) with the {(x,y)} pair relation, with predicate
+  /// filtering (looped over ⟨cp,cs⟩ when needed). `out` is a transient
+  /// arena table owned by the caller.
+  Status EvalStepRelation(xpath::AstId step_id, const NodeSet& x,
+                          NodeTable* out);
 
   /// χ(X) ∩ T(t) for one step: the document index's postings when the
   /// step is index-eligible and use_index_ is on, the O(|D|) scan
   /// otherwise.
   NodeSet StepImage(const xpath::AstNode& step, const NodeSet& x);
 
-  /// Shared predicate filtering for one origin's ordered candidate list.
-  StatusOr<std::vector<xml::NodeId>> FilterByPredicatesSingle(
-      const std::vector<xpath::AstId>& preds,
-      std::vector<xml::NodeId> candidates);
+  /// Shared predicate filtering of one origin's ordered candidate list,
+  /// in place (scratch comes from the workspace pool).
+  Status FilterByPredicatesSingle(const std::vector<xpath::AstId>& preds,
+                                  std::vector<xml::NodeId>* candidates);
 
   // --- §4/§5 bottom-up machinery (wadler.cc) ------------------------------
   /// Collects bottom_up_eligible nodes innermost-first and evaluates them.
@@ -111,6 +123,7 @@ class MinContextEngine {
   /// paths / id('k') chains used as comparison anchors).
   StatusOr<NodeSet> EvalContextFreeNodeSet(xpath::AstId id);
 
+  EvalWorkspace& ws_;
   const xpath::QueryTree& tree_;
   const xml::Document& doc_;
   EvalStats* stats_;
@@ -120,7 +133,7 @@ class MinContextEngine {
   uint64_t used_ = 0;
 
   std::vector<ScalarTable> scalar_tables_;
-  std::vector<RelTable> rel_tables_;
+  std::vector<NodeTable> rel_tables_;
 };
 
 /// True when `id` is a node-set expression whose value cannot depend on

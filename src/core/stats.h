@@ -26,6 +26,13 @@ struct EvalStats {
   /// Location steps answered from the document index's postings instead
   /// of an O(|D|) axis scan (EvalOptions::use_index).
   uint64_t indexed_steps = 0;
+  /// Peak bytes of the session arena the tables were built in — the
+  /// real-memory counterpart of cells_peak. Set by the dispatcher after
+  /// each evaluation (max across evaluations when the sink is shared).
+  /// cells_* stay *logical* table cells, the paper's space metric: the
+  /// arena's monotonic growth must not inflate them, which is why
+  /// engines charge cells at row commit, not at allocation.
+  uint64_t arena_bytes_peak = 0;
 
   void AddCells(uint64_t n) {
     cells_allocated += n;

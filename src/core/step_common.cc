@@ -45,10 +45,25 @@ NodeSet ApplyNodeTest(const Document& doc, Axis axis, const NodeTest& test,
   return out;
 }
 
+void ApplyNodeTestInto(const Document& doc, Axis axis, const NodeTest& test,
+                       std::span<const NodeId> nodes,
+                       std::vector<NodeId>* out) {
+  out->clear();
+  for (NodeId n : nodes) {
+    if (MatchesNodeTest(doc, axis, test, n)) out->push_back(n);
+  }
+}
+
 std::vector<NodeId> OrderForAxis(Axis axis, const NodeSet& set) {
   std::vector<NodeId> out(set.ids());
   if (AxisIsReverse(axis)) std::reverse(out.begin(), out.end());
   return out;
+}
+
+void OrderForAxisInto(Axis axis, std::span<const NodeId> set,
+                      std::vector<NodeId>* out) {
+  out->assign(set.begin(), set.end());
+  if (AxisIsReverse(axis)) std::reverse(out->begin(), out->end());
 }
 
 NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
@@ -76,9 +91,25 @@ NodeSet RestrictByNodeTest(const Document& doc, Axis axis,
   return ApplyNodeTest(doc, axis, test, nodes);
 }
 
+void RestrictByNodeTestInto(const Document& doc, Axis axis,
+                            const NodeTest& test,
+                            std::span<const NodeId> nodes, bool use_index,
+                            EvalStats* stats, std::vector<NodeId>* out) {
+  if (use_index && index::NodeTestIndexable(test)) {
+    if (stats != nullptr) ++stats->indexed_steps;
+    index::IndexedApplyNodeTestInto(doc, doc.index(), axis, test, nodes, out);
+    return;
+  }
+  if (test.kind == NodeTest::Kind::kNode) {
+    out->assign(nodes.begin(), nodes.end());
+    return;
+  }
+  ApplyNodeTestInto(doc, axis, test, nodes, out);
+}
+
 NodeSet StepKernel::Eval(const NodeSet& x) const {
   if (postings_ != nullptr &&
-      index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
+      index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x.ids())) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
     return index::IndexedStepOverPostings(doc_, *postings_, step_.axis,
                                           step_.test, x);
@@ -86,6 +117,20 @@ NodeSet StepKernel::Eval(const NodeSet& x) const {
   if (stats_ != nullptr) ++stats_->axis_evals;
   return ApplyNodeTest(doc_, step_.axis, step_.test,
                        EvalAxis(doc_, step_.axis, x));
+}
+
+void StepKernel::EvalInto(std::span<const NodeId> x,
+                          std::vector<NodeId>* out) const {
+  if (postings_ != nullptr &&
+      index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
+    if (stats_ != nullptr) ++stats_->indexed_steps;
+    index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
+                                       step_.test, x, out);
+    return;
+  }
+  if (stats_ != nullptr) ++stats_->axis_evals;
+  const NodeSet image = EvalAxis(doc_, step_.axis, NodeSet::FromSorted(x));
+  ApplyNodeTestInto(doc_, step_.axis, step_.test, image.ids(), out);
 }
 
 }  // namespace xpe

@@ -1,6 +1,7 @@
 #ifndef XPE_CORE_STEP_COMMON_H_
 #define XPE_CORE_STEP_COMMON_H_
 
+#include <span>
 #include <vector>
 
 #include "src/axes/axis.h"
@@ -23,10 +24,21 @@ bool MatchesNodeTest(const xml::Document& doc, Axis axis,
 NodeSet ApplyNodeTest(const xml::Document& doc, Axis axis,
                       const xpath::NodeTest& test, const NodeSet& nodes);
 
+/// ApplyNodeTest into a caller-owned buffer (cleared first; typically
+/// EvalWorkspace scratch).
+void ApplyNodeTestInto(const xml::Document& doc, Axis axis,
+                       const xpath::NodeTest& test,
+                       std::span<const xml::NodeId> nodes,
+                       std::vector<xml::NodeId>* out);
+
 /// Nodes of `set` in the step order <doc,χ of §2.1: document order for
 /// forward axes, reverse document order for reverse axes. Positions
 /// (idxχ) are 1-based indices into this vector.
 std::vector<xml::NodeId> OrderForAxis(Axis axis, const NodeSet& set);
+
+/// OrderForAxis into a caller-owned buffer (cleared first).
+void OrderForAxisInto(Axis axis, std::span<const xml::NodeId> set,
+                      std::vector<xml::NodeId>* out);
 
 /// χ({x}) ∩ T(t): the candidate list of one location step from one
 /// origin, in document order.
@@ -48,6 +60,14 @@ class StepKernel {
   /// Equivalent to ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)).
   NodeSet Eval(const NodeSet& x) const;
 
+  /// Eval into a caller-owned buffer (cleared first). The indexed path is
+  /// allocation-free; the scan path still materializes the axis image
+  /// internally. `x` is any sorted duplicate-free id sequence — the
+  /// per-origin loops pass single-element spans without building a
+  /// NodeSet::Single per origin.
+  void EvalInto(std::span<const xml::NodeId> x,
+                std::vector<xml::NodeId>* out) const;
+
  private:
   const xml::Document& doc_;
   const xpath::AstNode& step_;
@@ -62,6 +82,13 @@ class StepKernel {
 NodeSet RestrictByNodeTest(const xml::Document& doc, Axis axis,
                            const xpath::NodeTest& test, const NodeSet& nodes,
                            bool use_index, EvalStats* stats);
+
+/// RestrictByNodeTest into a caller-owned buffer (cleared first).
+void RestrictByNodeTestInto(const xml::Document& doc, Axis axis,
+                            const xpath::NodeTest& test,
+                            std::span<const xml::NodeId> nodes,
+                            bool use_index, EvalStats* stats,
+                            std::vector<xml::NodeId>* out);
 
 }  // namespace xpe
 

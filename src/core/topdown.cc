@@ -30,9 +30,10 @@ struct Ctx {
 
 class TopDownEvaluator {
  public:
-  TopDownEvaluator(const QueryTree& tree, const Document& doc,
-                   const EvalOptions& options)
-      : tree_(tree),
+  TopDownEvaluator(EvalWorkspace& ws, const QueryTree& tree,
+                   const Document& doc, const EvalOptions& options)
+      : ws_(ws),
+        tree_(tree),
         doc_(doc),
         stats_(options.stats),
         budget_(options.budget),
@@ -257,68 +258,83 @@ class TopDownEvaluator {
   }
 
   /// One location step applied to a list of start sets: the S-relation
-  /// body of Definition 2's first S↓ equation.
+  /// body of Definition 2's first S↓ equation. The per-origin pair
+  /// relation S is a flat arena NodeTable — no per-row heap vectors.
   StatusOr<std::vector<NodeSet>> EvalStepList(AstId step_id,
                                               std::vector<NodeSet> xs) {
     const AstNode& step = tree_.node(step_id);
 
     // S := {⟨x,y⟩ | x ∈ ∪Xi, xχy, y ∈ T(t)}, grouped by x.
-    NodeSet x_all;
-    for (const NodeSet& x : xs) x_all = x_all.Union(x);
-    std::vector<std::pair<NodeId, NodeSet>> s_rel;
-    s_rel.reserve(x_all.size());
+    EvalWorkspace::ScratchIds x_all = ws_.AcquireIds();
+    for (const NodeSet& x : xs) {
+      x_all->insert(x_all->end(), x.begin(), x.end());
+    }
+    SortUnique(x_all.get());
+    NodeTable s_rel;
+    s_rel.Reset(ws_.arena(), doc_.size());
     // One kernel for the whole per-origin loop: the postings lookup
     // happens once per step, not once per origin.
     const StepKernel kernel(doc_, step, use_index_, stats_);
-    for (NodeId x : x_all) {
-      NodeSet targets;
-      if (step.axis == Axis::kId) {
-        if (stats_ != nullptr) ++stats_->axis_evals;
-        targets = NodeSet(doc_.IdAxisForward(x));
-      } else {
-        targets = kernel.Eval(NodeSet::Single(x));
+    {
+      EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
+      for (NodeId x : *x_all) {
+        if (step.axis == Axis::kId) {
+          if (stats_ != nullptr) ++stats_->axis_evals;
+          const std::vector<NodeId>& fwd = doc_.IdAxisForward(x);
+          targets->assign(fwd.begin(), fwd.end());
+          SortUnique(targets.get());
+        } else {
+          kernel.EvalInto({&x, 1}, targets.get());
+        }
+        if (stats_ != nullptr) stats_->AddCells(targets->size());
+        s_rel.SetRow(x, *targets);
       }
-      if (stats_ != nullptr) stats_->AddCells(targets.size());
-      s_rel.emplace_back(x, std::move(targets));
     }
 
     // Predicate rounds over the pair set.
+    EvalWorkspace::ScratchIds ordered = ws_.AcquireIds();
     for (AstId pred : step.children) {
       std::vector<Ctx> ctxs;
-      std::vector<std::pair<size_t, NodeId>> flat;  // (group index, y)
-      for (size_t g = 0; g < s_rel.size(); ++g) {
-        const std::vector<NodeId> ordered =
-            OrderForAxis(step.axis, s_rel[g].second);
-        const uint32_t m = static_cast<uint32_t>(ordered.size());
+      std::vector<std::pair<size_t, NodeId>> flat;  // (origin index, y)
+      for (size_t g = 0; g < x_all->size(); ++g) {
+        OrderForAxisInto(step.axis, s_rel.Row((*x_all)[g]), ordered.get());
+        const uint32_t m = static_cast<uint32_t>(ordered->size());
         for (uint32_t j = 0; j < m; ++j) {
-          ctxs.push_back(Ctx{ordered[j], j + 1, m});
-          flat.emplace_back(g, ordered[j]);
+          ctxs.push_back(Ctx{(*ordered)[j], j + 1, m});
+          flat.emplace_back(g, (*ordered)[j]);
         }
       }
       XPE_ASSIGN_OR_RETURN(std::vector<Value> keep, EvalList(pred, ctxs));
-      std::vector<NodeSet> filtered(s_rel.size());
-      for (size_t k = 0; k < flat.size(); ++k) {
-        if (keep[k].boolean()) {
-          filtered[flat[k].first].PushBackOrdered(flat[k].second);
+      NodeTable filtered;
+      filtered.Reset(ws_.arena(), doc_.size());
+      size_t k = 0;
+      for (size_t g = 0; g < x_all->size(); ++g) {
+        ordered->clear();
+        for (; k < flat.size() && flat[k].first == g; ++k) {
+          if (keep[k].boolean()) ordered->push_back(flat[k].second);
         }
+        SortUnique(ordered.get());  // reverse axes were visited backwards
+        filtered.SetRow((*x_all)[g], *ordered);
       }
-      for (size_t g = 0; g < s_rel.size(); ++g) {
-        s_rel[g].second = std::move(filtered[g]);
-      }
+      s_rel = std::move(filtered);
     }
 
     // Ri := {y | ⟨x,y⟩ ∈ S, x ∈ Xi}.
-    std::vector<const NodeSet*> by_origin(doc_.size(), nullptr);
-    for (const auto& [x, targets] : s_rel) by_origin[x] = &targets;
     std::vector<NodeSet> out(xs.size());
+    EvalWorkspace::ScratchIds merged = ws_.AcquireIds();
     for (size_t i = 0; i < xs.size(); ++i) {
+      merged->clear();
       for (NodeId x : xs[i]) {
-        if (by_origin[x] != nullptr) out[i] = out[i].Union(*by_origin[x]);
+        const std::span<const NodeId> targets = s_rel.Row(x);
+        merged->insert(merged->end(), targets.begin(), targets.end());
       }
+      SortUnique(merged.get());
+      out[i] = NodeSet::FromSorted(*merged);
     }
     return out;
   }
 
+  EvalWorkspace& ws_;
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
@@ -329,10 +345,11 @@ class TopDownEvaluator {
 
 }  // namespace
 
-StatusOr<Value> EvalTopDown(const xpath::CompiledQuery& query,
+StatusOr<Value> EvalTopDown(EvalWorkspace& ws,
+                            const xpath::CompiledQuery& query,
                             const xml::Document& doc, const EvalContext& ctx,
                             const EvalOptions& options) {
-  TopDownEvaluator evaluator(query.tree(), doc, options);
+  TopDownEvaluator evaluator(ws, query.tree(), doc, options);
   const xpath::AstNode& root = query.tree().node(query.root());
   if (root.type == xpath::ValueType::kNodeSet) {
     XPE_ASSIGN_OR_RETURN(

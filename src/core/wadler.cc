@@ -72,7 +72,7 @@ Status MinContextEngine::RunBottomUpPasses() {
 
 StatusOr<NodeSet> MinContextEngine::EvalContextFreeNodeSet(AstId id) {
   XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, NodeSet::Single(doc_.root())));
-  return rel_table(id).by_origin[doc_.root()];
+  return rel_table(id).RowAsNodeSet(doc_.root());
 }
 
 StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
@@ -134,19 +134,20 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
       XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, universe));
     }
     NodeSet kept_origins;
+    EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
+    EvalWorkspace::ScratchIds ordered = ws_.AcquireIds();
     for (NodeId origin : origins) {
-      NodeSet candidates;
+      candidates->clear();
       for (NodeId z : universe) {
         if (AxisRelates(doc_, step.axis, origin, z)) {
-          candidates.PushBackOrdered(z);
+          candidates->push_back(z);
         }
       }
-      XPE_ASSIGN_OR_RETURN(
-          std::vector<NodeId> kept,
-          FilterByPredicatesSingle(step.children,
-                                   OrderForAxis(step.axis, candidates)));
+      OrderForAxisInto(step.axis, *candidates, ordered.get());
+      XPE_RETURN_IF_ERROR(
+          FilterByPredicatesSingle(step.children, ordered.get()));
       bool hits_target = false;
-      for (NodeId z : kept) {
+      for (NodeId z : *ordered) {
         if (tested.Contains(z)) {
           hits_target = true;
           break;

@@ -18,29 +18,37 @@ using xpath::NodeTest;
 
 const std::vector<NodeId> kEmptyPostings;
 
+/// The kernels append into caller-owned buffers (typically EvalWorkspace
+/// scratch), so per-origin loops in the engines stay allocation-free;
+/// this tail-dedup push is the vector counterpart of
+/// NodeSet::PushBackOrdered.
+inline void PushOrdered(std::vector<NodeId>* out, NodeId id) {
+  if (!out->empty() && out->back() == id) return;
+  out->push_back(id);
+}
+
 /// Appends the postings members inside [lo, hi) — a binary-searched
 /// contiguous range, since postings are sorted by NodeId.
 void AppendRange(const std::vector<NodeId>& postings, NodeId lo, NodeId hi,
-                 NodeSet* out) {
+                 std::vector<NodeId>* out) {
   auto begin = std::lower_bound(postings.begin(), postings.end(), lo);
   auto end = std::lower_bound(begin, postings.end(), hi);
-  for (auto it = begin; it != end; ++it) out->PushBackOrdered(*it);
+  for (auto it = begin; it != end; ++it) PushOrdered(out, *it);
 }
 
 /// Sorted-list intersection; gallops (binary probes from the smaller
 /// side) when one input dwarfs the other.
-NodeSet IntersectSorted(const std::vector<NodeId>& a,
-                        const std::vector<NodeId>& b) {
-  const std::vector<NodeId>& small = a.size() <= b.size() ? a : b;
-  const std::vector<NodeId>& big = a.size() <= b.size() ? b : a;
-  NodeSet out;
+void IntersectSortedInto(std::span<const NodeId> a, std::span<const NodeId> b,
+                         std::vector<NodeId>* out) {
+  std::span<const NodeId> small = a.size() <= b.size() ? a : b;
+  std::span<const NodeId> big = a.size() <= b.size() ? b : a;
   if (small.size() * 16 < big.size()) {
     for (NodeId id : small) {
       if (std::binary_search(big.begin(), big.end(), id)) {
-        out.PushBackOrdered(id);
+        PushOrdered(out, id);
       }
     }
-    return out;
+    return;
   }
   auto ia = small.begin();
   auto ib = big.begin();
@@ -50,12 +58,11 @@ NodeSet IntersectSorted(const std::vector<NodeId>& a,
     } else if (*ib < *ia) {
       ++ib;
     } else {
-      out.PushBackOrdered(*ia);
+      PushOrdered(out, *ia);
       ++ia;
       ++ib;
     }
   }
-  return out;
 }
 
 /// True when probing `candidates` postings with an O(log |X|) binary
@@ -72,109 +79,94 @@ bool ScanIsCheaper(size_t candidates, size_t origins, NodeId doc_size) {
 std::pair<std::vector<NodeId>::const_iterator,
           std::vector<NodeId>::const_iterator>
 ChildWindow(const Document& doc, const std::vector<NodeId>& postings,
-            const NodeSet& x) {
+            std::span<const NodeId> x) {
   NodeId hi = 0;
   for (NodeId origin : x) hi = std::max(hi, doc.subtree_end(origin));
   auto begin =
-      std::lower_bound(postings.begin(), postings.end(), x.First() + 1);
+      std::lower_bound(postings.begin(), postings.end(), x.front() + 1);
   auto end = std::lower_bound(begin, postings.end(), hi);
   return {begin, end};
 }
 
-NodeSet ChildStep(const Document& doc, const std::vector<NodeId>& postings,
-                  const NodeSet& x) {
+void ChildStep(const Document& doc, const std::vector<NodeId>& postings,
+               std::span<const NodeId> x, std::vector<NodeId>* out) {
   // Each candidate in the window pays one O(log |X|) parent probe.
   auto [begin, end] = ChildWindow(doc, postings, x);
-  const std::vector<NodeId>& ids = x.ids();
-  NodeSet out;
   for (auto it = begin; it != end; ++it) {
-    if (std::binary_search(ids.begin(), ids.end(), doc.parent(*it))) {
-      out.PushBackOrdered(*it);
+    if (std::binary_search(x.begin(), x.end(), doc.parent(*it))) {
+      PushOrdered(out, *it);
     }
   }
-  return out;
 }
 
-NodeSet DescendantStep(const Document& doc,
-                       const std::vector<NodeId>& postings, const NodeSet& x,
-                       bool or_self) {
+void DescendantStep(const Document& doc, const std::vector<NodeId>& postings,
+                    std::span<const NodeId> x, bool or_self,
+                    std::vector<NodeId>* out) {
   // The maximal subtree intervals of X are disjoint and ascending (nested
   // origins are subsumed), so one merge pass stays in document order.
-  NodeSet out;
   NodeId covered_end = 0;
   for (NodeId origin : x) {
     if (origin < covered_end) continue;  // inside the previous interval
     covered_end = doc.subtree_end(origin);
-    AppendRange(postings, or_self ? origin : origin + 1, covered_end, &out);
+    AppendRange(postings, or_self ? origin : origin + 1, covered_end, out);
   }
-  return out;
 }
 
-NodeSet AncestorStep(const Document& doc, const std::vector<NodeId>& postings,
-                     const NodeSet& x, bool or_self) {
+void AncestorStep(const Document& doc, const std::vector<NodeId>& postings,
+                  std::span<const NodeId> x, bool or_self,
+                  std::vector<NodeId>* out) {
   // e is a proper ancestor of some x iff the first origin after e still
   // lies inside e's subtree (e < x < subtree_end(e)).
-  const std::vector<NodeId>& ids = x.ids();
-  NodeSet out;
   for (NodeId e : postings) {
-    auto it = std::upper_bound(ids.begin(), ids.end(), e);
-    const bool proper = it != ids.end() && *it < doc.subtree_end(e);
-    if (proper || (or_self && std::binary_search(ids.begin(), ids.end(), e))) {
-      out.PushBackOrdered(e);
+    auto it = std::upper_bound(x.begin(), x.end(), e);
+    const bool proper = it != x.end() && *it < doc.subtree_end(e);
+    if (proper || (or_self && std::binary_search(x.begin(), x.end(), e))) {
+      PushOrdered(out, e);
     }
   }
-  return out;
 }
 
-NodeSet AttributeStep(const Document& doc,
-                      const std::vector<NodeId>& postings, const NodeSet& x) {
+void AttributeStep(const Document& doc, const std::vector<NodeId>& postings,
+                   std::span<const NodeId> x, std::vector<NodeId>* out) {
   // Attribute slots [x+1, AttrEnd(x)) of distinct elements are disjoint
   // and ascending, so per-origin range scans preserve document order.
-  NodeSet out;
   for (NodeId origin : x) {
     if (!doc.IsElement(origin)) continue;
-    AppendRange(postings, doc.AttrBegin(origin), doc.AttrEnd(origin), &out);
+    AppendRange(postings, doc.AttrBegin(origin), doc.AttrEnd(origin), out);
   }
-  return out;
 }
 
-NodeSet ParentStep(const Document& doc, Axis axis, const NodeTest& test,
-                   const NodeSet& x) {
-  std::vector<NodeId> parents;
-  parents.reserve(x.size());
+void ParentStep(const Document& doc, Axis axis, const NodeTest& test,
+                std::span<const NodeId> x, std::vector<NodeId>* out) {
   for (NodeId origin : x) {
     NodeId p = doc.parent(origin);
     if (p != xml::kInvalidNodeId && MatchesNodeTest(doc, axis, test, p)) {
-      parents.push_back(p);
+      out->push_back(p);
     }
   }
-  return NodeSet(std::move(parents));  // sorts + dedups
+  SortUnique(out);  // parents of distinct origins may repeat or invert
 }
 
-NodeSet FollowingStep(const Document& doc,
-                      const std::vector<NodeId>& postings, const NodeSet& x) {
+void FollowingStep(const Document& doc, const std::vector<NodeId>& postings,
+                   std::span<const NodeId> x, std::vector<NodeId>* out) {
   // y follows some x iff y >= min over X of subtree_end(x): a postings
   // suffix.
   NodeId threshold = xml::kInvalidNodeId;
   for (NodeId origin : x) {
     threshold = std::min(threshold, doc.subtree_end(origin));
   }
-  NodeSet out;
-  AppendRange(postings, threshold, static_cast<NodeId>(doc.size()), &out);
-  return out;
+  AppendRange(postings, threshold, static_cast<NodeId>(doc.size()), out);
 }
 
-NodeSet PrecedingStep(const Document& doc,
-                      const std::vector<NodeId>& postings, const NodeSet& x) {
+void PrecedingStep(const Document& doc, const std::vector<NodeId>& postings,
+                   std::span<const NodeId> x, std::vector<NodeId>* out) {
   // y precedes some x iff subtree_end(y) <= max(X): a postings prefix
   // filtered by the subtree_end test (ancestors of max(X) fail it).
-  const NodeId max_x = x.ids().back();
-  NodeSet out;
+  const NodeId max_x = x.back();
   auto end = std::lower_bound(postings.begin(), postings.end(), max_x);
   for (auto it = postings.begin(); it != end; ++it) {
-    if (doc.subtree_end(*it) <= max_x) out.PushBackOrdered(*it);
+    if (doc.subtree_end(*it) <= max_x) PushOrdered(out, *it);
   }
-  return out;
 }
 
 }  // namespace
@@ -198,7 +190,7 @@ const std::vector<NodeId>& StepPostings(const Document& doc,
 
 bool IndexedStepWorthwhile(const Document& doc,
                            const std::vector<NodeId>& postings, Axis axis,
-                           const NodeSet& x) {
+                           std::span<const NodeId> x) {
   if (x.empty() || postings.empty()) return true;  // trivially cheap
   switch (axis) {
     case Axis::kChild: {
@@ -224,54 +216,93 @@ NodeSet IndexedStep(const Document& doc, const DocumentIndex& index,
     return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
   }
   const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
-  if (!IndexedStepWorthwhile(doc, postings, axis, x)) {
+  if (!IndexedStepWorthwhile(doc, postings, axis, x.ids())) {
     return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
   }
   return IndexedStepOverPostings(doc, postings, axis, test, x);
+}
+
+void IndexedStepOverPostingsInto(const Document& doc,
+                                 const std::vector<NodeId>& postings,
+                                 Axis axis, const NodeTest& test,
+                                 std::span<const NodeId> x,
+                                 std::vector<NodeId>* out) {
+  out->clear();
+  if (x.empty() || postings.empty()) return;
+  switch (axis) {
+    case Axis::kSelf:
+      IntersectSortedInto(postings, x, out);
+      return;
+    case Axis::kChild:
+      ChildStep(doc, postings, x, out);
+      return;
+    case Axis::kParent:
+      ParentStep(doc, axis, test, x, out);
+      return;
+    case Axis::kDescendant:
+      DescendantStep(doc, postings, x, /*or_self=*/false, out);
+      return;
+    case Axis::kDescendantOrSelf:
+      DescendantStep(doc, postings, x, /*or_self=*/true, out);
+      return;
+    case Axis::kAncestor:
+      AncestorStep(doc, postings, x, /*or_self=*/false, out);
+      return;
+    case Axis::kAncestorOrSelf:
+      AncestorStep(doc, postings, x, /*or_self=*/true, out);
+      return;
+    case Axis::kFollowing:
+      FollowingStep(doc, postings, x, out);
+      return;
+    case Axis::kPreceding:
+      PrecedingStep(doc, postings, x, out);
+      return;
+    case Axis::kAttribute:
+      AttributeStep(doc, postings, x, out);
+      return;
+    default: {
+      const NodeSet scan = ApplyNodeTest(
+          doc, axis, test, EvalAxis(doc, axis, NodeSet::FromSorted(x)));
+      out->assign(scan.begin(), scan.end());
+      return;
+    }
+  }
 }
 
 NodeSet IndexedStepOverPostings(const Document& doc,
                                 const std::vector<NodeId>& postings,
                                 Axis axis, const NodeTest& test,
                                 const NodeSet& x) {
-  if (x.empty() || postings.empty()) return {};
-  switch (axis) {
-    case Axis::kSelf:
-      return IntersectSorted(postings, x.ids());
-    case Axis::kChild:
-      return ChildStep(doc, postings, x);
-    case Axis::kParent:
-      return ParentStep(doc, axis, test, x);
-    case Axis::kDescendant:
-      return DescendantStep(doc, postings, x, /*or_self=*/false);
-    case Axis::kDescendantOrSelf:
-      return DescendantStep(doc, postings, x, /*or_self=*/true);
-    case Axis::kAncestor:
-      return AncestorStep(doc, postings, x, /*or_self=*/false);
-    case Axis::kAncestorOrSelf:
-      return AncestorStep(doc, postings, x, /*or_self=*/true);
-    case Axis::kFollowing:
-      return FollowingStep(doc, postings, x);
-    case Axis::kPreceding:
-      return PrecedingStep(doc, postings, x);
-    case Axis::kAttribute:
-      return AttributeStep(doc, postings, x);
-    default:
-      return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+  std::vector<NodeId> out;
+  IndexedStepOverPostingsInto(doc, postings, axis, test, x.ids(), &out);
+  return NodeSet::FromSorted(out);
+}
+
+void IndexedApplyNodeTestInto(const Document& doc, const DocumentIndex& index,
+                              Axis axis, const xpath::NodeTest& test,
+                              std::span<const NodeId> nodes,
+                              std::vector<NodeId>* out) {
+  if (!NodeTestIndexable(test)) {
+    ApplyNodeTestInto(doc, axis, test, nodes, out);
+    return;
   }
+  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
+  out->clear();
+  // The frequent backward-propagation case: testing against the universe
+  // selects exactly the postings.
+  if (nodes.size() == doc.size()) {
+    out->assign(postings.begin(), postings.end());
+    return;
+  }
+  IntersectSortedInto(postings, nodes, out);
 }
 
 NodeSet IndexedApplyNodeTest(const Document& doc, const DocumentIndex& index,
                              Axis axis, const xpath::NodeTest& test,
                              const NodeSet& nodes) {
-  if (!NodeTestIndexable(test)) {
-    return ApplyNodeTest(doc, axis, test, nodes);
-  }
-  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
-  // The frequent backward-propagation case: testing against the universe
-  // selects exactly the postings.
-  if (nodes.size() == doc.size()) return NodeSet(postings);
-  return IntersectSorted(postings, nodes.ids());
+  std::vector<NodeId> out;
+  IndexedApplyNodeTestInto(doc, index, axis, test, nodes.ids(), &out);
+  return NodeSet::FromSorted(out);
 }
 
 }  // namespace xpe::index

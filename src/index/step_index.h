@@ -1,6 +1,8 @@
 #ifndef XPE_INDEX_STEP_INDEX_H_
 #define XPE_INDEX_STEP_INDEX_H_
 
+#include <span>
+
 #include "src/axes/axis.h"
 #include "src/index/document_index.h"
 #include "src/xpath/ast.h"
@@ -63,6 +65,16 @@ NodeSet IndexedStepOverPostings(const xml::Document& doc,
                                 Axis axis, const xpath::NodeTest& test,
                                 const NodeSet& x);
 
+/// IndexedStepOverPostings writing into a caller-owned buffer (cleared
+/// first; typically EvalWorkspace scratch) — the allocation-free form
+/// the per-origin engine loops use. `x` is any sorted duplicate-free id
+/// sequence (NodeSet::ids(), a NodeTable row, a single-origin span).
+void IndexedStepOverPostingsInto(const xml::Document& doc,
+                                 const std::vector<xml::NodeId>& postings,
+                                 Axis axis, const xpath::NodeTest& test,
+                                 std::span<const xml::NodeId> x,
+                                 std::vector<xml::NodeId>* out);
+
 /// The cost gate behind the "self-gate" above, exposed so callers that
 /// do their own dispatch (StepKernel) can account indexed vs. scan steps
 /// truthfully: false when the candidate-postings × log|X| estimate for
@@ -70,7 +82,7 @@ NodeSet IndexedStepOverPostings(const xml::Document& doc,
 /// and broad frontiers); true for every other axis.
 bool IndexedStepWorthwhile(const xml::Document& doc,
                            const std::vector<xml::NodeId>& postings,
-                           Axis axis, const NodeSet& x);
+                           Axis axis, std::span<const xml::NodeId> x);
 
 /// True iff the node test alone (any axis) can be answered from postings:
 /// name tests and `*`. Kind tests (text(), comment(), ...) and node() are
@@ -87,6 +99,13 @@ NodeSet IndexedApplyNodeTest(const xml::Document& doc,
                              const DocumentIndex& index, Axis axis,
                              const xpath::NodeTest& test,
                              const NodeSet& nodes);
+
+/// IndexedApplyNodeTest into a caller-owned buffer (cleared first).
+void IndexedApplyNodeTestInto(const xml::Document& doc,
+                              const DocumentIndex& index, Axis axis,
+                              const xpath::NodeTest& test,
+                              std::span<const xml::NodeId> nodes,
+                              std::vector<xml::NodeId>* out);
 
 }  // namespace xpe::index
 

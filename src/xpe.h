@@ -22,11 +22,14 @@
 #ifndef XPE_XPE_H_
 #define XPE_XPE_H_
 
+#include "src/axes/arena.h"         // EvalArena session allocator
 #include "src/axes/axis.h"          // axis functions χ(X), χ⁻¹(X)
 #include "src/axes/node_set.h"      // NodeSet / NodeBitmap
+#include "src/axes/node_table.h"    // flat context-value tables
 #include "src/common/numeric.h"     // XPath number ↔ string rules
 #include "src/common/status.h"      // Status / StatusOr
 #include "src/core/engine.h"        // Evaluate(), EngineKind, EvalOptions
+#include "src/core/evaluator.h"     // Evaluator sessions (pooled memory)
 #include "src/core/functions.h"     // the effective semantics function F
 #include "src/core/stats.h"         // EvalStats instrumentation
 #include "src/core/value.h"         // the four XPath value types

@@ -232,5 +232,50 @@ TEST_P(AuctionDifferentialTest, EnginesAgreeOnJoins) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AuctionDifferentialTest,
                          testing::Values(1, 7, 42, 1234));
 
+/// The whole corpus once more, but through ONE reused Evaluator session
+/// per engine: pooled arenas and flat tables must be invisible in the
+/// results even when a session carries state across the full query mix
+/// and several documents (the flat-table vs. seed-semantics differential
+/// of the session refactor).
+class SessionDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionDifferentialTest, ReusedSessionAgreesWithNaive) {
+  xml::Document doc_a =
+      xml::MakeRandomDocument(30, {"a", "b", "c"}, GetParam());
+  xml::Document doc_b =
+      xml::MakeRandomDocument(24, {"a", "b", "c"}, GetParam() + 5000);
+  for (EngineKind engine : {EngineKind::kTopDown, EngineKind::kMinContext,
+                            EngineKind::kOptMinContext,
+                            EngineKind::kBottomUp}) {
+    Evaluator session;
+    for (const xml::Document* doc : {&doc_a, &doc_b}) {
+      for (const char* query : kQueryCorpus) {
+        xpath::CompiledQuery compiled = MustCompile(query);
+        EvalOptions naive_opts;
+        naive_opts.engine = EngineKind::kNaive;
+        naive_opts.budget = 50'000'000;
+        StatusOr<Value> expected =
+            Evaluate(compiled, *doc, EvalContext{}, naive_opts);
+        ASSERT_TRUE(expected.ok()) << query;
+        EvalOptions opts;
+        opts.engine = engine;
+        StatusOr<Value> actual =
+            session.Evaluate(compiled, *doc, EvalContext{}, opts);
+        ASSERT_TRUE(actual.ok())
+            << query << " on session " << EngineKindToString(engine) << ": "
+            << actual.status().ToString();
+        EXPECT_TRUE(actual->StructurallyEquals(*expected))
+            << "query:   " << query << "\nengine:  "
+            << EngineKindToString(engine) << " (reused session)"
+            << "\nseed:    " << GetParam()
+            << "\nexpected " << expected->Repr() << "\nactual " << actual->Repr();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionDifferentialTest,
+                         testing::Values<uint64_t>(3, 11));
+
 }  // namespace
 }  // namespace xpe
