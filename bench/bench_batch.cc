@@ -1,0 +1,269 @@
+// Concurrent batch evaluation vs. sequential one-shot loops: the
+// tentpole claim of the xpe::batch subsystem. A BatchEvaluator fans a
+// mixed N-queries × M-documents workload over a fixed worker pool (one
+// pooled Evaluator session per worker) behind a shared PlanCache; the
+// sequential baseline is the pre-batch serving loop — compile + one-shot
+// Evaluate per request on one thread.
+//
+// Measured:
+//   - sequential one-shot loop (compile every request, no reuse);
+//   - batch with a COLD plan cache (first batch: all compiles);
+//   - batch with a WARM plan cache, scaling workers 1 → hardware.
+//
+// --smoke exits non-zero unless (a) every batch result equals the
+// sequential reference, (b) at ≥2 hardware threads the warm batch at 2
+// workers beats the sequential loop, and (c) at ≥4 hardware threads the
+// warm batch at 4 workers has ≥2.5× the throughput of 1 worker. CI runs
+// this on every push; --json PATH additionally writes the numbers for
+// the uploaded perf-trajectory artifact.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace xpe::bench {
+namespace {
+
+using batch::BatchEvaluator;
+using batch::BatchItem;
+using batch::BatchOptions;
+using batch::BatchResult;
+
+/// The smoke corpus: every query touches real axis/predicate work so an
+/// item is a few hundred microseconds of engine time — large enough to
+/// amortize pool handoff, small enough that CI finishes in seconds.
+std::vector<BatchItem> MakeWorkload(const std::vector<xml::Document>& docs,
+                                    int repeats) {
+  const char* queries[] = {
+      "//a[b and not(c)]/descendant::b",
+      "//b[position() != last()]",
+      "/descendant::*/child::*[position() != last()]",
+      "//a[count(.//c) > 1]",
+      "//c/preceding-sibling::*",
+      "//a[.//b = 100]",
+      "sum(//b) + count(//c)",
+      "//*[@id]/descendant-or-self::c",
+  };
+  std::vector<BatchItem> items;
+  for (int r = 0; r < repeats; ++r) {
+    for (const xml::Document& doc : docs) {
+      for (const char* q : queries) {
+        items.push_back(BatchItem{q, &doc, EvalContext{}});
+      }
+    }
+  }
+  return items;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// The pre-batch serving loop: one thread, a fresh compile and a
+/// one-shot Evaluate per request.
+double RunSequentialOneShot(const std::vector<BatchItem>& items,
+                            std::vector<Value>* reference) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const BatchItem& item : items) {
+    StatusOr<xpath::CompiledQuery> q = xpath::Compile(item.query);
+    if (!q.ok()) {
+      fprintf(stderr, "compile(%s): %s\n", item.query.c_str(),
+              q.status().ToString().c_str());
+      std::abort();
+    }
+    StatusOr<Value> v = Evaluate(*q, *item.doc, item.context, EvalOptions{});
+    if (!v.ok()) {
+      fprintf(stderr, "eval(%s): %s\n", item.query.c_str(),
+              v.status().ToString().c_str());
+      std::abort();
+    }
+    if (reference != nullptr) reference->push_back(std::move(v).value());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return Seconds(t0, t1);
+}
+
+struct BatchRun {
+  double cold_seconds = 0;  // first batch: plan cache empty
+  double warm_seconds = 0;  // best of 3 fully warm batches
+  uint64_t warm_hits = 0;
+  uint64_t warm_misses = 0;
+  bool results_ok = true;
+};
+
+BatchRun RunBatch(const std::vector<BatchItem>& items, int workers,
+                  const std::vector<Value>& reference) {
+  BatchOptions options;
+  options.workers = workers;
+  BatchEvaluator pool(options);
+
+  BatchRun run;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<BatchResult> results = pool.EvaluateAll(items);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.cold_seconds = Seconds(t0, t1);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!results[i].value.ok() ||
+          !results[i].value->StructurallyEquals(reference[i])) {
+        fprintf(stderr, "MISMATCH: workers=%d item %zu (%s)\n", workers, i,
+                items[i].query.c_str());
+        run.results_ok = false;
+      }
+    }
+  }
+  run.warm_seconds = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<BatchResult> results = pool.EvaluateAll(items);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.warm_seconds = std::min(run.warm_seconds, Seconds(t0, t1));
+    if (results.size() != items.size()) run.results_ok = false;
+  }
+  run.warm_hits = pool.last_batch_stats().plan_cache_hits;
+  run.warm_misses = pool.last_batch_stats().plan_cache_misses;
+  return run;
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  using namespace xpe;
+  using namespace xpe::bench;
+
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // M shared documents, warmed up front so every arm measures pure
+  // query work (the batch pool would otherwise warm them itself).
+  std::vector<xml::Document> docs;
+  docs.push_back(xml::MakeGrownPaperDocument(40));
+  docs.push_back(xml::MakeRandomDocument(300, {"a", "b", "c"}, 42));
+  docs.push_back(xml::MakeRandomDocument(200, {"a", "b", "c"}, 7));
+  docs.push_back(xml::MakeAuctionDocument(30, 1));
+  for (const xml::Document& doc : docs) doc.WarmCaches();
+
+  const std::vector<BatchItem> items = MakeWorkload(docs, smoke ? 6 : 10);
+
+  printf("Concurrent batch evaluation (%zu items: 8 queries x %zu docs, "
+         "hardware threads: %d)\n\n",
+         items.size(), docs.size(), hw);
+
+  std::vector<Value> reference;
+  reference.reserve(items.size());
+  const double seq_seconds = RunSequentialOneShot(items, &reference);
+  const double seq_qps = items.size() / seq_seconds;
+  printf("%-26s %10.3fs %12.0f q/s\n", "sequential one-shot", seq_seconds,
+         seq_qps);
+
+  std::vector<int> worker_counts = {1, 2, 4};
+  for (int w = 8; w <= hw; w *= 2) worker_counts.push_back(w);
+  worker_counts.erase(
+      std::remove_if(worker_counts.begin(), worker_counts.end(),
+                     [&](int w) { return w > std::max(4, hw); }),
+      worker_counts.end());
+
+  bool ok = true;
+  double warm_qps_1 = 0, warm_qps_2 = 0, warm_qps_4 = 0;
+  struct Row {
+    int workers;
+    double cold_qps, warm_qps;
+  };
+  std::vector<Row> rows;
+  for (int w : worker_counts) {
+    const BatchRun run = RunBatch(items, w, reference);
+    ok = ok && run.results_ok;
+    const double cold_qps = items.size() / run.cold_seconds;
+    const double warm_qps = items.size() / run.warm_seconds;
+    rows.push_back({w, cold_qps, warm_qps});
+    if (w == 1) warm_qps_1 = warm_qps;
+    if (w == 2) warm_qps_2 = warm_qps;
+    if (w == 4) warm_qps_4 = warm_qps;
+    printf("batch %2d worker%c  cold: %8.3fs %10.0f q/s   warm: %8.3fs "
+           "%10.0f q/s  (%.2fx seq, hits %llu/%llu)\n",
+           w, w == 1 ? ' ' : 's', run.cold_seconds, cold_qps,
+           run.warm_seconds, warm_qps, warm_qps / seq_qps,
+           static_cast<unsigned long long>(run.warm_hits),
+           static_cast<unsigned long long>(run.warm_hits + run.warm_misses));
+    if (run.warm_misses != 0) {
+      fprintf(stderr, "FAIL: warm batch at %d workers still missed the plan "
+              "cache %llu times\n",
+              w, static_cast<unsigned long long>(run.warm_misses));
+      ok = false;
+    }
+  }
+
+  if (!ok) {
+    fprintf(stderr, "FAIL: batch results diverged from the sequential "
+            "reference\n");
+  }
+
+  // Scaling gates, guarded by the hardware actually present (a 1-core
+  // container can only check correctness and the warm-cache invariant).
+  if (smoke) {
+    if (hw >= 2 && warm_qps_2 <= seq_qps) {
+      fprintf(stderr,
+              "FAIL: warm batch at 2 workers (%.0f q/s) does not beat the "
+              "sequential one-shot loop (%.0f q/s)\n",
+              warm_qps_2, seq_qps);
+      ok = false;
+    }
+    if (hw >= 4 && warm_qps_4 < 2.5 * warm_qps_1) {
+      fprintf(stderr,
+              "FAIL: warm batch at 4 workers (%.0f q/s) is below 2.5x its "
+              "1-worker throughput (%.0f q/s)\n",
+              warm_qps_4, warm_qps_1);
+      ok = false;
+    }
+    if (hw < 4) {
+      printf("note: %d hardware thread(s) — scaling gates limited to what "
+             "the machine can show\n", hw);
+    }
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      ok = false;
+    } else {
+      fprintf(f,
+              "{\n  \"bench\": \"bench_batch\",\n  \"items\": %zu,\n"
+              "  \"hardware_threads\": %d,\n"
+              "  \"sequential_one_shot_qps\": %.1f,\n  \"batch\": [\n",
+              items.size(), hw, seq_qps);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        fprintf(f,
+                "    {\"workers\": %d, \"cold_qps\": %.1f, "
+                "\"warm_qps\": %.1f}%s\n",
+                rows[i].workers, rows[i].cold_qps, rows[i].warm_qps,
+                i + 1 < rows.size() ? "," : "");
+      }
+      fprintf(f, "  ],\n  \"ok\": %s\n}\n", ok ? "true" : "false");
+      fclose(f);
+      printf("wrote %s\n", json_path);
+    }
+  }
+
+  if (!ok) return 1;
+  printf("%s\n", smoke ? "smoke OK: batch beats sequential within hardware "
+                         "limits, results bit-identical"
+                       : "done");
+  return 0;
+}

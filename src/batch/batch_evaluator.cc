@@ -1,0 +1,171 @@
+#include "src/batch/batch_evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace xpe::batch {
+
+namespace {
+
+/// Race-free aggregation semantics: counters sum, high-water marks max
+/// (a batch's peak is the largest any single worker saw, since workers
+/// have disjoint arenas).
+void MergeEvalStats(EvalStats* agg, const EvalStats& s) {
+  agg->cells_allocated += s.cells_allocated;
+  agg->cells_live += s.cells_live;
+  agg->cells_peak = std::max(agg->cells_peak, s.cells_peak);
+  agg->contexts_evaluated += s.contexts_evaluated;
+  agg->axis_evals += s.axis_evals;
+  agg->indexed_steps += s.indexed_steps;
+  agg->arena_bytes_peak = std::max(agg->arena_bytes_peak, s.arena_bytes_peak);
+}
+
+int ResolveWorkerCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+/// In-flight batch state. Owned by EvaluateAll's stack frame; workers
+/// only touch it between the submit and done handshakes. Work is
+/// distributed by an atomic cursor (workers steal the next unclaimed
+/// item), results land in pre-sized per-item slots — which is what makes
+/// output ordering deterministic under any schedule.
+struct BatchEvaluator::Batch {
+  const std::vector<BatchItem>* items = nullptr;
+  std::vector<BatchResult>* results = nullptr;
+  std::atomic<size_t> next{0};
+  int active_workers = 0;  // guarded by BatchEvaluator::mu_
+  BatchStats stats;        // guarded by BatchEvaluator::mu_
+};
+
+BatchEvaluator::BatchEvaluator(const BatchOptions& options)
+    : options_(options),
+      cache_(std::make_unique<PlanCache>(options.plan_cache_capacity,
+                                         options.compile)) {
+  const int n = ResolveWorkerCount(options.workers);
+  sessions_.reserve(n);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    sessions_.push_back(std::make_unique<Evaluator>());
+  }
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+BatchEvaluator::~BatchEvaluator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  submit_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+BatchStats BatchEvaluator::last_batch_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_stats_;
+}
+
+std::vector<BatchResult> BatchEvaluator::EvaluateAll(
+    const std::vector<BatchItem>& items) {
+  // One batch at a time; concurrent callers queue here.
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+
+  if (options_.warm_documents) {
+    std::vector<const xml::Document*> docs;
+    for (const BatchItem& item : items) {
+      if (item.doc != nullptr) docs.push_back(item.doc);
+    }
+    std::sort(docs.begin(), docs.end());
+    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+    for (const xml::Document* doc : docs) doc->WarmCaches();
+  }
+
+  std::vector<BatchResult> results(items.size());
+  Batch batch;
+  batch.items = &items;
+  batch.results = &results;
+  batch.active_workers = workers();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  submit_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return batch.active_workers == 0; });
+    batch_ = nullptr;
+    last_stats_ = batch.stats;
+  }
+  return results;
+}
+
+void BatchEvaluator::WorkerLoop(int worker_index) {
+  Evaluator& session = *sessions_[worker_index];
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      submit_.wait(lock, [&] {
+        return shutdown_ ||
+               (batch_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      batch = batch_;
+      seen_generation = generation_;
+    }
+
+    // Thread-local accumulation; merged once under the lock below.
+    BatchStats local;
+    for (;;) {
+      const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->items->size()) break;
+      const BatchItem& item = (*batch->items)[i];
+      BatchResult& out = (*batch->results)[i];
+      ++local.items;
+
+      if (item.doc == nullptr) {
+        out.value = Status::InvalidArgument("BatchItem::doc is null");
+        ++local.errors;
+        continue;
+      }
+      StatusOr<SharedPlan> plan = cache_->GetOrCompile(item.query,
+                                                       &out.cache_hit);
+      if (out.cache_hit) {
+        ++local.plan_cache_hits;
+      } else {
+        ++local.plan_cache_misses;
+      }
+      if (!plan.ok()) {
+        out.value = plan.status();
+        ++local.errors;
+        continue;
+      }
+
+      EvalOptions opts = options_.eval;
+      opts.stats = &local.eval;  // worker-private sink, merged at the end
+      out.value = session.Evaluate(**plan, *item.doc, item.context, opts);
+      if (!out.value.ok()) ++local.errors;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MergeEvalStats(&batch->stats.eval, local.eval);
+      batch->stats.items += local.items;
+      batch->stats.errors += local.errors;
+      batch->stats.plan_cache_hits += local.plan_cache_hits;
+      batch->stats.plan_cache_misses += local.plan_cache_misses;
+      if (--batch->active_workers == 0) done_.notify_all();
+    }
+  }
+}
+
+}  // namespace xpe::batch

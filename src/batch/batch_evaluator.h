@@ -1,0 +1,136 @@
+#ifndef XPE_BATCH_BATCH_EVALUATOR_H_
+#define XPE_BATCH_BATCH_EVALUATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/batch/plan_cache.h"
+#include "src/core/engine.h"
+#include "src/core/evaluator.h"
+#include "src/core/stats.h"
+#include "src/core/value.h"
+
+namespace xpe::batch {
+
+/// One unit of work: a query (source text — plans come from the shared
+/// PlanCache) against a document at a context. The document pointer must
+/// outlive the EvaluateAll() call; documents may repeat freely across
+/// items (that is the point: shared read-only documents).
+struct BatchItem {
+  std::string query;
+  const xml::Document* doc = nullptr;
+  EvalContext context = {};
+};
+
+/// Per-item outcome, in *item order* — results[i] always answers
+/// items[i], no matter how the scheduler interleaved the workers.
+struct BatchResult {
+  StatusOr<Value> value = Status::Internal("not evaluated");
+  bool cache_hit = false;  // plan served from the cache (source-text hit)
+};
+
+/// Batch-wide counters, aggregated race-free: every worker accumulates
+/// into thread-local counters and merges once under a lock when it runs
+/// out of work.
+struct BatchStats {
+  EvalStats eval;            // sums; *_peak fields hold the max over workers
+  uint64_t items = 0;        // items evaluated (errors included)
+  uint64_t errors = 0;       // items whose result is a non-OK Status
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+};
+
+/// Configuration for a BatchEvaluator (RocksDB-style options struct).
+struct BatchOptions {
+  /// Worker threads. 0 = std::thread::hardware_concurrency() (min 1).
+  int workers = 0;
+  /// Engine/index/budget options applied to every item. The stats sink
+  /// is ignored — per-batch stats are aggregated internally (a shared
+  /// sink would be a data race by construction).
+  EvalOptions eval;
+  /// Bound on distinct cached plans (LRU beyond it).
+  size_t plan_cache_capacity = 1024;
+  /// Variable bindings for every compile going through the cache.
+  xpath::CompileOptions compile;
+  /// Force-build each distinct document's lazy caches (search index,
+  /// id-axis, number cache) before fan-out, so workers only ever read.
+  /// First-touch under contention is safe either way; warming keeps the
+  /// O(|D|) builds out of measured query latency.
+  bool warm_documents = true;
+};
+
+/// Inter-query parallel evaluation: a fixed pool of worker threads, one
+/// PR-2 Evaluator session (pooled arena + scratch) pinned to each
+/// worker, and one shared PlanCache, evaluating N queries × M documents
+/// concurrently (Sato et al.'s inter-query parallelism, the
+/// low-hanging throughput win for read-only XPath workloads).
+///
+/// Concurrency contract (machine-checked by the TSan CI job):
+///  - Documents are shared read-only; their lazy caches synchronize
+///    first touch, and warm_documents pre-builds them.
+///  - Compiled plans are shared const; engines never write into them.
+///  - Each Evaluator session is touched by exactly one worker at a time.
+///  - Results land in per-item slots; EvaluateAll returns them in item
+///    order, so output is deterministic regardless of scheduling.
+///
+/// The pool is persistent: construct once, call EvaluateAll() any number
+/// of times (calls are serialized — one batch runs at a time; concurrent
+/// callers queue on an internal mutex). The plan cache persists across
+/// batches, so steady-state workloads run fully warm.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const BatchOptions& options = {});
+  ~BatchEvaluator();
+
+  BatchEvaluator(const BatchEvaluator&) = delete;
+  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+
+  /// Evaluates every item and returns results in item order. Per-item
+  /// failures (compile errors, bad contexts) land in that item's slot;
+  /// they never abort the batch.
+  std::vector<BatchResult> EvaluateAll(const std::vector<BatchItem>& items);
+
+  /// Stats of the most recent EvaluateAll(). Returns a snapshot copy:
+  /// concurrent callers are supported, so a reference could be written
+  /// behind the reader's back.
+  BatchStats last_batch_stats() const;
+
+  PlanCache& plan_cache() { return *cache_; }
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Batch;  // in-flight batch state (batch_evaluator.cc)
+
+  void WorkerLoop(int worker_index);
+
+  const BatchOptions options_;
+  std::unique_ptr<PlanCache> cache_;
+
+  // One session per worker, created up front and only ever touched by
+  // that worker (index-matched to threads_).
+  std::vector<std::unique_ptr<Evaluator>> sessions_;
+
+  std::mutex batch_mu_;  // serializes EvaluateAll callers
+
+  // Pool signalling: submit_ wakes workers when batch_ is set or
+  // shutdown_ goes true; done_ wakes the submitter when the last worker
+  // finishes. Mutable so the stats snapshot accessor stays const.
+  mutable std::mutex mu_;
+  std::condition_variable submit_;
+  std::condition_variable done_;
+  Batch* batch_ = nullptr;  // owned by EvaluateAll's frame
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  BatchStats last_stats_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xpe::batch
+
+#endif  // XPE_BATCH_BATCH_EVALUATOR_H_

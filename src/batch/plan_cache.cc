@@ -1,0 +1,119 @@
+#include "src/batch/plan_cache.h"
+
+#include <utility>
+
+namespace xpe::batch {
+
+SharedPlan PlanCache::Lookup(std::string_view query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_source_.find(query);
+  if (it == by_source_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  return it->second->plan;
+}
+
+StatusOr<SharedPlan> PlanCache::GetOrCompile(std::string_view query,
+                                             bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_source_.find(query);
+    if (it != by_source_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second->plan;
+    }
+    ++stats_.misses;
+  }
+
+  // Compile outside the lock: parsing a pathological query must not
+  // stall every other thread's cache hit.
+  StatusOr<xpath::CompiledQuery> compiled =
+      xpath::Compile(query, compile_options_);
+  if (!compiled.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+    return compiled.status();
+  }
+  auto plan =
+      std::make_shared<const xpath::CompiledQuery>(std::move(compiled).value());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Another thread may have inserted while we compiled; adopt its entry
+  // so all callers converge on one plan object.
+  auto it = by_source_.find(query);
+  if (it != by_source_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+  return InsertLocked(query, std::move(plan));
+}
+
+SharedPlan PlanCache::InsertLocked(std::string_view source, SharedPlan plan) {
+  // Canonical dedup: a different spelling of an already-cached query
+  // shares the existing plan object (weak_ptr: eviction of the last
+  // source alias really frees the plan once evaluations finish).
+  auto canon = by_canonical_.find(plan->canonical_key());
+  if (canon != by_canonical_.end()) {
+    if (SharedPlan existing = canon->second.lock()) {
+      ++stats_.canonical_shares;
+      plan = std::move(existing);
+    } else {
+      canon->second = plan;  // expired: re-publish ours
+    }
+  } else {
+    by_canonical_.emplace(plan->canonical_key(), plan);
+  }
+
+  lru_.push_front(Entry{std::string(source), plan});
+  by_source_.emplace(std::string_view(lru_.front().source), lru_.begin());
+
+  while (by_source_.size() > capacity_) {
+    Entry& victim = lru_.back();
+    by_source_.erase(std::string_view(victim.source));
+    std::string canonical = victim.plan->canonical_key();
+    lru_.pop_back();  // may release the last strong reference
+    // Drop the canonical entry once no alias or in-flight evaluation
+    // keeps the plan alive; live weak entries stay sharable.
+    auto vc = by_canonical_.find(canonical);
+    if (vc != by_canonical_.end() && vc->second.expired()) {
+      by_canonical_.erase(vc);
+    }
+    ++stats_.evictions;
+  }
+  // The canonical level must stay bounded too: an evicted plan kept
+  // alive by an in-flight holder leaves a live weak entry behind, and
+  // once that holder drops nothing would ever revisit the key. Sweep
+  // all expired entries whenever the map outgrows everything that can
+  // legitimately back it (cached aliases + one round of capacity).
+  if (by_canonical_.size() > by_source_.size() + capacity_) {
+    for (auto it = by_canonical_.begin(); it != by_canonical_.end();) {
+      it = it->second.expired() ? by_canonical_.erase(it) : std::next(it);
+    }
+  }
+  stats_.entries = by_source_.size();
+  return plan;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_source_.clear();
+  by_canonical_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = by_source_.size();
+  s.canonical_entries = by_canonical_.size();
+  return s;
+}
+
+}  // namespace xpe::batch

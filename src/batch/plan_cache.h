@@ -1,0 +1,127 @@
+#ifndef XPE_BATCH_PLAN_CACHE_H_
+#define XPE_BATCH_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/xpath/compile.h"
+
+namespace xpe::batch {
+
+/// A shared compiled plan. CompiledQuery is immutable and engines never
+/// write into it, so one plan can back any number of concurrent
+/// evaluations; shared_ptr ownership keeps in-flight evaluations safe
+/// across cache eviction.
+using SharedPlan = std::shared_ptr<const xpath::CompiledQuery>;
+
+/// A thread-safe cache from query text to compiled plan, so repeated
+/// workloads skip the whole parse → normalize → type → classify
+/// front-end (Maneth & Nguyen's whole-query-optimization motivation:
+/// compile once, evaluate many).
+///
+/// Two-level keying:
+///  - the primary map keys on the *source text* exactly as submitted —
+///    the common repeated-workload probe is one hash lookup;
+///  - behind it, plans are deduplicated by CompiledQuery::canonical_key()
+///    (the normalized rendering), so textually different spellings of
+///    one query ("//a", "descendant-or-self::node()/child::a") share a
+///    single plan object instead of compiling to duplicates.
+///
+/// Capacity is bounded: source entries are evicted LRU. The canonical
+/// level holds weak references only, so eviction actually frees plans
+/// nobody is evaluating.
+///
+/// Variable bindings change what a query compiles to, so they are fixed
+/// per cache (constructor), not per lookup: one PlanCache serves one
+/// binding environment.
+///
+/// Thread-safety: all members are guarded by one mutex. Compilation runs
+/// outside the lock — a slow compile never blocks cache hits on other
+/// threads; two threads racing to compile the same new query both
+/// compile, then the loser adopts the winner's plan.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;            // source-text hits
+    uint64_t misses = 0;          // full compiles (includes failures)
+    uint64_t canonical_shares = 0;  // new spelling adopted an existing plan
+    uint64_t evictions = 0;       // LRU source entries dropped
+    uint64_t failures = 0;        // compiles that returned an error
+    size_t entries = 0;           // current source entries
+    size_t canonical_entries = 0;  // dedup-level entries (bounded: see .cc)
+  };
+
+  explicit PlanCache(size_t capacity = 1024,
+                     xpath::CompileOptions compile_options = {})
+      : capacity_(capacity == 0 ? 1 : capacity),
+        compile_options_(std::move(compile_options)) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `query`, compiling and inserting on
+  /// miss. Compile errors are returned and never cached (a transiently
+  /// mistyped query must not poison the cache). If `cache_hit` is
+  /// non-null it is set to whether the plan came from the source-text
+  /// level without compiling.
+  StatusOr<SharedPlan> GetOrCompile(std::string_view query,
+                                    bool* cache_hit = nullptr);
+
+  /// Source-text lookup without compiling; nullptr on miss. Counts as a
+  /// hit/miss in stats().
+  SharedPlan Lookup(std::string_view query);
+
+  /// Pre-compiles `query` (e.g. a server warming its known workload).
+  Status Warm(std::string_view query) {
+    return GetOrCompile(query).status();
+  }
+
+  void Clear();
+
+  Stats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // LRU order, most recent at front. The list owns each entry's source
+  // key; the maps hold views/iterators into it.
+  struct Entry {
+    std::string source;
+    SharedPlan plan;
+  };
+  using LruList = std::list<Entry>;
+
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Inserts `plan` under `source`, deduplicating against the canonical
+  /// level and evicting LRU entries beyond capacity. Returns the plan to
+  /// use (ours, or the already-cached equivalent). Lock must be held.
+  SharedPlan InsertLocked(std::string_view source, SharedPlan plan);
+
+  const size_t capacity_;
+  const xpath::CompileOptions compile_options_;
+
+  mutable std::mutex mu_;
+  LruList lru_;
+  std::unordered_map<std::string_view, LruList::iterator, StringHash,
+                     std::equal_to<>>
+      by_source_;
+  std::unordered_map<std::string, std::weak_ptr<const xpath::CompiledQuery>,
+                     StringHash, std::equal_to<>>
+      by_canonical_;
+  Stats stats_;
+};
+
+}  // namespace xpe::batch
+
+#endif  // XPE_BATCH_PLAN_CACHE_H_

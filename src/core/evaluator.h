@@ -99,6 +99,9 @@ class EvalWorkspace {
 /// One Evaluator must not be used from two threads at once; for
 /// concurrent serving create one session per thread — evaluations over
 /// a shared Document are race-free (its lazy caches are synchronized).
+/// batch::BatchEvaluator packages exactly that pattern: a worker pool
+/// with one session pinned per worker behind a shared plan cache, with
+/// the whole arrangement run under ThreadSanitizer in CI.
 class Evaluator {
  public:
   Evaluator() = default;

@@ -58,6 +58,12 @@ class DenseBitmap {
 /// per-document singleton via Document::index() (built lazily, once); the
 /// constructor is public for tests and for callers that manage lifetime
 /// themselves. The index-accelerated step kernels live in step_index.h.
+///
+/// Concurrency: the structure is immutable after the constructor returns,
+/// and the once_flag in Document::index() publishes it, so first-touch
+/// under contention is race-free — asserted by batch_test's contention
+/// cases under the TSan CI job. Servers that want the O(|D|) build out of
+/// query latency entirely call Document::WarmCaches() up front.
 class DocumentIndex {
  public:
   explicit DocumentIndex(const xml::Document& doc);

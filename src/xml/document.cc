@@ -100,14 +100,18 @@ std::string Document::StringValue(NodeId id) const {
   return {};
 }
 
-double Document::NumberValue(NodeId id) const {
-  // Lock-free per-entry memoization: the once_flag sizes the arrays, the
-  // release store of the flag publishes the value. Concurrent fillers
-  // recompute the same deterministic double, which is harmless.
+void Document::EnsureNumberCache() const {
   std::call_once(caches_->number_once, [this] {
     number_cache_ = std::vector<std::atomic<double>>(nodes_.size());
     number_cached_ = std::vector<std::atomic<uint8_t>>(nodes_.size());
   });
+}
+
+double Document::NumberValue(NodeId id) const {
+  // Lock-free per-entry memoization: the once_flag sizes the arrays, the
+  // release store of the flag publishes the value. Concurrent fillers
+  // recompute the same deterministic double, which is harmless.
+  EnsureNumberCache();
   if (number_cached_[id].load(std::memory_order_acquire)) {
     return number_cache_[id].load(std::memory_order_relaxed);
   }
@@ -158,6 +162,16 @@ const index::DocumentIndex& Document::index() const {
     caches_->document_index = std::make_unique<index::DocumentIndex>(*this);
   });
   return *caches_->document_index;
+}
+
+void Document::WarmCaches() const {
+  // First-touch under contention is already safe (once_flags / per-entry
+  // atomics), but a server that warms before fan-out gets a fully
+  // read-only document: no worker ever pays a lazy O(|D|) build mid-query
+  // or serializes behind another's call_once.
+  index();
+  if (size() > 0) IdAxisForward(0);  // one call builds both directions
+  EnsureNumberCache();
 }
 
 std::string Document::DebugDump() const {

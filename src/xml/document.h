@@ -92,6 +92,14 @@ class Document {
   /// fully built index.
   const index::DocumentIndex& index() const;
 
+  /// Force-builds every lazy cache (search index, id-axis tables, the
+  /// number-cache arrays) so that all subsequent use is pure reads.
+  /// Servers call this once per document before fanning evaluations out
+  /// to a worker pool: first-touch under contention is safe without it
+  /// (see the class comment), but warming keeps the O(|D|) builds out of
+  /// query latency. Idempotent, thread-safe.
+  void WarmCaches() const;
+
   /// Attribute nodes of an element: the id range
   /// [AttrBegin(e), AttrEnd(e)). Empty range for non-elements.
   NodeId AttrBegin(NodeId element) const { return element + 1; }
@@ -143,6 +151,7 @@ class Document {
   struct LazyCaches;
 
   void BuildIdAxis() const;
+  void EnsureNumberCache() const;
 
   std::vector<NodeRecord> nodes_;
   std::vector<std::string> names_;        // interned names

@@ -15,6 +15,10 @@ StatusOr<CompiledQuery> Compile(std::string_view query,
   ClassifyFragments(&compiled.tree_);
   compiled.fragment_ = ClassifyQuery(compiled.tree_);
   AnnotateIndexEligibility(&compiled.tree_);
+  // Rendered once here so canonical_key() is a free accessor on cache
+  // probes. Variable bindings are substituted by Normalize, so the key
+  // distinguishes the same text compiled under different bindings.
+  compiled.canonical_key_ = compiled.tree_.ToString();
   return compiled;
 }
 

@@ -19,13 +19,22 @@ struct CompileOptions {
 
 /// A parsed, normalized, typed and fragment-classified query, ready for
 /// any of the evaluation engines. Immutable after construction; one
-/// CompiledQuery can be evaluated against any number of documents.
+/// CompiledQuery can be evaluated against any number of documents, from
+/// any number of threads concurrently — all accessors are const and the
+/// engines never write back into the plan, which is what makes shared
+/// cached plans (src/batch/plan_cache.h) safe.
 class CompiledQuery {
  public:
   const QueryTree& tree() const { return tree_; }
   AstId root() const { return tree_.root(); }
   /// Original query text as supplied to Compile.
   const std::string& source() const { return source_; }
+  /// The canonical (normalized, unabbreviated) rendering of the query —
+  /// the normalizer is idempotent, so two queries with equal canonical
+  /// keys have identical normalized trees and identical results on every
+  /// document. Computed once by Compile; O(1) to read. Plan caches use
+  /// it to share one plan between textually different spellings.
+  const std::string& canonical_key() const { return canonical_key_; }
   /// The query's fragment (drives engine selection / expected bounds).
   Fragment fragment() const { return fragment_; }
   /// Static result type of the whole query.
@@ -36,6 +45,7 @@ class CompiledQuery {
                                          const CompileOptions&);
   QueryTree tree_;
   std::string source_;
+  std::string canonical_key_;
   Fragment fragment_ = Fragment::kFullXPath;
 };
 

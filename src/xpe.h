@@ -23,6 +23,8 @@
 #define XPE_XPE_H_
 
 #include "src/axes/arena.h"         // EvalArena session allocator
+#include "src/batch/batch_evaluator.h"  // concurrent batch evaluation
+#include "src/batch/plan_cache.h"   // shared query-plan cache
 #include "src/axes/axis.h"          // axis functions χ(X), χ⁻¹(X)
 #include "src/axes/node_set.h"      // NodeSet / NodeBitmap
 #include "src/axes/node_table.h"    // flat context-value tables

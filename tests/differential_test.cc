@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/batch/plan_cache.h"
 #include "src/xml/generator.h"
 #include "tests/test_util.h"
 
@@ -276,6 +277,52 @@ TEST_P(SessionDifferentialTest, ReusedSessionAgreesWithNaive) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionDifferentialTest,
                          testing::Values<uint64_t>(3, 11));
+
+/// Cached-plan mode: the whole corpus replayed with plans served by one
+/// shared PlanCache instead of fresh compiles. Same normalized key ⇒
+/// the cached (and canonically deduplicated) plan must produce results
+/// bit-for-bit identical to a fresh compile, on every engine — the
+/// correctness contract that lets a server cache plans at all.
+class CachedPlanDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(CachedPlanDifferentialTest, CachedPlanMatchesFreshCompile) {
+  xml::Document doc =
+      xml::MakeRandomDocument(30, {"a", "b", "c"}, GetParam() * 31);
+  // Tight capacity on the second pass: every query is compiled fresh,
+  // served hot, evicted, and recompiled — eviction must be invisible too.
+  for (size_t capacity : {size_t{1024}, size_t{3}}) {
+    batch::PlanCache cache(capacity);
+    // Two passes: pass 0 populates (all misses at large capacity), pass
+    // 1 replays (all hits at large capacity, churn at capacity 3).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const char* query : kQueryCorpus) {
+        StatusOr<batch::SharedPlan> cached = cache.GetOrCompile(query);
+        ASSERT_TRUE(cached.ok()) << query << ": "
+                                 << cached.status().ToString();
+        xpath::CompiledQuery fresh = MustCompile(query);
+        EXPECT_EQ((*cached)->canonical_key(), fresh.canonical_key()) << query;
+        for (EngineKind engine :
+             {EngineKind::kBottomUp, EngineKind::kTopDown,
+              EngineKind::kMinContext, EngineKind::kOptMinContext}) {
+          EvalOptions opts;
+          opts.engine = engine;
+          StatusOr<Value> expected = Evaluate(fresh, doc, EvalContext{}, opts);
+          StatusOr<Value> actual = Evaluate(**cached, doc, EvalContext{}, opts);
+          ASSERT_TRUE(expected.ok()) << query;
+          ASSERT_TRUE(actual.ok()) << query;
+          EXPECT_TRUE(actual->StructurallyEquals(*expected))
+              << "query:    " << query << "\nengine:   "
+              << EngineKindToString(engine) << "\ncapacity: " << capacity
+              << " pass " << pass << "\nexpected: " << expected->Repr()
+              << "\nactual:   " << actual->Repr();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedPlanDifferentialTest,
+                         testing::Values<uint64_t>(2, 9));
 
 }  // namespace
 }  // namespace xpe
