@@ -19,15 +19,6 @@
 namespace xpe::bench {
 namespace {
 
-/// Labels with one needle "x" per `dilution` filler entries: the needle
-/// tags ~1/(dilution+1) of the elements.
-std::vector<std::string> DilutedLabels(int dilution) {
-  static const char* kFillers[] = {"a", "b", "c", "d", "e"};
-  std::vector<std::string> labels = {"x"};
-  for (int i = 0; i < dilution; ++i) labels.push_back(kFillers[i % 5]);
-  return labels;
-}
-
 int RunBench(bool smoke) {
   const std::vector<int> sizes =
       smoke ? std::vector<int>{2'000} : std::vector<int>{2'000, 20'000,

@@ -1,0 +1,187 @@
+// The early-terminating result modes (xpe::Query / ResultSpec) vs. full
+// materialization: the same queries on the same documents, answered as
+// Full / Exists / First / Count / Limit(10). The probe modes stop the
+// document scan at the match, so their cost tracks the position of the
+// first match instead of |D| — the facade's whole point for
+// existence-check-dominated traffic.
+//
+// --smoke is the CI gate: on a 1%-selectivity `//n`, Exists() must (a)
+// visit >= 100x fewer nodes than full materialization (deterministic,
+// via EvalStats::nodes_visited) and (b) run >= 5x faster wall-clock
+// (generous vs. the typical 50-500x, so a noisy runner cannot fail an
+// intact short-circuit). --json PATH writes the numbers for the
+// uploaded perf-trajectory artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace xpe::bench {
+namespace {
+
+Query MustCompileQuery(const char* text) {
+  StatusOr<Query> q = Query::Compile(text);
+  if (!q.ok()) {
+    fprintf(stderr, "compile(%s): %s\n", text, q.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+/// Median-of-three wall-clock of one facade verb, in microseconds.
+template <typename Fn>
+double TimeVerbUs(Fn&& fn) {
+  double best[3];
+  for (double& sample : best) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    sample = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  }
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  if (best[1] > best[2]) std::swap(best[1], best[2]);
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  return best[1];
+}
+
+struct ModeRow {
+  std::string query;
+  int nodes = 0;
+  double full_us = 0;
+  double exists_us = 0;
+  double first_us = 0;
+  double count_us = 0;
+  double limit10_us = 0;
+  uint64_t full_visited = 0;
+  uint64_t exists_visited = 0;
+};
+
+int RunBench(bool smoke, const char* json_path) {
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{50'000} : std::vector<int>{20'000, 200'000};
+  const char* kQueries[] = {
+      "//x",          // the fused descendant probe
+      "//a/x",        // child step over a broad frontier
+      "//a[x]//x",    // predicate + trailing descendant pair
+      "//x | //e/x",  // union: each branch stops on its own
+  };
+
+  printf("%8s %14s %10s %10s %10s %10s %10s %9s\n", "nodes", "query",
+         "full_us", "exists_us", "first_us", "count_us", "limit10_us",
+         "exist_spd");
+  std::vector<ModeRow> rows;
+  bool smoke_ok = true;
+  for (int n : sizes) {
+    xml::Document doc =
+        xml::MakeRandomDocument(n, DilutedLabels(99), /*seed=*/4242);
+    doc.WarmCaches();  // the index build is shared setup, not mode cost
+    for (const char* text : kQueries) {
+      Query q = MustCompileQuery(text);
+      ModeRow row;
+      row.query = text;
+      row.nodes = doc.size();
+      row.full_us = TimeVerbUs([&] { q.Nodes(doc); });
+      row.exists_us = TimeVerbUs([&] { q.Exists(doc); });
+      row.first_us = TimeVerbUs([&] { q.First(doc); });
+      row.count_us = TimeVerbUs([&] { q.Count(doc); });
+      row.limit10_us = TimeVerbUs([&] { q.Limit(doc, 10); });
+
+      EvalStats full_stats;
+      q.WithStats(&full_stats);
+      StatusOr<NodeSet> full = q.Nodes(doc);
+      EvalStats exists_stats;
+      q.WithStats(&exists_stats);
+      StatusOr<bool> exists = q.Exists(doc);
+      q.WithStats(nullptr);
+      if (!full.ok() || !exists.ok()) {
+        fprintf(stderr, "eval(%s): %s\n", text,
+                (!full.ok() ? full.status() : exists.status())
+                    .ToString()
+                    .c_str());
+        std::abort();
+      }
+      row.full_visited = full_stats.nodes_visited;
+      row.exists_visited = exists_stats.nodes_visited;
+
+      printf("%8d %14s %10.1f %10.1f %10.1f %10.1f %10.1f %8.1fx\n",
+             doc.size(), text, row.full_us, row.exists_us, row.first_us,
+             row.count_us, row.limit10_us, row.full_us / row.exists_us);
+      rows.push_back(row);
+
+      if (smoke && std::strcmp(text, "//x") == 0) {
+        // Deterministic part of the gate: Exists must genuinely
+        // short-circuit, measured in visited nodes, not wall-clock.
+        if (row.exists_visited * 100 > row.full_visited) {
+          fprintf(stderr,
+                  "SMOKE FAIL: Exists(//x) visited %llu nodes vs %llu for "
+                  "full materialization (< 100x separation)\n",
+                  static_cast<unsigned long long>(row.exists_visited),
+                  static_cast<unsigned long long>(row.full_visited));
+          smoke_ok = false;
+        }
+        if (row.exists_us * 5.0 > row.full_us) {
+          fprintf(stderr,
+                  "SMOKE FAIL: Exists(//x) %.1fus not >=5x faster than full "
+                  "materialization %.1fus\n",
+                  row.exists_us, row.full_us);
+          smoke_ok = false;
+        }
+        if (!*exists) {
+          fprintf(stderr, "SMOKE FAIL: Exists(//x) returned false\n");
+          smoke_ok = false;
+        }
+      }
+    }
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"bench_modes\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ModeRow& r = rows[i];
+      fprintf(f,
+              "    {\"query\": \"%s\", \"nodes\": %d, \"full_us\": %.1f, "
+              "\"exists_us\": %.1f, \"first_us\": %.1f, \"count_us\": %.1f, "
+              "\"limit10_us\": %.1f, \"full_visited\": %llu, "
+              "\"exists_visited\": %llu}%s\n",
+              r.query.c_str(), r.nodes, r.full_us, r.exists_us, r.first_us,
+              r.count_us, r.limit10_us,
+              static_cast<unsigned long long>(r.full_visited),
+              static_cast<unsigned long long>(r.exists_visited),
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("wrote %s\n", json_path);
+  }
+
+  if (smoke && !smoke_ok) return 1;
+  if (smoke) {
+    printf("smoke OK: Exists() short-circuits //x (>=100x fewer nodes "
+           "visited, >=5x wall-clock)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return xpe::bench::RunBench(smoke, json_path);
+}

@@ -5,10 +5,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/xpe.h"
 
 namespace xpe::bench {
+
+/// Labels with one needle "x" per `dilution` filler entries: the needle
+/// tags ~1/(dilution+1) of a MakeRandomDocument's elements (the
+/// selectivity knob of bench_index and bench_modes).
+inline std::vector<std::string> DilutedLabels(int dilution) {
+  static const char* kFillers[] = {"a", "b", "c", "d", "e"};
+  std::vector<std::string> labels = {"x"};
+  for (int i = 0; i < dilution; ++i) labels.push_back(kFillers[i % 5]);
+  return labels;
+}
 
 /// Compiles or aborts (benchmark setup must not fail silently).
 inline xpath::CompiledQuery MustCompile(std::string_view query) {

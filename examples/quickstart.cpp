@@ -1,7 +1,7 @@
-// Quickstart: parse a document, compile a query, evaluate it, inspect
-// the result — the whole public API in ~60 lines.
+// Quickstart: parse a document, compile an xpe::Query once, then ask
+// with the typed verbs — the whole public API in ~60 lines.
 //
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
 #include <cstdio>
 
@@ -20,37 +20,52 @@ int main() {
     return 1;
   }
 
-  // 2. Compile an XPath 1.0 query. Compilation parses, normalizes,
-  //    types, and classifies the query into its fragment.
-  xpe::StatusOr<xpe::xpath::CompiledQuery> query =
-      xpe::xpath::Compile("//book[@year > 2000]/title");
+  // 2. Compile once. Query::Compile runs the whole front-end (parse,
+  //    normalize, type, fragment-classify) and wraps the plan with a
+  //    pooled evaluation session.
+  xpe::StatusOr<xpe::Query> query =
+      xpe::Query::Compile("//book[@year > 2000]/title");
   if (!query.ok()) {
     fprintf(stderr, "XPath error: %s\n", query.status().ToString().c_str());
     return 1;
   }
   printf("query:     %s\n", query->source().c_str());
-  printf("canonical: %s\n", query->tree().ToString().c_str());
+  printf("canonical: %s\n", query->plan().canonical_key().c_str());
   printf("fragment:  %s\n",
-         xpe::xpath::FragmentToString(query->fragment()));
+         xpe::xpath::FragmentToString(query->plan().fragment()));
 
-  // 3. Evaluate. The default engine is OPTMINCONTEXT (the paper's
-  //    Algorithm 8); EvalOptions selects others.
-  xpe::StatusOr<xpe::NodeSet> result = xpe::EvaluateNodeSet(*query, *doc);
-  if (!result.ok()) {
-    fprintf(stderr, "eval error: %s\n", result.status().ToString().c_str());
+  // 3. Ask with the verb that matches the question. The probe verbs
+  //    (Exists/First/Limit) stop the document scan at the match instead
+  //    of materializing the full node-set first. Every verb returns a
+  //    StatusOr — check it before dereferencing.
+  xpe::StatusOr<bool> exists = query->Exists(*doc);
+  if (!exists.ok()) {
+    fprintf(stderr, "eval error: %s\n", exists.status().ToString().c_str());
     return 1;
   }
+  printf("exists:    %s\n", *exists ? "yes" : "no");
+  // The remaining verbs fail the same way (same plan, same document),
+  // so this walkthrough dereferences them directly from here on.
+  printf("matches:   %llu\n",
+         static_cast<unsigned long long>(*query->Count(*doc)));
+  printf("first:     %s\n", query->StringOf(*doc)->c_str());
 
-  // 4. Walk the result node-set (always in document order).
-  printf("matches:   %zu\n", result->size());
-  for (xpe::xml::NodeId node : *result) {
+  // 4. Walk the full result node-set (always in document order) — or
+  //    stream it without keeping the set around. (Bind the StatusOr to
+  //    a local before iterating: a range-for over `*query->Nodes(doc)`
+  //    would iterate a destroyed temporary.)
+  const xpe::NodeSet nodes = *query->Nodes(*doc);
+  for (xpe::xml::NodeId node : nodes) {
     printf("  <%s> \"%s\"\n", std::string(doc->name(node)).c_str(),
            doc->StringValue(node).c_str());
   }
+  query->ForEach(*doc, [&](xpe::xml::NodeId node) {
+    printf("  streamed #%u\n", node);
+    return true;
+  });
 
-  // Scalar queries yield scalar values.
-  xpe::StatusOr<xpe::Value> count =
-      xpe::Evaluate(*xpe::xpath::Compile("count(//book)"), *doc, {});
-  printf("count(//book) = %g\n", count->number());
+  // Scalar queries yield scalar values through Eval().
+  xpe::StatusOr<xpe::Query> count = xpe::Query::Compile("count(//book)");
+  printf("count(//book) = %g\n", count->Eval(*doc)->number());
   return 0;
 }

@@ -152,6 +152,7 @@ void BatchEvaluator::WorkerLoop(int worker_index) {
 
       EvalOptions opts = options_.eval;
       opts.stats = &local.eval;  // worker-private sink, merged at the end
+      opts.result = item.result;  // per-item result shape (BatchItem)
       out.value = session.Evaluate(**plan, *item.doc, item.context, opts);
       if (!out.value.ok()) ++local.errors;
     }

@@ -21,10 +21,19 @@ namespace xpe::batch {
 /// PlanCache) against a document at a context. The document pointer must
 /// outlive the EvaluateAll() call; documents may repeat freely across
 /// items (that is the point: shared read-only documents).
+///
+/// `result` selects the item's result shape per the ResultSpec contract
+/// (engine.h): a batch can mix full materializations with
+/// early-terminating existence probes, first-match lookups, counts and
+/// limits — the mode is threaded through the worker's session into the
+/// engines, so probe-shaped items cost what a probe costs. It overrides
+/// BatchOptions::eval.result for this item. A per-item sink, if set,
+/// runs on whichever worker thread evaluates the item.
 struct BatchItem {
   std::string query;
   const xml::Document* doc = nullptr;
   EvalContext context = {};
+  ResultSpec result = {};
 };
 
 /// Per-item outcome, in *item order* — results[i] always answers
@@ -51,7 +60,8 @@ struct BatchOptions {
   int workers = 0;
   /// Engine/index/budget options applied to every item. The stats sink
   /// is ignored — per-batch stats are aggregated internally (a shared
-  /// sink would be a data race by construction).
+  /// sink would be a data race by construction) — and the result spec
+  /// is overridden per item by BatchItem::result.
   EvalOptions eval;
   /// Bound on distinct cached plans (LRU beyond it).
   size_t plan_cache_capacity = 1024;

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "src/common/status.h"
+#include "src/core/query.h"
 #include "src/xpath/compile.h"
 
 namespace xpe::batch {
@@ -72,6 +73,17 @@ class PlanCache {
   /// level without compiling.
   StatusOr<SharedPlan> GetOrCompile(std::string_view query,
                                     bool* cache_hit = nullptr);
+
+  /// GetOrCompile wrapped in the xpe::Query facade: the serving pattern
+  /// "shared cached plan + private session" in one call. The returned
+  /// Query shares the cached plan (eviction-safe — the shared_ptr keeps
+  /// it alive) and owns a fresh Evaluator session, so it is ready for
+  /// the typed verbs (Exists/First/Count/...) on the calling thread.
+  StatusOr<Query> GetOrCompileQuery(std::string_view query,
+                                    bool* cache_hit = nullptr) {
+    XPE_ASSIGN_OR_RETURN(SharedPlan plan, GetOrCompile(query, cache_hit));
+    return Query(std::move(plan));
+  }
 
   /// Source-text lookup without compiling; nullptr on miss. Counts as a
   /// hit/miss in stats().

@@ -6,6 +6,21 @@
 // All intermediate sets live in pooled EvalWorkspace scratch buffers, so
 // a reused evaluator session runs the per-step loops without heap
 // allocation (the axis scans still materialize their image internally).
+//
+// Two per-call contracts from EvalOptions are enforced here:
+//  - budget: one unit is charged per (location step, frontier node)
+//    pair — the linear engine's analog of the polynomial engines'
+//    single-context evaluations — and exceeding it aborts with
+//    kResourceExhausted;
+//  - result: the node limit of the early-terminating modes
+//    (ResultSpec::node_limit) bounds the outermost path's final step,
+//    so Exists()/First()/Limit(n) stop the postings walk after the
+//    limit-th match instead of materializing the full result. The
+//    normal form of `//t` — `descendant-or-self::node()/child::t` —
+//    would defeat that by materializing the whole document first, so
+//    the limited modes fuse that trailing pair into one
+//    `descendant::t` step (a classic, semantics-preserving rewrite;
+//    valid here because Core XPath predicates are position-free).
 
 #include <algorithm>
 #include <numeric>
@@ -29,14 +44,21 @@ using xpath::QueryTree;
 class CoreXPathEvaluator {
  public:
   CoreXPathEvaluator(EvalWorkspace& ws, const QueryTree& tree,
-                     const Document& doc, EvalStats* stats, bool use_index)
-      : ws_(ws), tree_(tree), doc_(doc), stats_(stats),
-        use_index_(use_index) {}
+                     const Document& doc, const EvalOptions& options)
+      : ws_(ws),
+        tree_(tree),
+        doc_(doc),
+        stats_(options.stats),
+        budget_(options.budget),
+        use_index_(options.use_index) {}
 
   /// Forward evaluation of a Core XPath location path from start set `x`
-  /// into `out` (a pooled scratch buffer).
-  void EvalPath(AstId id, std::span<const NodeId> x,
-                std::vector<NodeId>* out) {
+  /// into `out` (a pooled scratch buffer). `limit` is the document-order
+  /// prefix bound of the early-terminating result modes; it constrains
+  /// the final step only (earlier frontiers must stay complete for
+  /// correctness) and is kNoNodeLimit for full evaluation.
+  Status EvalPath(AstId id, std::span<const NodeId> x,
+                  std::vector<NodeId>* out, uint64_t limit) {
     const AstNode& n = tree_.node(id);
     EvalWorkspace::ScratchIds current = ws_.AcquireIds();
     if (n.absolute) {
@@ -47,64 +69,86 @@ class CoreXPathEvaluator {
     EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
     EvalWorkspace::ScratchIds sel = ws_.AcquireIds();
     EvalWorkspace::ScratchIds tmp = ws_.AcquireIds();
-    for (AstId step_id : n.children) {
-      const AstNode& step = tree_.node(step_id);
+
+    const size_t k = n.children.size();
+    // The `//t` fusion peephole (limited modes only; see file comment).
+    // No positional-predicate check: ClassifyFragments admits none into
+    // Core XPath.
+    size_t fused_at = k;
+    AstNode fused;
+    if (limit != kNoNodeLimit && FuseTrailingDescendantPair(tree_, n, &fused)) {
+      fused_at = k - 2;
+    }
+    for (size_t s = 0; s < k; ++s) {
+      const bool is_fused = s == fused_at;
+      const AstNode& step = is_fused ? fused : tree_.node(n.children[s]);
+      const bool is_last = is_fused || s + 1 == k;
+      XPE_RETURN_IF_ERROR(ChargeBudget(current->size()));
+      // A predicate-free final step can stop at the limit-th emission;
+      // with predicates the candidates must be filtered first.
+      const uint64_t step_limit =
+          is_last && step.children.empty() ? limit : kNoNodeLimit;
       StepKernel(doc_, step, use_index_, stats_)
-          .EvalInto(*current, candidates.get());
+          .EvalInto(*current, candidates.get(), step_limit);
       for (AstId pred : step.children) {
-        PredSet(pred, *candidates, sel.get());
+        XPE_RETURN_IF_ERROR(PredSet(pred, *candidates, sel.get()));
         IntersectInto(*candidates, *sel, tmp.get());
         std::swap(*candidates, *tmp);
       }
+      if (is_last && limit != kNoNodeLimit && candidates->size() > limit) {
+        candidates->resize(limit);
+      }
       std::swap(*current, *candidates);
       if (stats_ != nullptr) stats_->AddCells(current->size());
+      if (is_fused || current->empty()) break;  // nothing downstream
     }
     std::swap(*out, *current);
+    return Status::OK();
   }
 
   /// The set of nodes in `universe` satisfying a Core XPath predicate,
   /// written into `out`.
-  void PredSet(AstId id, std::span<const NodeId> universe,
-               std::vector<NodeId>* out) {
+  Status PredSet(AstId id, std::span<const NodeId> universe,
+                 std::vector<NodeId>* out) {
     const AstNode& n = tree_.node(id);
     switch (n.kind) {
       case ExprKind::kBinaryOp: {
         EvalWorkspace::ScratchIds lhs = ws_.AcquireIds();
         EvalWorkspace::ScratchIds rhs = ws_.AcquireIds();
-        PredSet(n.children[0], universe, lhs.get());
-        PredSet(n.children[1], universe, rhs.get());
+        XPE_RETURN_IF_ERROR(PredSet(n.children[0], universe, lhs.get()));
+        XPE_RETURN_IF_ERROR(PredSet(n.children[1], universe, rhs.get()));
         if (n.op == BinOp::kAnd) {
           IntersectInto(*lhs, *rhs, out);
         } else {
           // kOr (ClassifyFragments admits nothing else).
           UnionInto(*lhs, *rhs, out);
         }
-        return;
+        return Status::OK();
       }
       case ExprKind::kFunctionCall: {
         EvalWorkspace::ScratchIds inner = ws_.AcquireIds();
         if (n.fn == FunctionId::kNot) {
-          PredSet(n.children[0], universe, inner.get());
+          XPE_RETURN_IF_ERROR(PredSet(n.children[0], universe, inner.get()));
           DifferenceInto(universe, *inner, out);
-          return;
+          return Status::OK();
         }
         // boolean(π): nodes from which π selects at least one node,
         // computed by backward propagation — never by evaluating π from
         // every node separately.
-        PathOrigins(n.children[0], inner.get());
+        XPE_RETURN_IF_ERROR(PathOrigins(n.children[0], inner.get()));
         IntersectInto(*inner, universe, out);
-        return;
+        return Status::OK();
       }
       default:
         out->clear();
-        return;
+        return Status::OK();
     }
   }
 
   /// {x | π from x is non-empty}: backward propagation through inverse
   /// axes, O(|D|) per step (the node-test restriction drops to a postings
   /// intersection when the index is on). Written into `out`.
-  void PathOrigins(AstId path_id, std::vector<NodeId>* out) {
+  Status PathOrigins(AstId path_id, std::vector<NodeId>* out) {
     const AstNode& path = tree_.node(path_id);
     EvalWorkspace::ScratchIds current = ws_.AcquireIds();
     current->resize(doc_.size());
@@ -114,10 +158,11 @@ class CoreXPathEvaluator {
     EvalWorkspace::ScratchIds tmp = ws_.AcquireIds();
     for (size_t s = path.children.size(); s-- > 0;) {
       const AstNode& step = tree_.node(path.children[s]);
+      XPE_RETURN_IF_ERROR(ChargeBudget(current->size()));
       RestrictByNodeTestInto(doc_, step.axis, step.test, *current,
                              use_index_, stats_, tested.get());
       for (AstId pred : step.children) {
-        PredSet(pred, *tested, sel.get());
+        XPE_RETURN_IF_ERROR(PredSet(pred, *tested, sel.get()));
         IntersectInto(*tested, *sel, tmp.get());
         std::swap(*tested, *tmp);
       }
@@ -137,17 +182,30 @@ class CoreXPathEvaluator {
         out->resize(doc_.size());
         std::iota(out->begin(), out->end(), 0);
       }
-      return;
+      return Status::OK();
     }
     std::swap(*out, *current);
+    return Status::OK();
   }
 
  private:
+  /// One budget unit per (step, frontier node); see EvalOptions::budget.
+  Status ChargeBudget(uint64_t n) {
+    used_ += n;
+    if (stats_ != nullptr) stats_->contexts_evaluated += n;
+    if (budget_ > 0 && used_ > budget_) {
+      return Status::ResourceExhausted("evaluation budget exceeded");
+    }
+    return Status::OK();
+  }
+
   EvalWorkspace& ws_;
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
-  bool use_index_;
+  const uint64_t budget_;
+  uint64_t used_ = 0;
+  const bool use_index_;
 };
 
 }  // namespace
@@ -157,17 +215,17 @@ StatusOr<Value> EvalCoreXPath(EvalWorkspace& ws,
                               const xml::Document& doc,
                               const EvalContext& ctx,
                               const EvalOptions& options) {
-  // The engine is linear; no budget enforcement needed.
   const xpath::AstNode& root = query.tree().node(query.root());
   if (root.kind != xpath::ExprKind::kPath || !root.core_xpath) {
     return StatusOr<Value>(Status::InvalidArgument(
         "query is not in Core XPath (Definition 12): " + query.source()));
   }
-  CoreXPathEvaluator evaluator(ws, query.tree(), doc, options.stats,
-                               options.use_index);
+  CoreXPathEvaluator evaluator(ws, query.tree(), doc, options);
   EvalWorkspace::ScratchIds result = ws.AcquireIds();
   const xml::NodeId start = ctx.node;
-  evaluator.EvalPath(query.root(), {&start, 1}, result.get());
+  XPE_RETURN_IF_ERROR(evaluator.EvalPath(query.root(), {&start, 1},
+                                         result.get(),
+                                         options.result.node_limit()));
   return Value::Nodes(NodeSet::FromSorted(*result));
 }
 

@@ -5,8 +5,15 @@
 #include "src/core/engine_internal.h"
 #include "src/core/evaluator.h"
 #include "src/core/stats.h"
+#include "src/core/step_common.h"
+#include "src/index/step_index.h"
 
 namespace xpe {
+
+// One "no limit" value flows from ResultSpec through the engines into
+// the index kernels; the per-layer sentinels must stay the same number.
+static_assert(ResultSpec::kNoLimit == kNoNodeLimit &&
+              ResultSpec::kNoLimit == index::kNoStepLimit);
 
 const char* EngineKindToString(EngineKind kind) {
   switch (kind) {
@@ -32,14 +39,74 @@ std::vector<EngineKind> AllEngines() {
           EngineKind::kOptMinContext, EngineKind::kCoreXPath};
 }
 
+const char* ResultModeToString(ResultMode mode) {
+  switch (mode) {
+    case ResultMode::kFull:
+      return "full";
+    case ResultMode::kFirst:
+      return "first";
+    case ResultMode::kExists:
+      return "exists";
+    case ResultMode::kCount:
+      return "count";
+    case ResultMode::kLimit:
+      return "limit";
+  }
+  return "?";
+}
+
 std::string EvalStats::ToString() const {
   return "cells_allocated=" + std::to_string(cells_allocated) +
          " cells_peak=" + std::to_string(cells_peak) +
          " contexts=" + std::to_string(contexts_evaluated) +
          " axis_evals=" + std::to_string(axis_evals) +
          " indexed_steps=" + std::to_string(indexed_steps) +
+         " nodes_visited=" + std::to_string(nodes_visited) +
          " arena_bytes_peak=" + std::to_string(arena_bytes_peak);
 }
+
+namespace {
+
+/// Applies the ResultSpec to the engine's raw value: truncation to the
+/// mode's node bound (a no-op for engines that already stopped at it),
+/// the kExists/kCount conversions, and the streaming sink. All engines
+/// funnel through this one reduction, which is what makes a mode's
+/// answer engine-independent: an engine that could not short-circuit a
+/// given shape returns the full set and the reduction of that full set
+/// is, by construction, the same answer.
+Value ApplyResultSpec(Value v, const ResultSpec& spec) {
+  if (spec.mode == ResultMode::kFull) {
+    if (spec.sink) {
+      for (xml::NodeId n : v.node_set()) {
+        if (!spec.sink(n)) break;
+      }
+    }
+    return v;
+  }
+  const NodeSet& full = v.node_set();
+  switch (spec.mode) {
+    case ResultMode::kExists:
+      return Value::Boolean(!full.empty());
+    case ResultMode::kCount:
+      return Value::Number(static_cast<double>(full.size()));
+    default: {  // kFirst / kLimit: the document-order prefix
+      const uint64_t bound = spec.node_limit();
+      NodeSet prefix =
+          full.size() > bound
+              ? NodeSet::FromSorted(
+                    std::span<const xml::NodeId>(full.ids()).first(bound))
+              : std::move(v).node_set();  // rvalue accessor: a real move
+      if (spec.sink) {
+        for (xml::NodeId n : prefix) {
+          if (!spec.sink(n)) break;
+        }
+      }
+      return Value::Nodes(std::move(prefix));
+    }
+  }
+}
+
+}  // namespace
 
 StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
                                        const xpath::CompiledQuery& query,
@@ -54,40 +121,54 @@ StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
     return StatusOr<Value>(Status::InvalidArgument(
         "context must satisfy 1 <= position <= size"));
   }
-  auto record_arena = [&](StatusOr<Value> result) {
+  const ResultSpec& spec = options.result;
+  if ((spec.mode != ResultMode::kFull || spec.sink) &&
+      query.result_type() != xpath::ValueType::kNodeSet) {
+    return StatusOr<Value>(Status::InvalidArgument(
+        std::string("result mode '") + ResultModeToString(spec.mode) +
+        "' requires a node-set query, but '" + query.source() +
+        "' evaluates to " +
+        std::string(xpath::ValueTypeToString(query.result_type()))));
+  }
+  if (spec.mode == ResultMode::kLimit && spec.limit == 0) {
+    // Almost always a forgotten `.limit` on a raw ResultSpec; an empty
+    // OK answer would read as "no matches".
+    return StatusOr<Value>(Status::InvalidArgument(
+        "result mode 'limit' requires ResultSpec::limit >= 1"));
+  }
+  auto finish = [&](StatusOr<Value> result) -> StatusOr<Value> {
     if (options.stats != nullptr) {
       options.stats->arena_bytes_peak = std::max<uint64_t>(
           options.stats->arena_bytes_peak, ws.arena()->bytes_peak());
     }
-    return result;
+    if (!result.ok()) return result;
+    return ApplyResultSpec(std::move(result).value(), spec);
   };
   switch (options.engine) {
     case EngineKind::kNaive:
-      return internal::EvalNaive(query, doc, context, options);
+      // The naive engine ignores the node limit (it is the executable
+      // specification); the reduction in finish() still answers every
+      // mode correctly.
+      return finish(internal::EvalNaive(query, doc, context, options));
     case EngineKind::kBottomUp:
-      return record_arena(
-          internal::EvalBottomUp(ws, query, doc, context, options));
+      return finish(internal::EvalBottomUp(ws, query, doc, context, options));
     case EngineKind::kTopDown:
-      return record_arena(
-          internal::EvalTopDown(ws, query, doc, context, options));
+      return finish(internal::EvalTopDown(ws, query, doc, context, options));
     case EngineKind::kMinContext:
-      return record_arena(internal::EvalMinContext(ws, query, doc, context,
-                                                   options,
-                                                   /*optimized=*/false));
+      return finish(internal::EvalMinContext(ws, query, doc, context, options,
+                                             /*optimized=*/false));
     case EngineKind::kOptMinContext:
       // Algorithm 8 + Theorem 13: a fully Core XPath query runs on the
       // linear-time engine; otherwise bottom-up passes + MINCONTEXT.
       if (query.fragment() == xpath::Fragment::kCoreXPath &&
           !options.ablate_outermost_sets) {
-        return record_arena(
+        return finish(
             internal::EvalCoreXPath(ws, query, doc, context, options));
       }
-      return record_arena(internal::EvalMinContext(ws, query, doc, context,
-                                                   options,
-                                                   /*optimized=*/true));
+      return finish(internal::EvalMinContext(ws, query, doc, context, options,
+                                             /*optimized=*/true));
     case EngineKind::kCoreXPath:
-      return record_arena(
-          internal::EvalCoreXPath(ws, query, doc, context, options));
+      return finish(internal::EvalCoreXPath(ws, query, doc, context, options));
   }
   return StatusOr<Value>(Status::InvalidArgument("unknown engine"));
 }
@@ -111,7 +192,7 @@ StatusOr<NodeSet> EvaluateNodeSet(const xpath::CompiledQuery& query,
         "query evaluates to " +
         std::string(xpath::ValueTypeToString(v.type())) + ", not a node-set"));
   }
-  return v.node_set();
+  return std::move(v).node_set();
 }
 
 }  // namespace xpe

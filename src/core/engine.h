@@ -1,6 +1,7 @@
 #ifndef XPE_CORE_ENGINE_H_
 #define XPE_CORE_ENGINE_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/common/status.h"
@@ -49,14 +50,85 @@ struct EvalContext {
   uint32_t size = 1;
 };
 
+/// What shape of result an evaluation must produce. Production XPath
+/// traffic is dominated by existence checks, first-match lookups and
+/// counts — shapes where an engine can stop long before materializing
+/// the full node-set. The mode is threaded through the dispatcher into
+/// the engines (Core XPath's final step, OPTMINCONTEXT's outermost-path
+/// sets, the index kernels' postings loops), so kFirst/kExists/kLimit
+/// genuinely short-circuit document scans instead of truncating a
+/// materialized set. Engines that cannot short-circuit a given shape
+/// still return the correct answer: the dispatcher applies the mode as
+/// a post-hoc reduction, which the differential suite holds equal to
+/// the reduction of the full result for every engine.
+enum class ResultMode : uint8_t {
+  kFull = 0,  // the complete Value (XPath 1.0 semantics, the default)
+  kFirst,     // the first result node in document order, if any
+  kExists,    // whether the result node-set is non-empty
+  kCount,     // the result node-set's cardinality
+  kLimit,     // the first ResultSpec::limit nodes in document order
+};
+
+const char* ResultModeToString(ResultMode mode);
+
+/// How to deliver an evaluation's result. Modes other than kFull (and
+/// sinks) apply to node-set-typed queries only; requesting them for a
+/// query whose static result type is boolean/number/string is an
+/// InvalidArgument error. Evaluate() returns, per mode:
+///   kFull   — the full Value;
+///   kFirst  — Value::Nodes with at most one node (the document-order
+///             first match);
+///   kExists — Value::Boolean;
+///   kCount  — Value::Number (the full match count; never truncated);
+///   kLimit  — Value::Nodes with at most `limit` nodes (document-order
+///             prefix of the full result).
+/// The typed verbs of xpe::Query (query.h) are the ergonomic surface
+/// over these.
+struct ResultSpec {
+  /// Sentinel for "no node limit" (node_limit() of kFull/kCount).
+  static constexpr uint64_t kNoLimit = ~uint64_t{0};
+
+  ResultMode mode = ResultMode::kFull;
+  /// kLimit only: how many document-order-first nodes to produce. Must
+  /// be >= 1 when mode is kLimit (a zero limit is rejected as
+  /// InvalidArgument — it is almost always a forgotten field).
+  uint64_t limit = 0;
+  /// Optional streaming sink, called once per result node in document
+  /// order after the engine finishes; returning false stops the
+  /// iteration. Applies to the node-producing modes (kFull, kFirst,
+  /// kLimit) and is ignored by kExists/kCount, whose answers are not
+  /// node lists. Runs on the evaluating thread (for batch items, the
+  /// worker thread).
+  std::function<bool(xml::NodeId)> sink;
+
+  /// The node-count bound engines may exploit for early termination:
+  /// 1 for kFirst/kExists, `limit` for kLimit, kNoLimit otherwise.
+  uint64_t node_limit() const {
+    switch (mode) {
+      case ResultMode::kFirst:
+      case ResultMode::kExists:
+        return 1;
+      case ResultMode::kLimit:
+        return limit;
+      default:
+        return kNoLimit;
+    }
+  }
+};
+
 /// Per-call options (RocksDB style).
 struct EvalOptions {
   EngineKind engine = EngineKind::kOptMinContext;
   /// Optional instrumentation sink; counters are added to, not reset.
   EvalStats* stats = nullptr;
   /// Abort with kResourceExhausted after this many single-context
-  /// evaluations (0 = unlimited). Guards the exponential naive engine.
+  /// evaluations (0 = unlimited). Guards the exponential naive engine;
+  /// the linear Core XPath engine charges one unit per (location step,
+  /// frontier node) pair so runaway queries on huge documents are
+  /// bounded there too.
   uint64_t budget = 0;
+  /// Result shape / early-termination contract; see ResultSpec.
+  ResultSpec result;
   /// Evaluate index-eligible location steps against the per-name postings
   /// of Document::index() instead of the O(|D|) axis scans. Changes cost
   /// only, never results; the index is built lazily on first indexed
@@ -77,10 +149,13 @@ struct EvalOptions {
 /// shared Document: engine state is per-call and the Document's lazy
 /// caches (id axis, search index, number cache) are synchronized.
 ///
-/// This is a thin wrapper that runs a one-shot evaluation session; for
-/// repeated queries construct an Evaluator (evaluator.h) and reuse it —
-/// its pooled arena and scratch buffers make the per-call table setup
-/// allocation-free. Results are identical either way.
+/// This is a thin wrapper that runs a one-shot evaluation session. It
+/// remains the low-level entry point; most callers are better served by
+/// xpe::Query (query.h), the facade that owns a pooled session and
+/// exposes the typed, early-terminating verbs (Exists/First/Count/...),
+/// or by an explicit Evaluator (evaluator.h) when managing sessions by
+/// hand. Results are identical through every entry point — they all
+/// funnel into one dispatcher.
 StatusOr<Value> Evaluate(const xpath::CompiledQuery& query,
                          const xml::Document& doc, const EvalContext& context,
                          const EvalOptions& options = {});

@@ -46,7 +46,7 @@ StatusOr<NodeSet> Evaluator::EvaluateNodeSet(const xpath::CompiledQuery& query,
         "query evaluates to " +
         std::string(xpath::ValueTypeToString(v.type())) + ", not a node-set"));
   }
-  return v.node_set();
+  return std::move(v).node_set();
 }
 
 }  // namespace xpe

@@ -102,6 +102,11 @@ class EvalWorkspace {
 /// batch::BatchEvaluator packages exactly that pattern: a worker pool
 /// with one session pinned per worker behind a shared plan cache, with
 /// the whole arrangement run under ThreadSanitizer in CI.
+///
+/// Most single-query callers want xpe::Query (query.h) instead: it owns
+/// one of these sessions internally and adds the typed, early-
+/// terminating result verbs. Use a bare Evaluator when many different
+/// compiled queries should share one session's memory.
 class Evaluator {
  public:
   Evaluator() = default;

@@ -21,11 +21,13 @@ MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
       budget_(options.budget),
       use_index_(options.use_index),
       ablate_outermost_sets_(options.ablate_outermost_sets),
+      node_limit_(options.result.node_limit()),
       scalar_tables_(tree.size()),
       rel_tables_(tree.size()) {}
 
-NodeSet MinContextEngine::StepImage(const AstNode& step, const NodeSet& x) {
-  return StepKernel(doc_, step, use_index_, stats_).Eval(x);
+NodeSet MinContextEngine::StepImage(const AstNode& step, const NodeSet& x,
+                                    uint64_t limit) {
+  return StepKernel(doc_, step, use_index_, stats_).Eval(x, limit);
 }
 
 Status MinContextEngine::ChargeBudget() {
@@ -455,7 +457,8 @@ Status MinContextEngine::EvalInnerNodeSet(AstId id, const NodeSet& x) {
 }
 
 StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
-                                                         const NodeSet& x) {
+                                                         const NodeSet& x,
+                                                         uint64_t limit) {
   const AstNode& n = tree_.node(id);
   switch (n.kind) {
     case ExprKind::kPath: {
@@ -473,8 +476,23 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
       } else {
         current = x;
       }
-      for (size_t s = step_begin; s < n.children.size(); ++s) {
-        const AstNode& step = tree_.node(n.children[s]);
+      const size_t k = n.children.size();
+      // The `//t` fusion peephole (see FuseTrailingDescendantPair); only
+      // position-free trailing predicates keep the rewrite valid here.
+      size_t fused_at = k;
+      AstNode fused;
+      if (limit != kNoNodeLimit && k >= step_begin + 2 &&
+          FuseTrailingDescendantPair(tree_, n, &fused)) {
+        bool positional = false;
+        for (AstId pred : fused.children) {
+          positional = positional || DependsOnPosition(pred);
+        }
+        if (!positional) fused_at = k - 2;
+      }
+      for (size_t s = step_begin; s < k; ++s) {
+        const bool is_fused = s == fused_at;
+        const AstNode& step = is_fused ? fused : tree_.node(n.children[s]);
+        const bool is_last = is_fused || s + 1 == k;
         if (step.axis == Axis::kId) {
           NodeBitmap targets(doc_.size());
           for (NodeId origin : current) {
@@ -483,9 +501,15 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
           current = targets.ToNodeSet();
           continue;
         }
-        NodeSet y_all = StepImage(step, current);
+        // A predicate-free final step is where the early-terminating
+        // modes stop: the image is emitted in document order, so its
+        // `limit`-prefix is exactly the prefix of the full result.
+        const uint64_t step_limit =
+            is_last && step.children.empty() ? limit : kNoNodeLimit;
+        NodeSet y_all = StepImage(step, current, step_limit);
         if (step.children.empty()) {
           current = std::move(y_all);
+          if (is_fused) break;
           continue;
         }
         bool positional = false;
@@ -525,20 +549,29 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
           SortUnique(result.get());
           current = NodeSet::FromSorted(*result);
         }
+        if (is_fused) break;
       }
       return current;
     }
     case ExprKind::kUnion: {
+      // Each branch may stop at `limit` on its own: every node of the
+      // union's document-order `limit`-prefix ranks at least as early
+      // within its own branch, so the union of branch prefixes is a
+      // superset of the true prefix (the dispatcher truncates).
       NodeSet out;
       for (AstId child : n.children) {
-        XPE_ASSIGN_OR_RETURN(NodeSet part, EvalOutermostLocpath(child, x));
+        XPE_ASSIGN_OR_RETURN(NodeSet part,
+                             EvalOutermostLocpath(child, x, limit));
         out = out.Union(part);
       }
       return out;
     }
     case ExprKind::kFilter: {
-      XPE_ASSIGN_OR_RETURN(NodeSet head,
-                           EvalOutermostLocpath(n.children[0], x));
+      // Filter predicates count positions over the head's full result;
+      // the limit must not reach past them.
+      XPE_ASSIGN_OR_RETURN(
+          NodeSet head,
+          EvalOutermostLocpath(n.children[0], x, kNoNodeLimit));
       std::vector<AstId> preds(n.children.begin() + 1, n.children.end());
       for (AstId pred : preds) {
         XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, head));
@@ -549,7 +582,7 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
       return NodeSet::FromSorted(*candidates);
     }
     case ExprKind::kFunctionCall: {
-      // id(s) at the outermost level.
+      // id(s) at the outermost level; pair relations are always full.
       XPE_RETURN_IF_ERROR(EvalInnerNodeSet(id, x));
       NodeSet out;
       for (NodeId origin : x) {
@@ -575,8 +608,9 @@ StatusOr<Value> MinContextEngine::Run(const EvalContext& ctx, bool optimized) {
       XPE_RETURN_IF_ERROR(EvalInnerNodeSet(root, NodeSet::Single(ctx.node)));
       return Value::Nodes(rel_table(root).RowAsNodeSet(ctx.node));
     }
-    XPE_ASSIGN_OR_RETURN(NodeSet result,
-                         EvalOutermostLocpath(root, NodeSet::Single(ctx.node)));
+    XPE_ASSIGN_OR_RETURN(
+        NodeSet result,
+        EvalOutermostLocpath(root, NodeSet::Single(ctx.node), node_limit_));
     return Value::Nodes(std::move(result));
   }
   XPE_RETURN_IF_ERROR(EvalByCnodeOnly(root, NodeSet::Single(ctx.node)));

@@ -74,7 +74,14 @@ class MinContextEngine {
 
   // --- §6 procedures ------------------------------------------------------
   /// eval_outermost_locpath: set-valued evaluation of outermost paths.
-  StatusOr<NodeSet> EvalOutermostLocpath(xpath::AstId id, const NodeSet& x);
+  /// `limit` is the document-order prefix bound of the early-terminating
+  /// result modes (ResultSpec::node_limit): a predicate-free final step
+  /// (and each branch of a union) may stop after `limit` emissions —
+  /// positional steps and filter predicates need complete candidate
+  /// lists, so the limit never crosses them. Inner paths (pair
+  /// relations) always evaluate in full.
+  StatusOr<NodeSet> EvalOutermostLocpath(xpath::AstId id, const NodeSet& x,
+                                         uint64_t limit);
 
   /// eval_by_cnode_only: fills table(M) for every M below `id` whose value
   /// is independent of cp/cs, for the context nodes in `x`.
@@ -99,8 +106,10 @@ class MinContextEngine {
 
   /// χ(X) ∩ T(t) for one step: the document index's postings when the
   /// step is index-eligible and use_index_ is on, the O(|D|) scan
-  /// otherwise.
-  NodeSet StepImage(const xpath::AstNode& step, const NodeSet& x);
+  /// otherwise. `limit` bounds the image to its document-order-first
+  /// nodes (kNoNodeLimit = full image).
+  NodeSet StepImage(const xpath::AstNode& step, const NodeSet& x,
+                    uint64_t limit = kNoNodeLimit);
 
   /// Shared predicate filtering of one origin's ordered candidate list,
   /// in place (scratch comes from the workspace pool).
@@ -130,6 +139,8 @@ class MinContextEngine {
   uint64_t budget_;
   bool use_index_;
   bool ablate_outermost_sets_;
+  /// ResultSpec::node_limit() of the call, applied to the outermost path.
+  uint64_t node_limit_;
   uint64_t used_ = 0;
 
   std::vector<ScalarTable> scalar_tables_;

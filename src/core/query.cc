@@ -1,0 +1,113 @@
+#include "src/core/query.h"
+
+#include "src/xpath/explain.h"
+
+namespace xpe {
+
+StatusOr<Query> Query::Compile(std::string_view text,
+                               const xpath::CompileOptions& options) {
+  XPE_ASSIGN_OR_RETURN(xpath::CompiledQuery compiled,
+                       xpath::Compile(text, options));
+  return Query(std::make_shared<const xpath::CompiledQuery>(
+      std::move(compiled)));
+}
+
+Query::Query(std::shared_ptr<const xpath::CompiledQuery> plan)
+    : plan_(std::move(plan)), session_(std::make_unique<Evaluator>()) {}
+
+Query::Query(const Query& other)
+    : plan_(other.plan_),
+      session_(std::make_unique<Evaluator>()),
+      options_(other.options_) {
+  // A shared stats sink would make two copies race when used from two
+  // threads — the thread-safety the copy exists to provide. Copies
+  // start unattached; WithStats() re-attaches a sink of their own.
+  options_.stats = nullptr;
+}
+
+Query& Query::operator=(const Query& other) {
+  if (this == &other) return *this;
+  plan_ = other.plan_;
+  session_ = std::make_unique<Evaluator>();
+  options_ = other.options_;
+  options_.stats = nullptr;  // see the copy constructor
+  return *this;
+}
+
+StatusOr<Value> Query::EvalWithMode(const xml::Document& doc,
+                                    const EvalContext& ctx, ResultMode mode,
+                                    uint64_t limit) {
+  EvalOptions opts = options_;
+  opts.result.mode = mode;
+  opts.result.limit = limit;
+  return session_->Evaluate(*plan_, doc, ctx, opts);
+}
+
+StatusOr<Value> Query::Eval(const xml::Document& doc, const EvalContext& ctx) {
+  return EvalWithMode(doc, ctx, ResultMode::kFull, 0);
+}
+
+StatusOr<NodeSet> Query::Nodes(const xml::Document& doc,
+                               const EvalContext& ctx) {
+  return session_->EvaluateNodeSet(*plan_, doc, ctx, options_);
+}
+
+StatusOr<std::optional<xml::NodeId>> Query::First(const xml::Document& doc,
+                                                  const EvalContext& ctx) {
+  XPE_ASSIGN_OR_RETURN(Value v,
+                       EvalWithMode(doc, ctx, ResultMode::kFirst, 0));
+  const NodeSet& set = v.node_set();
+  if (set.empty()) return std::optional<xml::NodeId>();
+  return std::optional<xml::NodeId>(set.First());
+}
+
+StatusOr<bool> Query::Exists(const xml::Document& doc, const EvalContext& ctx) {
+  XPE_ASSIGN_OR_RETURN(Value v,
+                       EvalWithMode(doc, ctx, ResultMode::kExists, 0));
+  return v.boolean();
+}
+
+StatusOr<uint64_t> Query::Count(const xml::Document& doc,
+                                const EvalContext& ctx) {
+  XPE_ASSIGN_OR_RETURN(Value v, EvalWithMode(doc, ctx, ResultMode::kCount, 0));
+  return static_cast<uint64_t>(v.number());
+}
+
+StatusOr<NodeSet> Query::Limit(const xml::Document& doc, uint64_t limit,
+                               const EvalContext& ctx) {
+  XPE_ASSIGN_OR_RETURN(Value v,
+                       EvalWithMode(doc, ctx, ResultMode::kLimit, limit));
+  return std::move(v).node_set();
+}
+
+StatusOr<std::string> Query::StringOf(const xml::Document& doc,
+                                      const EvalContext& ctx) {
+  // string(S) of a node-set only reads the document-order first node, so
+  // the short-circuiting kFirst mode answers it without materializing S.
+  if (result_type() == xpath::ValueType::kNodeSet) {
+    XPE_ASSIGN_OR_RETURN(Value v,
+                         EvalWithMode(doc, ctx, ResultMode::kFirst, 0));
+    return v.ToString(doc);
+  }
+  XPE_ASSIGN_OR_RETURN(Value v, Eval(doc, ctx));
+  return v.ToString(doc);
+}
+
+Status Query::ForEach(const xml::Document& doc, const NodeSink& sink,
+                      const EvalContext& ctx) {
+  if (!sink) {
+    return Status::InvalidArgument("ForEach requires a non-null sink");
+  }
+  EvalOptions opts = options_;
+  opts.result.mode = ResultMode::kFull;
+  opts.result.sink = sink;
+  return session_->Evaluate(*plan_, doc, ctx, opts).status();
+}
+
+std::string Query::Explain() const { return xpath::Explain(*plan_); }
+
+const std::string& Query::source() const { return plan_->source(); }
+
+xpath::ValueType Query::result_type() const { return plan_->result_type(); }
+
+}  // namespace xpe

@@ -1,0 +1,159 @@
+#ifndef XPE_CORE_QUERY_H_
+#define XPE_CORE_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/core/engine.h"
+#include "src/core/evaluator.h"
+
+namespace xpe {
+
+/// The one query facade: compile once, then evaluate with typed verbs.
+///
+///   auto q = *xpe::Query::Compile("//book[@year > 2000]/title");
+///   if (q.Exists(doc).value_or(false)) { ... }          // early-exits
+///   NodeSet nodes = *q.Nodes(doc);                      // full result
+///   std::optional<NodeId> first = *q.First(doc);        // early-exits
+///   uint64_t n = *q.Count(doc);
+///
+/// Each verb maps to a ResultMode threaded through the engine dispatcher
+/// (engine.h), so Exists()/First()/Limit-shaped calls genuinely stop the
+/// document scan at the first match instead of truncating a materialized
+/// node-set — EvalStats::nodes_visited makes the difference observable.
+///
+/// A Query owns a pooled Evaluator session (evaluator.h): repeated calls
+/// reuse the arena and scratch buffers and converge to zero allocations
+/// per evaluation. Value semantics: copies share the immutable compiled
+/// plan but get their own session, so handing Queries around is cheap
+/// and a copy is safe to use on another thread. One Query instance must
+/// not be used from two threads at once (the session is the mutable
+/// part); for fleets of workers over one plan, copy the Query per
+/// worker or use batch::BatchEvaluator.
+///
+/// Fluent options configure subsequent evaluations in place:
+///
+///   q.With(EngineKind::kCoreXPath).WithStats(&stats).WithBudget(1e9);
+///
+/// The older entry points remain as thin wrappers over the same
+/// dispatcher: the free Evaluate()/EvaluateNodeSet() (one-shot, engine.h)
+/// and explicit Evaluator sessions (evaluator.h). Results are identical
+/// through every surface.
+class Query {
+ public:
+  /// Runs the whole front-end pipeline (xpath::Compile) and wraps the
+  /// plan in a fresh facade.
+  static StatusOr<Query> Compile(std::string_view text,
+                                 const xpath::CompileOptions& options = {});
+
+  /// Wraps an already-compiled shared plan — the bridge from
+  /// batch::PlanCache, whose cached plans are exactly this shared_ptr
+  /// shape. The plan is immutable; any number of Queries may share it.
+  explicit Query(std::shared_ptr<const xpath::CompiledQuery> plan);
+
+  /// Copies share the plan; the copy gets its own (cold) session and no
+  /// stats sink (a shared sink would race across threads — re-attach
+  /// one with WithStats()).
+  Query(const Query& other);
+  Query& operator=(const Query& other);
+  Query(Query&&) noexcept = default;
+  Query& operator=(Query&&) noexcept = default;
+
+  // --- fluent options (chainable, applied to subsequent evaluations) ---
+  Query& With(EngineKind engine) {
+    options_.engine = engine;
+    return *this;
+  }
+  Query& WithIndex(bool use_index) {
+    options_.use_index = use_index;
+    return *this;
+  }
+  Query& WithBudget(uint64_t budget) {
+    options_.budget = budget;
+    return *this;
+  }
+  /// Attaches an instrumentation sink; counters accumulate across calls.
+  /// Pass nullptr to detach. The sink must outlive the evaluations.
+  Query& WithStats(EvalStats* stats) {
+    options_.stats = stats;
+    return *this;
+  }
+
+  // --- typed result verbs ----------------------------------------------
+  /// The full XPath 1.0 result Value (ResultMode::kFull).
+  StatusOr<Value> Eval(const xml::Document& doc, const EvalContext& ctx = {});
+
+  /// The full result node-set; InvalidArgument for queries whose static
+  /// result type is not node-set.
+  StatusOr<NodeSet> Nodes(const xml::Document& doc,
+                          const EvalContext& ctx = {});
+
+  /// The document-order first match, or nullopt when there is none
+  /// (ResultMode::kFirst; short-circuits). Node-set queries only.
+  StatusOr<std::optional<xml::NodeId>> First(const xml::Document& doc,
+                                             const EvalContext& ctx = {});
+
+  /// Whether any node matches (ResultMode::kExists; short-circuits).
+  /// Node-set queries only.
+  StatusOr<bool> Exists(const xml::Document& doc, const EvalContext& ctx = {});
+
+  /// The number of matching nodes (ResultMode::kCount — always the full
+  /// count, never truncated). Node-set queries only.
+  StatusOr<uint64_t> Count(const xml::Document& doc,
+                           const EvalContext& ctx = {});
+
+  /// The first `limit` matches in document order (ResultMode::kLimit;
+  /// short-circuits). Node-set queries only; `limit` must be >= 1.
+  StatusOr<NodeSet> Limit(const xml::Document& doc, uint64_t limit,
+                          const EvalContext& ctx = {});
+
+  /// F[[string]] of the result: for node-set queries the string-value of
+  /// the document-order first match (computed via the short-circuiting
+  /// kFirst mode) or "" when empty; for scalar queries the standard
+  /// conversion of the full value.
+  StatusOr<std::string> StringOf(const xml::Document& doc,
+                                 const EvalContext& ctx = {});
+
+  /// Streams the full result node-set through `sink` in document order;
+  /// returning false stops the iteration (the evaluation itself is
+  /// kFull — XPath set semantics need the complete result before
+  /// document-order emission is known for every engine). Node-set
+  /// queries only.
+  using NodeSink = std::function<bool(xml::NodeId)>;
+  Status ForEach(const xml::Document& doc, const NodeSink& sink,
+                 const EvalContext& ctx = {});
+
+  // --- introspection ----------------------------------------------------
+  /// The §3.1/§4 analysis report of the plan (xpath::Explain).
+  std::string Explain() const;
+
+  const xpath::CompiledQuery& plan() const { return *plan_; }
+  /// The shared plan, e.g. for seeding another facade or a cache.
+  const std::shared_ptr<const xpath::CompiledQuery>& shared_plan() const {
+    return plan_;
+  }
+  const std::string& source() const;
+  /// Static result type of the query (drives which verbs are valid).
+  xpath::ValueType result_type() const;
+
+  /// The session's converged arena footprint (see Evaluator).
+  size_t arena_bytes_peak() const { return session_->arena_bytes_peak(); }
+
+ private:
+  StatusOr<Value> EvalWithMode(const xml::Document& doc,
+                               const EvalContext& ctx, ResultMode mode,
+                               uint64_t limit);
+
+  std::shared_ptr<const xpath::CompiledQuery> plan_;
+  // unique_ptr (not a member) keeps Query movable; Evaluator pins itself.
+  std::unique_ptr<Evaluator> session_;
+  EvalOptions options_;
+};
+
+}  // namespace xpe
+
+#endif  // XPE_CORE_QUERY_H_

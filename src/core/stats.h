@@ -26,6 +26,14 @@ struct EvalStats {
   /// Location steps answered from the document index's postings instead
   /// of an O(|D|) axis scan (EvalOptions::use_index).
   uint64_t indexed_steps = 0;
+  /// Nodes touched by location-step evaluation: frontier nodes consumed
+  /// plus candidate nodes examined/produced per step (StepKernel and the
+  /// node-test restriction passes count here). This is the counter the
+  /// early-terminating result modes are verified against: an Exists() /
+  /// First() that genuinely short-circuits visits O(1) nodes where the
+  /// full materialization visits O(|D|) — wall-clock can lie on a noisy
+  /// machine, nodes_visited cannot.
+  uint64_t nodes_visited = 0;
   /// Peak bytes of the session arena the tables were built in — the
   /// real-memory counterpart of cells_peak. Set by the dispatcher after
   /// each evaluation (max across evaluations when the sink is shared).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/index/step_index.h"
+#include "src/xpath/relevance.h"
 
 namespace xpe {
 
@@ -72,6 +73,37 @@ NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
                        EvalAxis(doc, axis, NodeSet::Single(origin)));
 }
 
+bool FuseTrailingDescendantPair(const xpath::QueryTree& tree,
+                                const xpath::AstNode& path,
+                                xpath::AstNode* fused) {
+  const size_t k = path.children.size();
+  if (k < 2) return false;
+  const xpath::AstNode& prev = tree.node(path.children[k - 2]);
+  if (prev.kind != xpath::ExprKind::kStep ||
+      prev.axis != Axis::kDescendantOrSelf ||
+      prev.test.kind != NodeTest::Kind::kNode || !prev.children.empty()) {
+    return false;
+  }
+  const xpath::AstNode& last = tree.node(path.children[k - 1]);
+  if (last.kind != xpath::ExprKind::kStep) return false;
+  Axis fused_axis;
+  switch (last.axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+      fused_axis = Axis::kDescendant;
+      break;
+    case Axis::kDescendantOrSelf:
+      fused_axis = Axis::kDescendantOrSelf;
+      break;
+    default:
+      return false;
+  }
+  *fused = last;
+  fused->axis = fused_axis;
+  fused->index_eligible = xpath::StepIsIndexEligible(fused_axis, fused->test);
+  return true;
+}
+
 StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
                        bool use_index, EvalStats* stats)
     : doc_(doc), step_(step), stats_(stats) {
@@ -86,9 +118,16 @@ NodeSet RestrictByNodeTest(const Document& doc, Axis axis,
                            bool use_index, EvalStats* stats) {
   if (use_index && index::NodeTestIndexable(test)) {
     if (stats != nullptr) ++stats->indexed_steps;
-    return index::IndexedApplyNodeTest(doc, doc.index(), axis, test, nodes);
+    NodeSet out =
+        index::IndexedApplyNodeTest(doc, doc.index(), axis, test, nodes);
+    // Same input+output accounting as the scan branch (and StepKernel),
+    // so index-on/off comparisons of nodes_visited measure one quantity.
+    if (stats != nullptr) stats->nodes_visited += nodes.size() + out.size();
+    return out;
   }
-  return ApplyNodeTest(doc, axis, test, nodes);
+  NodeSet out = ApplyNodeTest(doc, axis, test, nodes);
+  if (stats != nullptr) stats->nodes_visited += nodes.size() + out.size();
+  return out;
 }
 
 void RestrictByNodeTestInto(const Document& doc, Axis axis,
@@ -98,39 +137,51 @@ void RestrictByNodeTestInto(const Document& doc, Axis axis,
   if (use_index && index::NodeTestIndexable(test)) {
     if (stats != nullptr) ++stats->indexed_steps;
     index::IndexedApplyNodeTestInto(doc, doc.index(), axis, test, nodes, out);
-    return;
-  }
-  if (test.kind == NodeTest::Kind::kNode) {
+  } else if (test.kind == NodeTest::Kind::kNode) {
     out->assign(nodes.begin(), nodes.end());
-    return;
+  } else {
+    ApplyNodeTestInto(doc, axis, test, nodes, out);
   }
-  ApplyNodeTestInto(doc, axis, test, nodes, out);
+  // Input+output in every branch; see RestrictByNodeTest.
+  if (stats != nullptr) stats->nodes_visited += nodes.size() + out->size();
 }
 
-NodeSet StepKernel::Eval(const NodeSet& x) const {
+NodeSet StepKernel::Eval(const NodeSet& x, uint64_t limit) const {
   if (postings_ != nullptr &&
       index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x.ids())) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
-    return index::IndexedStepOverPostings(doc_, *postings_, step_.axis,
-                                          step_.test, x);
+    std::vector<NodeId> out;
+    index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
+                                       step_.test, x.ids(), &out, limit);
+    if (stats_ != nullptr) stats_->nodes_visited += x.size() + out.size();
+    return NodeSet::FromSorted(out);
   }
   if (stats_ != nullptr) ++stats_->axis_evals;
-  return ApplyNodeTest(doc_, step_.axis, step_.test,
-                       EvalAxis(doc_, step_.axis, x));
+  const NodeSet image = EvalAxis(doc_, step_.axis, x);
+  if (stats_ != nullptr) stats_->nodes_visited += x.size() + image.size();
+  NodeSet result = ApplyNodeTest(doc_, step_.axis, step_.test, image);
+  if (limit != kNoNodeLimit && result.size() > limit) {
+    return NodeSet::FromSorted(
+        std::span<const NodeId>(result.ids()).first(limit));
+  }
+  return result;
 }
 
-void StepKernel::EvalInto(std::span<const NodeId> x,
-                          std::vector<NodeId>* out) const {
+void StepKernel::EvalInto(std::span<const NodeId> x, std::vector<NodeId>* out,
+                          uint64_t limit) const {
   if (postings_ != nullptr &&
       index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
     index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
-                                       step_.test, x, out);
+                                       step_.test, x, out, limit);
+    if (stats_ != nullptr) stats_->nodes_visited += x.size() + out->size();
     return;
   }
   if (stats_ != nullptr) ++stats_->axis_evals;
   const NodeSet image = EvalAxis(doc_, step_.axis, NodeSet::FromSorted(x));
+  if (stats_ != nullptr) stats_->nodes_visited += x.size() + image.size();
   ApplyNodeTestInto(doc_, step_.axis, step_.test, image.ids(), out);
+  if (limit != kNoNodeLimit && out->size() > limit) out->resize(limit);
 }
 
 }  // namespace xpe

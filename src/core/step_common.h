@@ -45,6 +45,10 @@ void OrderForAxisInto(Axis axis, std::span<const xml::NodeId> set,
 NodeSet StepCandidates(const xml::Document& doc, Axis axis,
                        const xpath::NodeTest& test, xml::NodeId origin);
 
+/// "No limit" for the step-level early-termination bound (the value of
+/// ResultSpec::kNoLimit and index::kNoStepLimit).
+inline constexpr uint64_t kNoNodeLimit = ~uint64_t{0};
+
 /// One location step's χ(X) ∩ T(t) evaluator, shared by all engines so
 /// the index-vs-scan dispatch and its stats accounting live in one
 /// place. Construction resolves the document index's postings once (when
@@ -52,21 +56,28 @@ NodeSet StepCandidates(const xml::Document& doc, Axis axis,
 /// pay no repeated name lookups; Eval then answers from the postings or
 /// falls back to the O(|D|) scan. Does not handle the id "axis" —
 /// callers special-case Axis::kId before constructing a kernel.
+///
+/// Both entry points take an optional node limit: the document-order
+/// prefix bound of the early-terminating result modes (ResultSpec). On
+/// the indexed path the limit stops the postings walk itself; the scan
+/// path materializes the axis image and truncates, which is correct but
+/// not sublinear — the reason Exists()/First() want the index on.
 class StepKernel {
  public:
   StepKernel(const xml::Document& doc, const xpath::AstNode& step,
              bool use_index, EvalStats* stats);
 
-  /// Equivalent to ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)).
-  NodeSet Eval(const NodeSet& x) const;
+  /// Equivalent to ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)),
+  /// restricted to its first `limit` nodes in document order.
+  NodeSet Eval(const NodeSet& x, uint64_t limit = kNoNodeLimit) const;
 
   /// Eval into a caller-owned buffer (cleared first). The indexed path is
   /// allocation-free; the scan path still materializes the axis image
   /// internally. `x` is any sorted duplicate-free id sequence — the
   /// per-origin loops pass single-element spans without building a
   /// NodeSet::Single per origin.
-  void EvalInto(std::span<const xml::NodeId> x,
-                std::vector<xml::NodeId>* out) const;
+  void EvalInto(std::span<const xml::NodeId> x, std::vector<xml::NodeId>* out,
+                uint64_t limit = kNoNodeLimit) const;
 
  private:
   const xml::Document& doc_;
@@ -75,6 +86,24 @@ class StepKernel {
   const std::vector<xml::NodeId>* postings_ = nullptr;
   EvalStats* stats_;
 };
+
+/// The `//t` fusion peephole of the early-terminating result modes. If
+/// `path`'s final two children are a predicate-free
+/// `descendant-or-self::node()` step followed by a child / descendant /
+/// descendant-or-self step (the normal form of `//t`, `//t//u`'s tail,
+/// ...), writes the single equivalent descendant-flavored step — the
+/// trailing step's node test and predicates preserved, index
+/// eligibility recomputed for the fused axis — to `*fused` and returns
+/// true. The rewrite is semantics-preserving for set-valued evaluation
+/// as long as the trailing step's predicates are position-free (the
+/// descendant-or-self hop changes sibling positions): Core XPath
+/// guarantees that by fragment, MINCONTEXT callers must check Relev.
+/// Without the fusion, a limited `//t` would still materialize the
+/// whole document for the descendant-or-self hop before the final step
+/// could stop early.
+bool FuseTrailingDescendantPair(const xpath::QueryTree& tree,
+                                const xpath::AstNode& path,
+                                xpath::AstNode* fused);
 
 /// T(t) ∩ nodes for the backward-propagation passes: a postings
 /// intersection when `use_index` is on and the test is postings-backed

@@ -1,10 +1,22 @@
 #include "src/core/value.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/numeric.h"
 
 namespace xpe {
+
+void Value::TypeCheckFailed(ValueType want, const char* accessor) const {
+  fprintf(stderr,
+          "xpe::Value type check failed: %s called on a %s Value (wanted "
+          "%s); use the To*() conversions for XPath-coercing access\n",
+          accessor, xpath::ValueTypeToString(type()),
+          xpath::ValueTypeToString(want));
+  fflush(stderr);
+  std::abort();
+}
 
 bool Value::ToBoolean() const {
   switch (type()) {

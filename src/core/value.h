@@ -30,11 +30,33 @@ class Value {
   }
   bool is_node_set() const { return type() == ValueType::kNodeSet; }
 
-  /// Typed accessors; calling the wrong one is a programming error.
-  const NodeSet& node_set() const { return std::get<NodeSet>(data_); }
-  bool boolean() const { return std::get<bool>(data_); }
-  double number() const { return std::get<double>(data_); }
-  const std::string& string() const { return std::get<std::string>(data_); }
+  /// Typed accessors; calling the wrong one is a programming error and
+  /// CHECK-fails with the actual vs. requested type names (e.g.
+  /// "node_set() called on a number Value") instead of surfacing an
+  /// opaque std::bad_variant_access. Use the To*() conversions below for
+  /// XPath-semantics coercion of an arbitrary value.
+  const NodeSet& node_set() const& {
+    CheckType(ValueType::kNodeSet, "node_set()");
+    return std::get<NodeSet>(data_);
+  }
+  /// Moves the node-set out of an rvalue Value (the reduction paths hand
+  /// large sets through here without copying).
+  NodeSet node_set() && {
+    CheckType(ValueType::kNodeSet, "node_set()");
+    return std::move(std::get<NodeSet>(data_));
+  }
+  bool boolean() const {
+    CheckType(ValueType::kBoolean, "boolean()");
+    return std::get<bool>(data_);
+  }
+  double number() const {
+    CheckType(ValueType::kNumber, "number()");
+    return std::get<double>(data_);
+  }
+  const std::string& string() const {
+    CheckType(ValueType::kString, "string()");
+    return std::get<std::string>(data_);
+  }
 
   /// F[[boolean]]: non-empty / non-zero-non-NaN / non-empty-string.
   bool ToBoolean() const;
@@ -53,6 +75,15 @@ class Value {
   std::string Repr() const;
 
  private:
+  /// The accessors inline to a compare + branch; only the failure path
+  /// (which aborts) is out of line.
+  void CheckType(ValueType want, const char* accessor) const {
+    if (type() != want) [[unlikely]] {
+      TypeCheckFailed(want, accessor);
+    }
+  }
+  [[noreturn]] void TypeCheckFailed(ValueType want, const char* accessor) const;
+
   explicit Value(double v) : data_(v) {}
   explicit Value(bool v) : data_(v) {}
   explicit Value(std::string s) : data_(std::move(s)) {}

@@ -27,23 +27,34 @@ inline void PushOrdered(std::vector<NodeId>* out, NodeId id) {
   out->push_back(id);
 }
 
+/// True once `out` holds `limit` nodes — every kernel below emits in
+/// ascending document order, so reaching the limit means the prefix is
+/// final and the remaining postings walk can be skipped entirely.
+inline bool AtLimit(const std::vector<NodeId>* out, uint64_t limit) {
+  return out->size() >= limit;
+}
+
 /// Appends the postings members inside [lo, hi) — a binary-searched
 /// contiguous range, since postings are sorted by NodeId.
 void AppendRange(const std::vector<NodeId>& postings, NodeId lo, NodeId hi,
-                 std::vector<NodeId>* out) {
+                 std::vector<NodeId>* out, uint64_t limit) {
   auto begin = std::lower_bound(postings.begin(), postings.end(), lo);
   auto end = std::lower_bound(begin, postings.end(), hi);
-  for (auto it = begin; it != end; ++it) PushOrdered(out, *it);
+  for (auto it = begin; it != end; ++it) {
+    if (AtLimit(out, limit)) return;
+    PushOrdered(out, *it);
+  }
 }
 
 /// Sorted-list intersection; gallops (binary probes from the smaller
 /// side) when one input dwarfs the other.
 void IntersectSortedInto(std::span<const NodeId> a, std::span<const NodeId> b,
-                         std::vector<NodeId>* out) {
+                         std::vector<NodeId>* out, uint64_t limit) {
   std::span<const NodeId> small = a.size() <= b.size() ? a : b;
   std::span<const NodeId> big = a.size() <= b.size() ? b : a;
   if (small.size() * 16 < big.size()) {
     for (NodeId id : small) {
+      if (AtLimit(out, limit)) return;
       if (std::binary_search(big.begin(), big.end(), id)) {
         PushOrdered(out, id);
       }
@@ -53,6 +64,7 @@ void IntersectSortedInto(std::span<const NodeId> a, std::span<const NodeId> b,
   auto ia = small.begin();
   auto ib = big.begin();
   while (ia != small.end() && ib != big.end()) {
+    if (AtLimit(out, limit)) return;
     if (*ia < *ib) {
       ++ia;
     } else if (*ib < *ia) {
@@ -89,10 +101,12 @@ ChildWindow(const Document& doc, const std::vector<NodeId>& postings,
 }
 
 void ChildStep(const Document& doc, const std::vector<NodeId>& postings,
-               std::span<const NodeId> x, std::vector<NodeId>* out) {
+               std::span<const NodeId> x, std::vector<NodeId>* out,
+               uint64_t limit) {
   // Each candidate in the window pays one O(log |X|) parent probe.
   auto [begin, end] = ChildWindow(doc, postings, x);
   for (auto it = begin; it != end; ++it) {
+    if (AtLimit(out, limit)) return;
     if (std::binary_search(x.begin(), x.end(), doc.parent(*it))) {
       PushOrdered(out, *it);
     }
@@ -101,23 +115,26 @@ void ChildStep(const Document& doc, const std::vector<NodeId>& postings,
 
 void DescendantStep(const Document& doc, const std::vector<NodeId>& postings,
                     std::span<const NodeId> x, bool or_self,
-                    std::vector<NodeId>* out) {
+                    std::vector<NodeId>* out, uint64_t limit) {
   // The maximal subtree intervals of X are disjoint and ascending (nested
   // origins are subsumed), so one merge pass stays in document order.
   NodeId covered_end = 0;
   for (NodeId origin : x) {
+    if (AtLimit(out, limit)) return;
     if (origin < covered_end) continue;  // inside the previous interval
     covered_end = doc.subtree_end(origin);
-    AppendRange(postings, or_self ? origin : origin + 1, covered_end, out);
+    AppendRange(postings, or_self ? origin : origin + 1, covered_end, out,
+                limit);
   }
 }
 
 void AncestorStep(const Document& doc, const std::vector<NodeId>& postings,
                   std::span<const NodeId> x, bool or_self,
-                  std::vector<NodeId>* out) {
+                  std::vector<NodeId>* out, uint64_t limit) {
   // e is a proper ancestor of some x iff the first origin after e still
   // lies inside e's subtree (e < x < subtree_end(e)).
   for (NodeId e : postings) {
+    if (AtLimit(out, limit)) return;
     auto it = std::upper_bound(x.begin(), x.end(), e);
     const bool proper = it != x.end() && *it < doc.subtree_end(e);
     if (proper || (or_self && std::binary_search(x.begin(), x.end(), e))) {
@@ -127,17 +144,21 @@ void AncestorStep(const Document& doc, const std::vector<NodeId>& postings,
 }
 
 void AttributeStep(const Document& doc, const std::vector<NodeId>& postings,
-                   std::span<const NodeId> x, std::vector<NodeId>* out) {
+                   std::span<const NodeId> x, std::vector<NodeId>* out,
+                   uint64_t limit) {
   // Attribute slots [x+1, AttrEnd(x)) of distinct elements are disjoint
   // and ascending, so per-origin range scans preserve document order.
   for (NodeId origin : x) {
+    if (AtLimit(out, limit)) return;
     if (!doc.IsElement(origin)) continue;
-    AppendRange(postings, doc.AttrBegin(origin), doc.AttrEnd(origin), out);
+    AppendRange(postings, doc.AttrBegin(origin), doc.AttrEnd(origin), out,
+                limit);
   }
 }
 
 void ParentStep(const Document& doc, Axis axis, const NodeTest& test,
-                std::span<const NodeId> x, std::vector<NodeId>* out) {
+                std::span<const NodeId> x, std::vector<NodeId>* out,
+                uint64_t limit) {
   for (NodeId origin : x) {
     NodeId p = doc.parent(origin);
     if (p != xml::kInvalidNodeId && MatchesNodeTest(doc, axis, test, p)) {
@@ -145,26 +166,33 @@ void ParentStep(const Document& doc, Axis axis, const NodeTest& test,
     }
   }
   SortUnique(out);  // parents of distinct origins may repeat or invert
+  // Emission is not ordered, so the limit applies after the sort; the
+  // kernel is output-bounded by |x| regardless.
+  if (limit != kNoStepLimit && out->size() > limit) out->resize(limit);
 }
 
 void FollowingStep(const Document& doc, const std::vector<NodeId>& postings,
-                   std::span<const NodeId> x, std::vector<NodeId>* out) {
+                   std::span<const NodeId> x, std::vector<NodeId>* out,
+                   uint64_t limit) {
   // y follows some x iff y >= min over X of subtree_end(x): a postings
   // suffix.
   NodeId threshold = xml::kInvalidNodeId;
   for (NodeId origin : x) {
     threshold = std::min(threshold, doc.subtree_end(origin));
   }
-  AppendRange(postings, threshold, static_cast<NodeId>(doc.size()), out);
+  AppendRange(postings, threshold, static_cast<NodeId>(doc.size()), out,
+              limit);
 }
 
 void PrecedingStep(const Document& doc, const std::vector<NodeId>& postings,
-                   std::span<const NodeId> x, std::vector<NodeId>* out) {
+                   std::span<const NodeId> x, std::vector<NodeId>* out,
+                   uint64_t limit) {
   // y precedes some x iff subtree_end(y) <= max(X): a postings prefix
   // filtered by the subtree_end test (ancestors of max(X) fail it).
   const NodeId max_x = x.back();
   auto end = std::lower_bound(postings.begin(), postings.end(), max_x);
   for (auto it = postings.begin(); it != end; ++it) {
+    if (AtLimit(out, limit)) return;
     if (doc.subtree_end(*it) <= max_x) PushOrdered(out, *it);
   }
 }
@@ -226,44 +254,45 @@ void IndexedStepOverPostingsInto(const Document& doc,
                                  const std::vector<NodeId>& postings,
                                  Axis axis, const NodeTest& test,
                                  std::span<const NodeId> x,
-                                 std::vector<NodeId>* out) {
+                                 std::vector<NodeId>* out, uint64_t limit) {
   out->clear();
-  if (x.empty() || postings.empty()) return;
+  if (x.empty() || postings.empty() || limit == 0) return;
   switch (axis) {
     case Axis::kSelf:
-      IntersectSortedInto(postings, x, out);
+      IntersectSortedInto(postings, x, out, limit);
       return;
     case Axis::kChild:
-      ChildStep(doc, postings, x, out);
+      ChildStep(doc, postings, x, out, limit);
       return;
     case Axis::kParent:
-      ParentStep(doc, axis, test, x, out);
+      ParentStep(doc, axis, test, x, out, limit);
       return;
     case Axis::kDescendant:
-      DescendantStep(doc, postings, x, /*or_self=*/false, out);
+      DescendantStep(doc, postings, x, /*or_self=*/false, out, limit);
       return;
     case Axis::kDescendantOrSelf:
-      DescendantStep(doc, postings, x, /*or_self=*/true, out);
+      DescendantStep(doc, postings, x, /*or_self=*/true, out, limit);
       return;
     case Axis::kAncestor:
-      AncestorStep(doc, postings, x, /*or_self=*/false, out);
+      AncestorStep(doc, postings, x, /*or_self=*/false, out, limit);
       return;
     case Axis::kAncestorOrSelf:
-      AncestorStep(doc, postings, x, /*or_self=*/true, out);
+      AncestorStep(doc, postings, x, /*or_self=*/true, out, limit);
       return;
     case Axis::kFollowing:
-      FollowingStep(doc, postings, x, out);
+      FollowingStep(doc, postings, x, out, limit);
       return;
     case Axis::kPreceding:
-      PrecedingStep(doc, postings, x, out);
+      PrecedingStep(doc, postings, x, out, limit);
       return;
     case Axis::kAttribute:
-      AttributeStep(doc, postings, x, out);
+      AttributeStep(doc, postings, x, out, limit);
       return;
     default: {
       const NodeSet scan = ApplyNodeTest(
           doc, axis, test, EvalAxis(doc, axis, NodeSet::FromSorted(x)));
       out->assign(scan.begin(), scan.end());
+      if (limit != kNoStepLimit && out->size() > limit) out->resize(limit);
       return;
     }
   }
@@ -294,7 +323,7 @@ void IndexedApplyNodeTestInto(const Document& doc, const DocumentIndex& index,
     out->assign(postings.begin(), postings.end());
     return;
   }
-  IntersectSortedInto(postings, nodes, out);
+  IntersectSortedInto(postings, nodes, out, kNoStepLimit);
 }
 
 NodeSet IndexedApplyNodeTest(const Document& doc, const DocumentIndex& index,

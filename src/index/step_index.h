@@ -9,6 +9,11 @@
 
 namespace xpe::index {
 
+/// "No limit" sentinel for the kernels' early-termination bound (the
+/// value of ResultSpec::kNoLimit, restated here so this header does not
+/// depend on the engine options surface).
+inline constexpr uint64_t kNoStepLimit = ~uint64_t{0};
+
 /// Index-accelerated location-step kernels. Each function is semantically
 /// identical to the O(|D|) scan it replaces (same node set, same document
 /// order); they differ only in cost, which is driven by the postings size
@@ -69,11 +74,20 @@ NodeSet IndexedStepOverPostings(const xml::Document& doc,
 /// first; typically EvalWorkspace scratch) — the allocation-free form
 /// the per-origin engine loops use. `x` is any sorted duplicate-free id
 /// sequence (NodeSet::ids(), a NodeTable row, a single-origin span).
+///
+/// `limit` bounds the output to its first `limit` nodes. Every kernel
+/// emits in ascending document order, so stopping after the limit-th
+/// emission yields exactly the document-order prefix of the full image —
+/// this is where kFirst/kExists/kLimit result modes stop the postings
+/// walk instead of truncating afterwards. (The parent kernel sorts at
+/// the end and therefore truncates post-hoc; it is output-bounded by
+/// |x| anyway.)
 void IndexedStepOverPostingsInto(const xml::Document& doc,
                                  const std::vector<xml::NodeId>& postings,
                                  Axis axis, const xpath::NodeTest& test,
                                  std::span<const xml::NodeId> x,
-                                 std::vector<xml::NodeId>* out);
+                                 std::vector<xml::NodeId>* out,
+                                 uint64_t limit = kNoStepLimit);
 
 /// The cost gate behind the "self-gate" above, exposed so callers that
 /// do their own dispatch (StepKernel) can account indexed vs. scan steps

@@ -5,16 +5,45 @@
 /// (ICDE 2003): full XPath 1.0 on an in-memory XML document model, with
 /// six interchangeable evaluation engines — the exponential naive
 /// baseline, E↑ and E↓ of [11], the paper's MINCONTEXT and
-/// OPTMINCONTEXT, and the linear-time Core XPath engine.
+/// OPTMINCONTEXT, and the linear-time Core XPath engine — plus a
+/// per-document search index, pooled evaluation sessions, and a
+/// concurrent batch evaluator.
 ///
-/// Quickstart:
+/// Quickstart — compile once with xpe::Query, then ask with typed verbs:
 ///
 ///   #include "src/xpe.h"
 ///
 ///   auto doc = xpe::xml::Parse("<a><b/><b/></a>");
-///   auto query = xpe::xpath::Compile("//b[position() = last()]");
-///   auto result = xpe::EvaluateNodeSet(*query, *doc);
-///   for (xpe::xml::NodeId n : *result) { ... }
+///   auto q = xpe::Query::Compile("//b[position() = last()]");
+///
+///   xpe::NodeSet nodes = *q->Nodes(*doc);               // full result
+///   for (xpe::xml::NodeId n : nodes) { ... }
+///   bool any = *q->Exists(*doc);     // stops at the first match
+///   auto first = *q->First(*doc);    // std::optional<NodeId>, doc order
+///   uint64_t n = *q->Count(*doc);
+///   std::string s = *q->StringOf(*doc);
+///   q->ForEach(*doc, [](xpe::xml::NodeId n) { ...; return true; });
+///
+/// The probe-shaped verbs (Exists/First/Limit) are not post-hoc
+/// truncations: their ResultMode reaches the engines and stops the
+/// document scan at the match (see EvalStats::nodes_visited). Engine,
+/// index and budget knobs chain fluently:
+///
+///   q->With(xpe::EngineKind::kCoreXPath).WithStats(&stats);
+///
+/// Migrating from the older entry points (all still supported — they are
+/// thin wrappers over the same dispatcher, with identical results):
+///
+///   | before                              | now                        |
+///   |-------------------------------------|----------------------------|
+///   | xpath::Compile(s) + Evaluate(q,d)   | Query::Compile(s)->Eval(d) |
+///   | EvaluateNodeSet(q, d)               | query.Nodes(d)             |
+///   | !EvaluateNodeSet(q, d)->empty()     | query.Exists(d)            |
+///   | EvaluateNodeSet(q, d)->First()      | query.First(d)             |
+///   | EvaluateNodeSet(q, d)->size()       | query.Count(d)             |
+///   | Evaluate(q, d)->ToString(d)         | query.StringOf(d)          |
+///   | Evaluator session + EvalOptions     | Query (owns the session)   |
+///   | EvalOptions{.engine = e}            | query.With(e)              |
 ///
 /// This umbrella header pulls in the whole public API; the individual
 /// headers can also be included directly.
@@ -30,9 +59,10 @@
 #include "src/axes/node_table.h"    // flat context-value tables
 #include "src/common/numeric.h"     // XPath number ↔ string rules
 #include "src/common/status.h"      // Status / StatusOr
-#include "src/core/engine.h"        // Evaluate(), EngineKind, EvalOptions
+#include "src/core/engine.h"        // Evaluate(), EngineKind, ResultSpec
 #include "src/core/evaluator.h"     // Evaluator sessions (pooled memory)
 #include "src/core/functions.h"     // the effective semantics function F
+#include "src/core/query.h"         // Query — the typed-verbs facade
 #include "src/core/stats.h"         // EvalStats instrumentation
 #include "src/core/value.h"         // the four XPath value types
 #include "src/index/document_index.h"  // per-document search index
