@@ -113,21 +113,47 @@ int RunBench(bool smoke, const char* json_path) {
       rows.push_back(row);
 
       if (smoke && std::strcmp(text, "//x") == 0) {
+        // The compile-time optimizer (src/xpath/optimize.h) fuses //x
+        // for *every* mode now, so the optimized full materialization is
+        // itself nearly as cheap as the probes (that win is gated by
+        // bench_optimize). The short-circuit gate therefore measures the
+        // probes against the unoptimized plan's full scan — the cost a
+        // mode-oblivious evaluator would pay.
+        xpath::CompileOptions unoptimized;
+        unoptimized.optimize = false;
+        StatusOr<Query> unopt_or = Query::Compile(text, unoptimized);
+        if (!unopt_or.ok()) {
+          fprintf(stderr, "compile(%s, optimize=off): %s\n", text,
+                  unopt_or.status().ToString().c_str());
+          std::abort();
+        }
+        Query unopt = std::move(unopt_or).value();
+        const double scan_us = TimeVerbUs([&] { unopt.Nodes(doc); });
+        EvalStats scan_stats;
+        unopt.WithStats(&scan_stats);
+        StatusOr<NodeSet> scan = unopt.Nodes(doc);
+        if (!scan.ok()) {
+          fprintf(stderr, "eval(%s, optimize=off): %s\n", text,
+                  scan.status().ToString().c_str());
+          std::abort();
+        }
+        const uint64_t scan_visited = scan_stats.nodes_visited;
+
         // Deterministic part of the gate: Exists must genuinely
         // short-circuit, measured in visited nodes, not wall-clock.
-        if (row.exists_visited * 100 > row.full_visited) {
+        if (row.exists_visited * 100 > scan_visited) {
           fprintf(stderr,
                   "SMOKE FAIL: Exists(//x) visited %llu nodes vs %llu for "
-                  "full materialization (< 100x separation)\n",
+                  "the unoptimized full scan (< 100x separation)\n",
                   static_cast<unsigned long long>(row.exists_visited),
-                  static_cast<unsigned long long>(row.full_visited));
+                  static_cast<unsigned long long>(scan_visited));
           smoke_ok = false;
         }
-        if (row.exists_us * 5.0 > row.full_us) {
+        if (row.exists_us * 5.0 > scan_us) {
           fprintf(stderr,
-                  "SMOKE FAIL: Exists(//x) %.1fus not >=5x faster than full "
-                  "materialization %.1fus\n",
-                  row.exists_us, row.full_us);
+                  "SMOKE FAIL: Exists(//x) %.1fus not >=5x faster than the "
+                  "unoptimized full scan %.1fus\n",
+                  row.exists_us, scan_us);
           smoke_ok = false;
         }
         if (!*exists) {

@@ -1,0 +1,198 @@
+// The compile-time plan optimizer (src/xpath/optimize.h) vs. the plain
+// normalized plan: the same full-mode queries, compiled with the
+// optimizer on and off, on the same documents. The headline rewrite is
+// the `//t` fusion — the unoptimized normal form materializes the whole
+// descendant-or-self frontier before the name test runs, exactly the
+// intermediate-result blowup the paper's algorithms exist to avoid,
+// while the fused `descendant::t` step answers from the name's postings.
+//
+// --smoke is the CI gate: on a 1%-selectivity `//x` in full
+// (materialize-everything) mode, the optimized plan must (a) visit
+// strictly fewer nodes than the optimize=off plan (deterministic, via
+// EvalStats::nodes_visited) and (b) run >= 2x faster wall-clock
+// (generous vs. the typical 20-100x, so a noisy runner cannot fail an
+// intact rewrite). --json PATH writes the numbers for the uploaded
+// perf-trajectory artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace xpe::bench {
+namespace {
+
+Query MustCompileQuery(const char* text, bool optimize) {
+  xpath::CompileOptions options;
+  options.optimize = optimize;
+  StatusOr<Query> q = Query::Compile(text, options);
+  if (!q.ok()) {
+    fprintf(stderr, "compile(%s): %s\n", text, q.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+/// Median-of-three wall-clock of one full-mode materialization, in
+/// microseconds.
+double TimeFullUs(Query& q, const xml::Document& doc) {
+  double best[3];
+  for (double& sample : best) {
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<NodeSet> v = q.Nodes(doc);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!v.ok()) {
+      fprintf(stderr, "eval(%s): %s\n", q.source().c_str(),
+              v.status().ToString().c_str());
+      std::abort();
+    }
+    sample = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  }
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  if (best[1] > best[2]) std::swap(best[1], best[2]);
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  return best[1];
+}
+
+struct OptimizeRow {
+  std::string query;
+  int nodes = 0;
+  uint32_t rewrites = 0;
+  double unopt_us = 0;
+  double opt_us = 0;
+  uint64_t unopt_visited = 0;
+  uint64_t opt_visited = 0;
+};
+
+int RunBench(bool smoke, const char* json_path) {
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{50'000} : std::vector<int>{20'000, 200'000};
+  const char* kQueries[] = {
+      "//x",            // the headline fusion, full mode
+      "//a/x",          // leading fusion over a broad frontier
+      "//a[x]//x",      // two fusions, one predicated
+      ".//x",           // self-step collapse + fusion
+      "//x[true()]",    // predicate elimination enables the fusion
+  };
+
+  printf("%8s %14s %10s %10s %8s %12s %12s %9s\n", "nodes", "query",
+         "unopt_us", "opt_us", "speedup", "unopt_visit", "opt_visit",
+         "rewrites");
+  std::vector<OptimizeRow> rows;
+  bool smoke_ok = true;
+  for (int n : sizes) {
+    xml::Document doc =
+        xml::MakeRandomDocument(n, DilutedLabels(99), /*seed=*/4242);
+    doc.WarmCaches();  // the index build is shared setup, not plan cost
+    for (const char* text : kQueries) {
+      Query unopt = MustCompileQuery(text, /*optimize=*/false);
+      Query opt = MustCompileQuery(text, /*optimize=*/true);
+      OptimizeRow row;
+      row.query = text;
+      row.nodes = doc.size();
+      row.rewrites = opt.plan().optimize_stats().total();
+      row.unopt_us = TimeFullUs(unopt, doc);
+      row.opt_us = TimeFullUs(opt, doc);
+
+      EvalStats unopt_stats;
+      unopt.WithStats(&unopt_stats);
+      StatusOr<NodeSet> unopt_full = unopt.Nodes(doc);
+      EvalStats opt_stats;
+      opt.WithStats(&opt_stats);
+      StatusOr<NodeSet> opt_full = opt.Nodes(doc);
+      if (!unopt_full.ok() || !opt_full.ok()) {
+        fprintf(stderr, "eval(%s): %s\n", text,
+                (!unopt_full.ok() ? unopt_full.status() : opt_full.status())
+                    .ToString()
+                    .c_str());
+        std::abort();
+      }
+      if (*unopt_full != *opt_full) {
+        fprintf(stderr, "FAIL: %s: optimized plan changed the result\n",
+                text);
+        return 1;
+      }
+      row.unopt_visited = unopt_stats.nodes_visited;
+      row.opt_visited = opt_stats.nodes_visited;
+
+      printf("%8d %14s %10.1f %10.1f %7.1fx %12llu %12llu %9u\n", doc.size(),
+             text, row.unopt_us, row.opt_us, row.unopt_us / row.opt_us,
+             static_cast<unsigned long long>(row.unopt_visited),
+             static_cast<unsigned long long>(row.opt_visited), row.rewrites);
+      rows.push_back(row);
+
+      if (smoke && std::strcmp(text, "//x") == 0) {
+        // Deterministic part of the gate: the fused full-mode plan must
+        // do strictly less step work, measured in visited nodes.
+        if (row.opt_visited >= row.unopt_visited) {
+          fprintf(stderr,
+                  "SMOKE FAIL: optimized //x visited %llu nodes vs %llu "
+                  "unoptimized (not strictly fewer)\n",
+                  static_cast<unsigned long long>(row.opt_visited),
+                  static_cast<unsigned long long>(row.unopt_visited));
+          smoke_ok = false;
+        }
+        if (row.opt_us * 2.0 > row.unopt_us) {
+          fprintf(stderr,
+                  "SMOKE FAIL: optimized //x %.1fus not >=2x faster than "
+                  "unoptimized %.1fus\n",
+                  row.opt_us, row.unopt_us);
+          smoke_ok = false;
+        }
+        if (row.rewrites == 0) {
+          fprintf(stderr, "SMOKE FAIL: //x compiled with zero rewrites\n");
+          smoke_ok = false;
+        }
+      }
+    }
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"bench_optimize\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const OptimizeRow& r = rows[i];
+      fprintf(f,
+              "    {\"query\": \"%s\", \"nodes\": %d, \"unopt_us\": %.1f, "
+              "\"opt_us\": %.1f, \"unopt_visited\": %llu, "
+              "\"opt_visited\": %llu, \"rewrites\": %u}%s\n",
+              r.query.c_str(), r.nodes, r.unopt_us, r.opt_us,
+              static_cast<unsigned long long>(r.unopt_visited),
+              static_cast<unsigned long long>(r.opt_visited), r.rewrites,
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("wrote %s\n", json_path);
+  }
+
+  if (smoke && !smoke_ok) return 1;
+  if (smoke) {
+    printf("smoke OK: the optimizer's fused full-mode //x beats the "
+           "unoptimized plan (>=2x wall-clock, strictly fewer nodes "
+           "visited)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return xpe::bench::RunBench(smoke, json_path);
+}

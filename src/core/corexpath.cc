@@ -16,11 +16,10 @@
 //    (ResultSpec::node_limit) bounds the outermost path's final step,
 //    so Exists()/First()/Limit(n) stop the postings walk after the
 //    limit-th match instead of materializing the full result. The
-//    normal form of `//t` — `descendant-or-self::node()/child::t` —
-//    would defeat that by materializing the whole document first, so
-//    the limited modes fuse that trailing pair into one
-//    `descendant::t` step (a classic, semantics-preserving rewrite;
-//    valid here because Core XPath predicates are position-free).
+//    `descendant-or-self::node()/child::t → descendant::t` fusion that
+//    makes `//t` probes O(1) happens at compile time now
+//    (src/xpath/optimize.h), for every result mode — this engine just
+//    runs the plan it is given.
 
 #include <algorithm>
 #include <numeric>
@@ -71,18 +70,9 @@ class CoreXPathEvaluator {
     EvalWorkspace::ScratchIds tmp = ws_.AcquireIds();
 
     const size_t k = n.children.size();
-    // The `//t` fusion peephole (limited modes only; see file comment).
-    // No positional-predicate check: ClassifyFragments admits none into
-    // Core XPath.
-    size_t fused_at = k;
-    AstNode fused;
-    if (limit != kNoNodeLimit && FuseTrailingDescendantPair(tree_, n, &fused)) {
-      fused_at = k - 2;
-    }
     for (size_t s = 0; s < k; ++s) {
-      const bool is_fused = s == fused_at;
-      const AstNode& step = is_fused ? fused : tree_.node(n.children[s]);
-      const bool is_last = is_fused || s + 1 == k;
+      const AstNode& step = tree_.node(n.children[s]);
+      const bool is_last = s + 1 == k;
       XPE_RETURN_IF_ERROR(ChargeBudget(current->size()));
       // A predicate-free final step can stop at the limit-th emission;
       // with predicates the candidates must be filtered first.
@@ -100,7 +90,7 @@ class CoreXPathEvaluator {
       }
       std::swap(*current, *candidates);
       if (stats_ != nullptr) stats_->AddCells(current->size());
-      if (is_fused || current->empty()) break;  // nothing downstream
+      if (current->empty()) break;  // nothing downstream
     }
     std::swap(*out, *current);
     return Status::OK();

@@ -30,9 +30,9 @@ NodeSet MinContextEngine::StepImage(const AstNode& step, const NodeSet& x,
   return StepKernel(doc_, step, use_index_, stats_).Eval(x, limit);
 }
 
-Status MinContextEngine::ChargeBudget() {
-  ++used_;
-  if (stats_ != nullptr) ++stats_->contexts_evaluated;
+Status MinContextEngine::ChargeBudget(uint64_t n) {
+  used_ += n;
+  if (stats_ != nullptr) stats_->contexts_evaluated += n;
   if (budget_ > 0 && used_ > budget_) {
     return Status::ResourceExhausted("evaluation budget exceeded");
   }
@@ -242,6 +242,7 @@ Status MinContextEngine::FilterByPredicatesSingle(
 Status MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x,
                                           NodeTable* out) {
   const AstNode& step = tree_.node(step_id);
+  XPE_RETURN_IF_ERROR(ChargeBudget(x.size()));
   out->Reset(ws_.arena(), doc_.size());
 
   if (step.axis == Axis::kId) {
@@ -477,22 +478,14 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
         current = x;
       }
       const size_t k = n.children.size();
-      // The `//t` fusion peephole (see FuseTrailingDescendantPair); only
-      // position-free trailing predicates keep the rewrite valid here.
-      size_t fused_at = k;
-      AstNode fused;
-      if (limit != kNoNodeLimit && k >= step_begin + 2 &&
-          FuseTrailingDescendantPair(tree_, n, &fused)) {
-        bool positional = false;
-        for (AstId pred : fused.children) {
-          positional = positional || DependsOnPosition(pred);
-        }
-        if (!positional) fused_at = k - 2;
-      }
+      // (`//t` arrives here already fused to `descendant::t` by the
+      // compile-time optimizer, so the final-step limit below is all the
+      // early-termination machinery this path needs.)
       for (size_t s = step_begin; s < k; ++s) {
-        const bool is_fused = s == fused_at;
-        const AstNode& step = is_fused ? fused : tree_.node(n.children[s]);
-        const bool is_last = is_fused || s + 1 == k;
+        const AstNode& step = tree_.node(n.children[s]);
+        const bool is_last = s + 1 == k;
+        // One budget unit per (step, frontier node), as in Core XPath.
+        XPE_RETURN_IF_ERROR(ChargeBudget(current.size()));
         if (step.axis == Axis::kId) {
           NodeBitmap targets(doc_.size());
           for (NodeId origin : current) {
@@ -509,7 +502,6 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
         NodeSet y_all = StepImage(step, current, step_limit);
         if (step.children.empty()) {
           current = std::move(y_all);
-          if (is_fused) break;
           continue;
         }
         bool positional = false;
@@ -549,7 +541,6 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
           SortUnique(result.get());
           current = NodeSet::FromSorted(*result);
         }
-        if (is_fused) break;
       }
       return current;
     }

@@ -70,7 +70,13 @@ class MinContextEngine {
     return tree_.node(id).type == xpath::ValueType::kNodeSet;
   }
 
-  Status ChargeBudget();
+  /// Charges `n` units against EvalOptions::budget (single-context
+  /// evaluations charge 1; the set-valued path passes — outermost
+  /// forward steps, inner step relations, and the §4/§5 backward
+  /// propagation — charge one unit per (step, frontier node) pair, the
+  /// same unit the linear Core XPath engine uses, so every engine's
+  /// budget means the same thing).
+  Status ChargeBudget(uint64_t n = 1);
 
   // --- §6 procedures ------------------------------------------------------
   /// eval_outermost_locpath: set-valued evaluation of outermost paths.

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "src/index/step_index.h"
-#include "src/xpath/relevance.h"
 
 namespace xpe {
 
@@ -71,37 +70,6 @@ NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
                        NodeId origin) {
   return ApplyNodeTest(doc, axis, test,
                        EvalAxis(doc, axis, NodeSet::Single(origin)));
-}
-
-bool FuseTrailingDescendantPair(const xpath::QueryTree& tree,
-                                const xpath::AstNode& path,
-                                xpath::AstNode* fused) {
-  const size_t k = path.children.size();
-  if (k < 2) return false;
-  const xpath::AstNode& prev = tree.node(path.children[k - 2]);
-  if (prev.kind != xpath::ExprKind::kStep ||
-      prev.axis != Axis::kDescendantOrSelf ||
-      prev.test.kind != NodeTest::Kind::kNode || !prev.children.empty()) {
-    return false;
-  }
-  const xpath::AstNode& last = tree.node(path.children[k - 1]);
-  if (last.kind != xpath::ExprKind::kStep) return false;
-  Axis fused_axis;
-  switch (last.axis) {
-    case Axis::kChild:
-    case Axis::kDescendant:
-      fused_axis = Axis::kDescendant;
-      break;
-    case Axis::kDescendantOrSelf:
-      fused_axis = Axis::kDescendantOrSelf;
-      break;
-    default:
-      return false;
-  }
-  *fused = last;
-  fused->axis = fused_axis;
-  fused->index_eligible = xpath::StepIsIndexEligible(fused_axis, fused->test);
-  return true;
 }
 
 StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,

@@ -87,23 +87,10 @@ class StepKernel {
   EvalStats* stats_;
 };
 
-/// The `//t` fusion peephole of the early-terminating result modes. If
-/// `path`'s final two children are a predicate-free
-/// `descendant-or-self::node()` step followed by a child / descendant /
-/// descendant-or-self step (the normal form of `//t`, `//t//u`'s tail,
-/// ...), writes the single equivalent descendant-flavored step — the
-/// trailing step's node test and predicates preserved, index
-/// eligibility recomputed for the fused axis — to `*fused` and returns
-/// true. The rewrite is semantics-preserving for set-valued evaluation
-/// as long as the trailing step's predicates are position-free (the
-/// descendant-or-self hop changes sibling positions): Core XPath
-/// guarantees that by fragment, MINCONTEXT callers must check Relev.
-/// Without the fusion, a limited `//t` would still materialize the
-/// whole document for the descendant-or-self hop before the final step
-/// could stop early.
-bool FuseTrailingDescendantPair(const xpath::QueryTree& tree,
-                                const xpath::AstNode& path,
-                                xpath::AstNode* fused);
+// (The `//t` fusion that used to live here as a runtime peephole —
+// FuseTrailingDescendantPair, gated to the limited result modes — is now
+// a compile-time rewrite in src/xpath/optimize.h, applied for every
+// result mode; engines simply see the fused plan.)
 
 /// T(t) ∩ nodes for the backward-propagation passes: a postings
 /// intersection when `use_index` is on and the test is postings-backed

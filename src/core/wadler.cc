@@ -84,6 +84,13 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
   for (size_t s = path.children.size(); s-- > step_begin;) {
     const AstNode& step = tree_.node(path.children[s]);
 
+    // One budget unit per (step, propagated node) — the backward
+    // passes' analog of the forward engines' per-(step, frontier node)
+    // charge. Without this, a fully bottom-up query (boolean(π) with a
+    // predicate-free Wadler path) performed all its work in this loop
+    // and EvalOptions::budget was silently ignored.
+    XPE_RETURN_IF_ERROR(ChargeBudget(current.size()));
+
     if (step.axis == Axis::kId) {
       if (stats_ != nullptr) ++stats_->axis_evals;
       current = EvalAxisInverse(doc_, Axis::kId, current);

@@ -12,12 +12,19 @@ StatusOr<CompiledQuery> Compile(std::string_view query,
   XPE_ASSIGN_OR_RETURN(compiled.tree_, ParseXPath(query));
   XPE_RETURN_IF_ERROR(Normalize(&compiled.tree_, options.bindings));
   ComputeRelevance(&compiled.tree_);
+  if (options.optimize) {
+    Optimize(&compiled.tree_, &compiled.optimize_stats_);
+    // The rewritten tree needs fresh annotations (a fused step's relev /
+    // eligibility differ from the pair it replaced).
+    ComputeRelevance(&compiled.tree_);
+  }
   ClassifyFragments(&compiled.tree_);
   compiled.fragment_ = ClassifyQuery(compiled.tree_);
   AnnotateIndexEligibility(&compiled.tree_);
   // Rendered once here so canonical_key() is a free accessor on cache
-  // probes. Variable bindings are substituted by Normalize, so the key
-  // distinguishes the same text compiled under different bindings.
+  // probes. Variable bindings are substituted by Normalize and rewrites
+  // by Optimize, so equivalent spellings (`//t`, `/descendant::t`) get
+  // equal keys and plan caches collapse them onto one plan.
   compiled.canonical_key_ = compiled.tree_.ToString();
   return compiled;
 }

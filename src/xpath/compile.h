@@ -8,6 +8,7 @@
 #include "src/xpath/ast.h"
 #include "src/xpath/fragments.h"
 #include "src/xpath/normalize.h"
+#include "src/xpath/optimize.h"
 
 namespace xpe::xpath {
 
@@ -15,6 +16,11 @@ namespace xpe::xpath {
 struct CompileOptions {
   /// Constant values substituted for $variables (paper §2.2).
   VariableBindings bindings;
+  /// Run the compile-time rewrite pipeline (optimize.h) between the
+  /// relevance and fragment passes. On by default; turning it off
+  /// compiles the plain normalized tree — the baseline the optimizer's
+  /// differential tests and bench_optimize compare against.
+  bool optimize = true;
 };
 
 /// A parsed, normalized, typed and fragment-classified query, ready for
@@ -39,6 +45,9 @@ class CompiledQuery {
   Fragment fragment() const { return fragment_; }
   /// Static result type of the whole query.
   ValueType result_type() const { return tree_.node(tree_.root()).type; }
+  /// What the compile-time rewrite pipeline did to this plan (all zeros
+  /// when CompileOptions::optimize was off or nothing applied).
+  const OptimizeStats& optimize_stats() const { return optimize_stats_; }
 
  private:
   friend StatusOr<CompiledQuery> Compile(std::string_view,
@@ -47,11 +56,16 @@ class CompiledQuery {
   std::string source_;
   std::string canonical_key_;
   Fragment fragment_ = Fragment::kFullXPath;
+  OptimizeStats optimize_stats_;
 };
 
 /// Parses + normalizes + types + analyzes an XPath 1.0 query:
 /// the complete front-end pipeline (lexer → parser → Normalize →
-/// ComputeRelevance → ClassifyFragments → AnnotateIndexEligibility).
+/// ComputeRelevance → Optimize → ComputeRelevance → ClassifyFragments →
+/// AnnotateIndexEligibility). The optimizer rewrites the tree, so the
+/// relevance/fragment/index-eligibility annotations — and the canonical
+/// key plan caches dedup on — always describe the tree the engines will
+/// actually run.
 StatusOr<CompiledQuery> Compile(std::string_view query,
                                 const CompileOptions& options = {});
 

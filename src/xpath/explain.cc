@@ -55,6 +55,9 @@ std::string Explain(const CompiledQuery& query) {
   const FragmentInfo info = InfoFor(query.fragment());
   out << "query:       " << query.source() << "\n";
   out << "canonical:   " << query.tree().ToString() << "\n";
+  if (query.optimize_stats().total() > 0) {
+    out << "optimizer:   " << query.optimize_stats().ToString() << "\n";
+  }
   out << "result type: " << ValueTypeToString(query.result_type()) << "\n";
   out << "fragment:    " << FragmentToString(query.fragment()) << "\n";
   out << "engine:      " << info.engine << "\n";

@@ -1,0 +1,454 @@
+// The compile-time rewrite pipeline. Each pass is a post-order walk that
+// applies local, semantics-preserving rules; passes repeat until a
+// fixpoint (rules enable each other: dropping a `[true()]` predicate can
+// make a trailing pair fusable, fusing can produce a new fusable pair).
+//
+// Correctness notes, per rule:
+//  - descendant fusion: `descendant-or-self::node()/child::t[p...]` and
+//    `descendant-or-self::node()/descendant::t[p...]` select exactly the
+//    descendants of the origin passing T(t); with `descendant-or-self`
+//    as the second axis the union includes the origins themselves. Both
+//    are the single fused step's set for *set*-valued evaluation. The
+//    hop changes candidate-list positions, so the rewrite requires every
+//    predicate of the second step to be position-free — checked
+//    structurally (position()/last() uses whose context is this step's),
+//    mirroring the Relev(N) cp/cs rules.
+//  - self-step removal: a predicate-free `self::node()` is the identity
+//    on node-sets, and XPath step frontiers carry no positions between
+//    steps (each step's predicates rank its own candidate lists), so
+//    removal is observationally equivalent. One step must remain: a
+//    stepless kPath is not a valid tree shape.
+//  - constant folding: XPath is side-effect-free, so `false() and e` /
+//    `true() or e` decide without e. Number/number comparisons fold with
+//    IEEE semantics (the engines' own EvalComparison on numbers).
+//  - position tightening: after normalization a numeric predicate [n] is
+//    `position() = n`; positions are integers >= 1, so a literal outside
+//    that set can never match. On the self/parent axes every candidate
+//    list has at most one node, so position() is identically 1 there.
+//  - false-predicate pruning: a step whose predicate list contains a
+//    constant false yields the empty frontier, and every downstream step
+//    maps empty to empty — the tail of the path is dead code.
+
+#include "src/xpath/optimize.h"
+
+#include <cmath>
+#include <optional>
+
+#include "src/xpath/function_id.h"
+#include "src/xpath/relevance.h"
+
+namespace xpe::xpath {
+
+std::string OptimizeStats::ToString() const {
+  return "fused=" + std::to_string(fused_descendant_steps) +
+         " self_removed=" + std::to_string(removed_self_steps) +
+         " const_folded=" + std::to_string(folded_constants) +
+         " true_preds_dropped=" + std::to_string(dropped_true_predicates) +
+         " pruned_after_false=" + std::to_string(pruned_after_false) +
+         " position_tightened=" +
+         std::to_string(tightened_position_predicates);
+}
+
+namespace {
+
+/// True when expr(id)'s value can depend on the *current* context
+/// position or size, read from the Relev(N) annotation. Trustworthy
+/// because Optimize recomputes relevance before every pass: a rewrite
+/// can *clear* a dependence mid-pass (folding `position() = 0` to
+/// false() inside an `or` leaves the parent's cp bit stale until the
+/// next pass re-derives it, where the then-legal fusion fires), and
+/// optimizer-created literals carry relev = 0 from birth.
+bool DependsOnPosition(const QueryTree& tree, AstId id) {
+  return (tree.node(id).relev & (kRelevCp | kRelevCs)) != 0;
+}
+
+bool IsBareBooleanLiteral(const AstNode& n) {
+  return n.kind == ExprKind::kFunctionCall &&
+         (n.fn == FunctionId::kTrue || n.fn == FunctionId::kFalse);
+}
+
+bool IsFalseLiteral(const AstNode& n) {
+  return n.kind == ExprKind::kFunctionCall && n.fn == FunctionId::kFalse;
+}
+
+bool IsTrueLiteral(const AstNode& n) {
+  return n.kind == ExprKind::kFunctionCall && n.fn == FunctionId::kTrue;
+}
+
+/// The compile-time numeric value of expr(id): a number literal, or a
+/// unary-minus chain over one (`-2` parses as kUnaryMinus(2)).
+std::optional<double> NumberLiteralValue(const QueryTree& tree, AstId id) {
+  const AstNode& n = tree.node(id);
+  if (n.kind == ExprKind::kNumberLiteral) return n.number;
+  if (n.kind == ExprKind::kUnaryMinus) {
+    std::optional<double> inner = NumberLiteralValue(tree, n.children[0]);
+    if (inner.has_value()) return -*inner;
+  }
+  return std::nullopt;
+}
+
+/// `position() = <number literal>` (either operand order, the normal
+/// form of a numeric predicate [n]); the literal's value in *out.
+bool IsPositionEqualsLiteral(const QueryTree& tree, const AstNode& n,
+                             double* out) {
+  if (n.kind != ExprKind::kBinaryOp || n.op != BinOp::kEq) return false;
+  const AstNode& lhs = tree.node(n.children[0]);
+  const AstNode& rhs = tree.node(n.children[1]);
+  AstId lit = kInvalidAstId;
+  if (lhs.kind == ExprKind::kFunctionCall && lhs.fn == FunctionId::kPosition) {
+    lit = n.children[1];
+  } else if (rhs.kind == ExprKind::kFunctionCall &&
+             rhs.fn == FunctionId::kPosition) {
+    lit = n.children[0];
+  }
+  if (lit == kInvalidAstId) return false;
+  std::optional<double> value = NumberLiteralValue(tree, lit);
+  if (!value.has_value()) return false;
+  *out = *value;
+  return true;
+}
+
+bool IsPossiblePosition(double v) {
+  return v >= 1.0 && v == std::trunc(v) && !std::isnan(v) && !std::isinf(v);
+}
+
+class Optimizer {
+ public:
+  Optimizer(QueryTree* tree, OptimizeStats* stats)
+      : tree_(tree), stats_(stats) {}
+
+  /// One full rewrite pass over the tree; true when anything changed.
+  bool RunPass() {
+    changed_ = false;
+    tree_->set_root(Visit(tree_->root()));
+    return changed_;
+  }
+
+ private:
+  AstNode& node(AstId id) { return tree_->node(id); }
+
+  AstId MakeBooleanLiteral(bool value) {
+    AstNode call;
+    call.kind = ExprKind::kFunctionCall;
+    call.fn = value ? FunctionId::kTrue : FunctionId::kFalse;
+    call.type = ValueType::kBoolean;
+    call.relev = 0;
+    return tree_->Add(std::move(call));
+  }
+
+  /// The compile-time boolean value of expr(id), when it has one.
+  /// Conservative: anything touching the document or the context is
+  /// nullopt, as is any form not listed.
+  std::optional<bool> FoldBoolean(AstId id) {
+    const AstNode& n = node(id);
+    switch (n.kind) {
+      case ExprKind::kFunctionCall:
+        switch (n.fn) {
+          case FunctionId::kTrue:
+            return true;
+          case FunctionId::kFalse:
+            return false;
+          case FunctionId::kNot: {
+            std::optional<bool> v = FoldBoolean(n.children[0]);
+            if (v.has_value()) return !*v;
+            return std::nullopt;
+          }
+          case FunctionId::kBoolean: {
+            const AstNode& arg = node(n.children[0]);
+            if (arg.kind == ExprKind::kStringLiteral) {
+              return !arg.string.empty();
+            }
+            if (arg.kind == ExprKind::kNumberLiteral) {
+              return arg.number != 0 && !std::isnan(arg.number);
+            }
+            if (arg.type == ValueType::kBoolean) {
+              return FoldBoolean(n.children[0]);
+            }
+            return std::nullopt;
+          }
+          default:
+            return std::nullopt;
+        }
+      case ExprKind::kBinaryOp: {
+        if (n.op == BinOp::kAnd || n.op == BinOp::kOr) {
+          const bool deciding = n.op == BinOp::kOr;  // or: true, and: false
+          std::optional<bool> lhs = FoldBoolean(n.children[0]);
+          std::optional<bool> rhs = FoldBoolean(n.children[1]);
+          if (lhs.has_value() && *lhs == deciding) return deciding;
+          // Side-effect-free: a deciding constant on the right also
+          // settles it regardless of the left operand's runtime value.
+          if (rhs.has_value() && *rhs == deciding) return deciding;
+          if (lhs.has_value() && rhs.has_value()) {
+            return n.op == BinOp::kAnd ? (*lhs && *rhs) : (*lhs || *rhs);
+          }
+          return std::nullopt;
+        }
+        if (!BinOpIsComparison(n.op)) return std::nullopt;
+        double position_literal;
+        if (IsPositionEqualsLiteral(*tree_, n, &position_literal) &&
+            !IsPossiblePosition(position_literal)) {
+          // [0], [1.5], [-3]: no candidate-list rank ever equals it.
+          ++tightened_in_fold_;
+          return false;
+        }
+        const std::optional<double> lnum =
+            NumberLiteralValue(*tree_, n.children[0]);
+        const std::optional<double> rnum =
+            NumberLiteralValue(*tree_, n.children[1]);
+        if (lnum.has_value() && rnum.has_value()) {
+          return FoldNumberComparison(n.op, *lnum, *rnum);
+        }
+        const AstNode& lhs = node(n.children[0]);
+        const AstNode& rhs = node(n.children[1]);
+        if (BinOpIsEquality(n.op) && lhs.kind == ExprKind::kStringLiteral &&
+            rhs.kind == ExprKind::kStringLiteral) {
+          const bool eq = lhs.string == rhs.string;
+          return n.op == BinOp::kEq ? eq : !eq;
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  static bool FoldNumberComparison(BinOp op, double a, double b) {
+    switch (op) {
+      case BinOp::kEq:
+        return a == b;
+      case BinOp::kNeq:
+        return a != b;
+      case BinOp::kLt:
+        return a < b;
+      case BinOp::kLe:
+        return a <= b;
+      case BinOp::kGt:
+        return a > b;
+      case BinOp::kGe:
+        return a >= b;
+      default:
+        return false;
+    }
+  }
+
+  /// Post-order rewrite; returns the (possibly replaced) id of the
+  /// subtree. All child lists are re-read through the arena after every
+  /// Add() — Add may reallocate.
+  AstId Visit(AstId id) {
+    const size_t child_count = node(id).children.size();
+    for (size_t i = 0; i < child_count; ++i) {
+      const AstId child = node(id).children[i];
+      const AstId rewritten = Visit(child);
+      if (rewritten != child) node(id).children[i] = rewritten;
+    }
+
+    switch (node(id).kind) {
+      case ExprKind::kStep:
+        TightenSingleCandidatePositions(id);
+        SimplifyPredicateList(id, /*pred_begin=*/0);
+        break;
+      case ExprKind::kFilter:
+        SimplifyPredicateList(id, /*pred_begin=*/1);
+        break;
+      case ExprKind::kPath:
+        SimplifyPath(id);
+        break;
+      default:
+        break;
+    }
+
+    // Fold this node itself when it is a boolean constant in disguise.
+    if (node(id).type == ValueType::kBoolean &&
+        !IsBareBooleanLiteral(node(id))) {
+      tightened_in_fold_ = 0;
+      std::optional<bool> v = FoldBoolean(id);
+      if (v.has_value()) {
+        if (stats_ != nullptr) {
+          ++stats_->folded_constants;
+          stats_->tightened_position_predicates += tightened_in_fold_;
+        }
+        changed_ = true;
+        return MakeBooleanLiteral(*v);
+      }
+    }
+    return id;
+  }
+
+  /// self/parent candidate lists hold at most one node, so position()
+  /// there is identically 1: `[position() = 1]` is vacuous and
+  /// `[position() = n]` for integer n >= 2 can never hold.
+  void TightenSingleCandidatePositions(AstId id) {
+    const Axis axis = node(id).axis;
+    if (axis != Axis::kSelf && axis != Axis::kParent) return;
+    const size_t pred_count = node(id).children.size();
+    for (size_t i = 0; i < pred_count; ++i) {
+      const AstId pred = node(id).children[i];
+      double literal;
+      if (!IsPositionEqualsLiteral(*tree_, node(pred), &literal) ||
+          !IsPossiblePosition(literal)) {
+        continue;
+      }
+      if (stats_ != nullptr) ++stats_->tightened_position_predicates;
+      changed_ = true;
+      node(id).children[i] = MakeBooleanLiteral(literal == 1.0);
+    }
+  }
+
+  /// Drops `[true()]` predicates and collapses any list containing a
+  /// constant-false predicate to that single false — the step/filter
+  /// selects nothing either way, and the empty set needs no further
+  /// filtering.
+  void SimplifyPredicateList(AstId id, size_t pred_begin) {
+    const std::vector<AstId> children = node(id).children;
+    for (size_t i = pred_begin; i < children.size(); ++i) {
+      if (IsFalseLiteral(node(children[i]))) {
+        if (children.size() > pred_begin + 1) {
+          std::vector<AstId> collapsed(children.begin(),
+                                       children.begin() + pred_begin);
+          collapsed.push_back(children[i]);
+          node(id).children = std::move(collapsed);
+          if (stats_ != nullptr) ++stats_->pruned_after_false;
+          changed_ = true;
+        }
+        return;
+      }
+    }
+    std::vector<AstId> kept(children.begin(), children.begin() + pred_begin);
+    for (size_t i = pred_begin; i < children.size(); ++i) {
+      if (IsTrueLiteral(node(children[i]))) {
+        if (stats_ != nullptr) ++stats_->dropped_true_predicates;
+        changed_ = true;
+        continue;
+      }
+      kept.push_back(children[i]);
+    }
+    if (kept.size() != children.size()) node(id).children = std::move(kept);
+  }
+
+  bool IsRedundantSelfStep(AstId id) {
+    const AstNode& n = node(id);
+    return n.kind == ExprKind::kStep && n.axis == Axis::kSelf &&
+           n.test.kind == NodeTest::Kind::kNode && n.children.empty();
+  }
+
+  bool IsBareDescendantOrSelfHop(AstId id) {
+    const AstNode& n = node(id);
+    return n.kind == ExprKind::kStep && n.axis == Axis::kDescendantOrSelf &&
+           n.test.kind == NodeTest::Kind::kNode && n.children.empty();
+  }
+
+  /// Step `id` can absorb a preceding descendant-or-self::node() hop:
+  /// its fused axis in *fused_axis. Position-bearing predicates veto the
+  /// rewrite (the hop changes their candidate-list ranks).
+  bool IsFusableAfterHop(AstId id, Axis* fused_axis) {
+    const AstNode& n = node(id);
+    if (n.kind != ExprKind::kStep) return false;
+    switch (n.axis) {
+      case Axis::kChild:
+      case Axis::kDescendant:
+        *fused_axis = Axis::kDescendant;
+        break;
+      case Axis::kDescendantOrSelf:
+        *fused_axis = Axis::kDescendantOrSelf;
+        break;
+      default:
+        return false;
+    }
+    for (AstId pred : n.children) {
+      if (DependsOnPosition(*tree_, pred)) return false;
+    }
+    return true;
+  }
+
+  void SimplifyPath(AstId id) {
+    const size_t step_begin = node(id).has_head ? 1 : 0;
+    std::vector<AstId> steps(node(id).children.begin() + step_begin,
+                             node(id).children.end());
+
+    // Dead tail: everything after a step with a constant-false predicate
+    // maps the empty frontier to itself.
+    for (size_t i = 0; i < steps.size(); ++i) {
+      const AstNode& step = node(steps[i]);
+      const bool dead = step.kind == ExprKind::kStep &&
+                        !step.children.empty() &&
+                        IsFalseLiteral(node(step.children.front()));
+      if (dead && i + 1 < steps.size()) {
+        if (stats_ != nullptr) {
+          stats_->pruned_after_false +=
+              static_cast<uint32_t>(steps.size() - i - 1);
+        }
+        changed_ = true;
+        steps.resize(i + 1);
+        break;
+      }
+    }
+
+    // Identity steps: predicate-free self::node() adds nothing; keep one
+    // step so the path stays well-formed.
+    {
+      std::vector<AstId> kept;
+      kept.reserve(steps.size());
+      size_t remaining = steps.size();
+      for (AstId s : steps) {
+        --remaining;  // steps still to be considered after this one
+        if (IsRedundantSelfStep(s) && kept.size() + remaining >= 1) {
+          if (stats_ != nullptr) ++stats_->removed_self_steps;
+          changed_ = true;
+          continue;
+        }
+        kept.push_back(s);
+      }
+      steps = std::move(kept);
+    }
+
+    // Descendant fusion, left to right; a fused step can itself absorb a
+    // following hop on the next pass (the fixpoint loop).
+    {
+      std::vector<AstId> fused;
+      fused.reserve(steps.size());
+      size_t i = 0;
+      while (i < steps.size()) {
+        Axis fused_axis;
+        if (i + 1 < steps.size() && IsBareDescendantOrSelfHop(steps[i]) &&
+            IsFusableAfterHop(steps[i + 1], &fused_axis)) {
+          node(steps[i + 1]).axis = fused_axis;
+          fused.push_back(steps[i + 1]);
+          if (stats_ != nullptr) ++stats_->fused_descendant_steps;
+          changed_ = true;
+          i += 2;
+          continue;
+        }
+        fused.push_back(steps[i]);
+        ++i;
+      }
+      steps = std::move(fused);
+    }
+
+    std::vector<AstId> children(node(id).children.begin(),
+                                node(id).children.begin() + step_begin);
+    children.insert(children.end(), steps.begin(), steps.end());
+    node(id).children = std::move(children);
+  }
+
+  QueryTree* tree_;
+  OptimizeStats* stats_;
+  bool changed_ = false;
+  uint32_t tightened_in_fold_ = 0;
+};
+
+}  // namespace
+
+void Optimize(QueryTree* tree, OptimizeStats* stats) {
+  Optimizer optimizer(tree, stats);
+  // Each round strictly shrinks the step/predicate structure or folds a
+  // subtree to a literal, so a fixpoint exists; the cap is a safety net.
+  for (int round = 0; round < 8; ++round) {
+    // Rewrites can clear a subtree's position/size dependence (see
+    // DependsOnPosition), so the position-free guards need fresh Relev
+    // bits each round — O(|Q|), dwarfed by the pass itself.
+    ComputeRelevance(tree);
+    if (!optimizer.RunPass()) break;
+  }
+}
+
+}  // namespace xpe::xpath

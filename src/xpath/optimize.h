@@ -1,0 +1,66 @@
+#ifndef XPE_XPATH_OPTIMIZE_H_
+#define XPE_XPATH_OPTIMIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/xpath/ast.h"
+
+namespace xpe::xpath {
+
+/// What the compile-time rewrite pipeline did to a query tree. Every
+/// counter is one rewrite rule, so a plan's transformation history is
+/// fully observable (CompiledQuery::optimize_stats(), shown by Explain)
+/// and differentially testable against an optimize=off compile of the
+/// same text.
+struct OptimizeStats {
+  /// `descendant-or-self::node()/child::t` (the normal form of `//t`)
+  /// and its descendant(-or-self) variants collapsed into the single
+  /// equivalent descendant-flavored step.
+  uint32_t fused_descendant_steps = 0;
+  /// Predicate-free `self::node()` steps removed from a path.
+  uint32_t removed_self_steps = 0;
+  /// Boolean subexpressions folded to a bare `true()`/`false()` call
+  /// (constant literals, boolean() of literals, not(), and/or with a
+  /// deciding constant operand, literal comparisons).
+  uint32_t folded_constants = 0;
+  /// `[true()]` predicates dropped from a step or filter.
+  uint32_t dropped_true_predicates = 0;
+  /// Steps dropped after (or predicates alongside) a constant-false
+  /// predicate: the frontier is empty from that step on, so the path's
+  /// tail is dead.
+  uint32_t pruned_after_false = 0;
+  /// Numeric-literal position predicates tightened: `position() = n`
+  /// with n outside {1, 2, ...} is constant-false, and `[position() = n]`
+  /// on the single-candidate self/parent axes decides to true (n = 1,
+  /// predicate dropped) or false (n >= 2).
+  uint32_t tightened_position_predicates = 0;
+
+  uint32_t total() const {
+    return fused_descendant_steps + removed_self_steps + folded_constants +
+           dropped_true_predicates + pruned_after_false +
+           tightened_position_predicates;
+  }
+
+  std::string ToString() const;
+};
+
+/// The compile-time rewrite pipeline (run by xpath::Compile between the
+/// relevance and fragment passes, gated by CompileOptions::optimize).
+/// Applies the semantics-preserving canonicalizations above to a
+/// fixpoint, for every result mode and engine — what used to be the
+/// engines' runtime `//t` fusion peephole, promoted to one place where
+/// the PlanCache's canonical keys also see it (`//t` and `/descendant::t`
+/// optimize to identical trees and therefore share one cached plan).
+///
+/// Requires Normalize to have run. Relevance is (re)computed internally
+/// before every pass — rewrites can clear a subtree's position/size
+/// dependence, and the fusion guard reads the Relev bits — but callers
+/// must still re-run ComputeRelevance / ClassifyFragments /
+/// AnnotateIndexEligibility afterwards: the final round's rewrites leave
+/// annotations stale by design.
+void Optimize(QueryTree* tree, OptimizeStats* stats = nullptr);
+
+}  // namespace xpe::xpath
+
+#endif  // XPE_XPATH_OPTIMIZE_H_

@@ -115,6 +115,31 @@ TEST_F(FunctionsTest, Translate) {
   EXPECT_EQ(Str("translate('--aaa--', 'abc-', 'ABC')"), "AAA");
 }
 
+TEST_F(FunctionsTest, StringOfNumberLocksSection42EdgeCases) {
+  // XPath 1.0 §4.2, audited end to end through string(number):
+  // both zeros print "0" — including the -0 results of rounding and
+  // multiplication, which naive sign propagation would print as "-0".
+  EXPECT_EQ(Str("string(0)"), "0");
+  EXPECT_EQ(Str("string(-0)"), "0");
+  EXPECT_EQ(Str("string(0 * -1)"), "0");
+  EXPECT_EQ(Str("string(round(-0.4))"), "0");  // round's [-0.5, 0) window
+  // The three specials use exactly these spellings.
+  EXPECT_EQ(Str("string(0 div 0)"), "NaN");
+  EXPECT_EQ(Str("string(1 div 0)"), "Infinity");
+  EXPECT_EQ(Str("string(-1 div 0)"), "-Infinity");
+  // Integer-valued doubles print without a decimal point, at any
+  // magnitude (the large ones exercise the exponent-expansion path).
+  EXPECT_EQ(Str("string(1.0)"), "1");
+  EXPECT_EQ(Str("string(-17)"), "-17");
+  EXPECT_EQ(Str("string(6 div 3)"), "2");
+  EXPECT_EQ(Str("string(100000000000000000000)"), "100000000000000000000");
+  // Non-integers print the shortest round-tripping decimal and never
+  // exponent notation, however small.
+  EXPECT_EQ(Str("string(0.5)"), "0.5");
+  EXPECT_EQ(Str("string(-0.5)"), "-0.5");
+  EXPECT_EQ(Str("string(1 div 10000000)"), "0.0000001");
+}
+
 // --- Boolean functions --------------------------------------------------------
 
 TEST_F(FunctionsTest, BooleanConversion) {

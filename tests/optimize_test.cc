@@ -1,0 +1,370 @@
+// The compile-time rewrite pipeline (src/xpath/optimize.h).
+//
+// Four layers of coverage:
+//  - rule unit tests: every rewrite pinned through the canonical
+//    rendering of the optimized tree, plus the OptimizeStats counters
+//    that make each rewrite observable;
+//  - the optimizer differential: optimized and optimize=off plans of
+//    one corpus must agree bit-for-bit across all six engines × index
+//    on/off × all five result modes — the optimizer may only ever
+//    change cost, never answers;
+//  - plan-cache canonicalization: `//t` and `/descendant::t` optimize
+//    to identical trees, so the PlanCache collapses them onto one
+//    cached plan object;
+//  - the budget parity regression (ISSUE 5 satellite): a tiny
+//    EvalOptions::budget must trip *every* engine — including the
+//    OPTMINCONTEXT bottom-up (Wadler) passes, which used to do all
+//    their work in the backward-propagation loop without charging.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/batch/plan_cache.h"
+#include "src/xml/generator.h"
+#include "tests/test_util.h"
+
+namespace xpe {
+namespace {
+
+using test::MustCompile;
+using test::MustParse;
+
+std::string OptimizedKey(std::string_view query) {
+  return MustCompile(query).canonical_key();
+}
+
+xpath::CompiledQuery CompileUnoptimized(std::string_view query) {
+  xpath::CompileOptions options;
+  options.optimize = false;
+  return MustCompile(query, options);
+}
+
+// --- rewrite rules, pinned through the canonical rendering -----------------
+
+TEST(OptimizeRuleTest, DescendantPairFusesForEverySpelling) {
+  EXPECT_EQ(OptimizedKey("//t"), "/descendant::t");
+  EXPECT_EQ(OptimizedKey("/descendant::t"), "/descendant::t");
+  EXPECT_EQ(OptimizedKey(".//t"), "descendant::t");
+  EXPECT_EQ(OptimizedKey("//t//u"), "/descendant::t/descendant::u");
+  EXPECT_EQ(OptimizedKey("//a/b"), "/descendant::a/child::b");
+  EXPECT_EQ(OptimizedKey("/descendant-or-self::node()/descendant::t"),
+            "/descendant::t");
+  EXPECT_EQ(OptimizedKey(
+                "/descendant-or-self::node()/descendant-or-self::node()/t"),
+            "/descendant::t");
+}
+
+TEST(OptimizeRuleTest, FusionCarriesPositionFreePredicates) {
+  EXPECT_EQ(OptimizedKey("//t[u]"), "/descendant::t[boolean(child::u)]");
+  // A predicate whose position dependence folds away mid-pass becomes
+  // fusable on the next round (the Relev bits are refreshed per pass).
+  EXPECT_EQ(OptimizedKey("//t[b or position() = 0]"),
+            "/descendant::t[(boolean(child::b) or false())]");
+  // Positional predicates veto the fusion: the hop changes their
+  // candidate-list ranks, so the pair must stay.
+  EXPECT_EQ(OptimizedKey("//t[1]"),
+            "/descendant-or-self::node()/child::t[(position() = 1)]");
+  EXPECT_EQ(OptimizedKey("//t[last()]"),
+            "/descendant-or-self::node()/child::t[(position() = last())]");
+}
+
+TEST(OptimizeRuleTest, FusionDoesNotCrossOtherAxes) {
+  EXPECT_EQ(OptimizedKey("//t/parent::u"),
+            "/descendant::t/parent::u");
+  EXPECT_EQ(OptimizedKey("/descendant-or-self::node()/following::t"),
+            "/descendant-or-self::node()/following::t");
+  // A predicate on the hop itself blocks the fusion too.
+  EXPECT_EQ(OptimizedKey("/descendant-or-self::node()[u]/child::t"),
+            "/descendant-or-self::node()[boolean(child::u)]/child::t");
+}
+
+TEST(OptimizeRuleTest, RedundantSelfStepsCollapse) {
+  EXPECT_EQ(OptimizedKey("./a"), "child::a");
+  EXPECT_EQ(OptimizedKey("a/./b"), "child::a/child::b");
+  EXPECT_EQ(OptimizedKey("/a/."), "/child::a");
+  // The last step standing survives: a path needs at least one.
+  EXPECT_EQ(OptimizedKey("."), "self::node()");
+  EXPECT_EQ(OptimizedKey("./."), "self::node()");
+}
+
+TEST(OptimizeRuleTest, ConstantPredicatesSimplify) {
+  EXPECT_EQ(OptimizedKey("a[true()]"), "child::a");
+  EXPECT_EQ(OptimizedKey("a['x']"), "child::a");       // boolean('x') = true
+  EXPECT_EQ(OptimizedKey("a[2 > 1]"), "child::a");
+  EXPECT_EQ(OptimizedKey("a[false()]"), "child::a[false()]");
+  EXPECT_EQ(OptimizedKey("a['']"), "child::a[false()]");
+  // Everything after a constant-false step is dead code.
+  EXPECT_EQ(OptimizedKey("a[false()]/b/c"), "child::a[false()]");
+  // A false predicate swallows its siblings: the step selects nothing.
+  EXPECT_EQ(OptimizedKey("a[b][false()]"), "child::a[false()]");
+}
+
+TEST(OptimizeRuleTest, ImpossiblePositionsTightenToFalse) {
+  EXPECT_EQ(OptimizedKey("a[0]"), "child::a[false()]");
+  EXPECT_EQ(OptimizedKey("a[1.5]"), "child::a[false()]");
+  EXPECT_EQ(OptimizedKey("a[-2]"), "child::a[false()]");
+  // Plausible positions stay.
+  EXPECT_EQ(OptimizedKey("a[2]"), "child::a[(position() = 2)]");
+}
+
+TEST(OptimizeRuleTest, SingleCandidateAxesDropVacuousPositions) {
+  // self/parent candidate lists hold at most one node: position() = 1
+  // is vacuous there and position() = 2 impossible.
+  EXPECT_EQ(OptimizedKey("a/parent::b[1]"), "child::a/parent::b");
+  EXPECT_EQ(OptimizedKey("a/parent::b[2]"), "child::a/parent::b[false()]");
+  EXPECT_EQ(OptimizedKey("self::a[1]"), "self::a");
+  // child knows no such bound.
+  EXPECT_EQ(OptimizedKey("a/b[1]"), "child::a/child::b[(position() = 1)]");
+}
+
+TEST(OptimizeRuleTest, BooleanConstantsFold) {
+  EXPECT_EQ(OptimizedKey("true() and false()"), "false()");
+  EXPECT_EQ(OptimizedKey("true() or false()"), "true()");
+  EXPECT_EQ(OptimizedKey("not(false())"), "true()");
+  EXPECT_EQ(OptimizedKey("1 < 2"), "true()");
+  EXPECT_EQ(OptimizedKey("'a' = 'b'"), "false()");
+  // A deciding constant operand settles and/or without the other side.
+  EXPECT_EQ(OptimizedKey("a[b and false()]"), "child::a[false()]");
+  EXPECT_EQ(OptimizedKey("a[b or true()]"), "child::a");
+  // No deciding constant: the expression stays.
+  EXPECT_EQ(OptimizedKey("a[b or false()]"),
+            "child::a[(boolean(child::b) or false())]");
+}
+
+TEST(OptimizeRuleTest, StatsRecordEveryRewrite) {
+  const xpath::CompiledQuery fused = MustCompile("//t//u");
+  EXPECT_EQ(fused.optimize_stats().fused_descendant_steps, 2u);
+  EXPECT_EQ(fused.optimize_stats().total(), 2u);
+
+  const xpath::CompiledQuery mixed = MustCompile("./a[true()]//b[0]");
+  EXPECT_EQ(mixed.optimize_stats().removed_self_steps, 1u);
+  EXPECT_EQ(mixed.optimize_stats().dropped_true_predicates, 1u);
+  EXPECT_GE(mixed.optimize_stats().folded_constants, 1u);
+  EXPECT_EQ(mixed.optimize_stats().tightened_position_predicates, 1u);
+  // [0] is constant-false, so the fused trailing step keeps it and the
+  // fusion still applies (the predicate is position-free once folded).
+  EXPECT_EQ(mixed.canonical_key(), "child::a/descendant::b[false()]");
+
+  const xpath::CompiledQuery untouched = CompileUnoptimized("//t");
+  EXPECT_EQ(untouched.optimize_stats().total(), 0u);
+  EXPECT_EQ(untouched.canonical_key(),
+            "/descendant-or-self::node()/child::t");
+}
+
+TEST(OptimizeRuleTest, OptimizerIsIdempotentOnItsOwnOutput) {
+  for (const char* query :
+       {"//t", "//t//u", "//a[x]//x", "./a[true()]//b[0]", "a[false()]/b",
+        "//t[b or position() = 0]"}) {
+    const std::string once = OptimizedKey(query);
+    EXPECT_EQ(OptimizedKey(once), once) << query;
+  }
+}
+
+TEST(OptimizeRuleTest, ExplainSurfacesTheRewrites) {
+  const xpath::CompiledQuery compiled = MustCompile("//t");
+  EXPECT_NE(xpath::Explain(compiled).find("optimizer:"), std::string::npos);
+  EXPECT_NE(xpath::Explain(compiled).find("fused=1"), std::string::npos);
+}
+
+// --- the optimizer differential --------------------------------------------
+
+/// Queries chosen so every rewrite rule fires somewhere, over documents
+/// random enough to expose a semantics change: fusions (trailing,
+/// leading, chained, predicated), self steps, constant predicates,
+/// impossible positions, positional vetoes, unions, filters.
+const char* kOptimizerCorpus[] = {
+    "//a",
+    "//a/b",
+    "//a//b",
+    "//a[b]//c",
+    "//a[1]",
+    "//b[last()]",
+    ".//b",
+    "./a/./b",
+    "//a[true()]",
+    "//a[false()]",
+    "//a[false()]/b",
+    "//a[0]",
+    "//a[2]",
+    "//b/parent::a[1]",
+    "//a[b and false()]",
+    "//a[b or true()]",
+    "//a[.//c]//b",
+    "//a | .//b",
+    "(//a//b)[2]",
+    "//a[count(.//b) > 1]//c",
+};
+
+/// Scalar-typed spellings (compared through the rendered Value).
+const char* kScalarCorpus[] = {
+    "boolean(//a)",
+    "count(//a//b)",
+    "string(//a[b]//c)",
+    "true() and boolean(//b)",
+    "count(//a[false()])",
+};
+
+class OptimizerDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerDifferentialTest, OptimizedPlansMatchUnoptimizedPlans) {
+  xml::Document doc =
+      xml::MakeRandomDocument(60, {"a", "b", "c"}, GetParam());
+  for (const char* query : kOptimizerCorpus) {
+    const xpath::CompiledQuery optimized = MustCompile(query);
+    const xpath::CompiledQuery unoptimized = CompileUnoptimized(query);
+    std::vector<EngineKind> engines = {
+        EngineKind::kNaive,      EngineKind::kBottomUp,
+        EngineKind::kTopDown,    EngineKind::kMinContext,
+        EngineKind::kOptMinContext};
+    // kCoreXPath accepts a query iff its (per-plan) fragment is Core
+    // XPath; the optimizer can only widen the fragment (e.g. by folding
+    // away a non-core predicate), so gate on the narrower plan.
+    if (optimized.fragment() == xpath::Fragment::kCoreXPath &&
+        unoptimized.fragment() == xpath::Fragment::kCoreXPath) {
+      engines.push_back(EngineKind::kCoreXPath);
+    }
+    for (EngineKind engine : engines) {
+      for (bool use_index : {false, true}) {
+        EvalOptions opts;
+        opts.engine = engine;
+        opts.use_index = use_index;
+        const std::string label =
+            std::string(query) + " on " + EngineKindToString(engine) +
+            (use_index ? " +index" : " -index") + " seed " +
+            std::to_string(GetParam());
+
+        StatusOr<NodeSet> want = EvaluateNodeSet(unoptimized, doc, {}, opts);
+        ASSERT_TRUE(want.ok()) << label << ": " << want.status().ToString();
+        StatusOr<NodeSet> got = EvaluateNodeSet(optimized, doc, {}, opts);
+        ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
+        EXPECT_EQ(*got, *want) << label;
+
+        auto eval_mode = [&](const xpath::CompiledQuery& plan,
+                             ResultMode mode, uint64_t limit) {
+          EvalOptions mode_opts = opts;
+          mode_opts.result.mode = mode;
+          mode_opts.result.limit = limit;
+          StatusOr<Value> v = Evaluate(plan, doc, {}, mode_opts);
+          EXPECT_TRUE(v.ok()) << label << ": " << v.status().ToString();
+          return std::move(v).value();
+        };
+        EXPECT_EQ(eval_mode(optimized, ResultMode::kExists, 0).boolean(),
+                  eval_mode(unoptimized, ResultMode::kExists, 0).boolean())
+            << label;
+        EXPECT_EQ(eval_mode(optimized, ResultMode::kCount, 0).number(),
+                  eval_mode(unoptimized, ResultMode::kCount, 0).number())
+            << label;
+        EXPECT_EQ(eval_mode(optimized, ResultMode::kFirst, 0).node_set(),
+                  eval_mode(unoptimized, ResultMode::kFirst, 0).node_set())
+            << label;
+        for (uint64_t limit : {1u, 3u}) {
+          EXPECT_EQ(
+              eval_mode(optimized, ResultMode::kLimit, limit).node_set(),
+              eval_mode(unoptimized, ResultMode::kLimit, limit).node_set())
+              << label << " limit " << limit;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OptimizerDifferentialTest, ScalarQueriesMatchToo) {
+  xml::Document doc =
+      xml::MakeRandomDocument(60, {"a", "b", "c"}, GetParam());
+  for (const char* query : kScalarCorpus) {
+    const xpath::CompiledQuery optimized = MustCompile(query);
+    const xpath::CompiledQuery unoptimized = CompileUnoptimized(query);
+    for (EngineKind engine : test::ConformanceEngines()) {
+      for (bool use_index : {false, true}) {
+        EvalOptions opts;
+        opts.engine = engine;
+        opts.use_index = use_index;
+        const std::string label =
+            std::string(query) + " on " + EngineKindToString(engine) +
+            (use_index ? " +index" : " -index");
+        StatusOr<Value> want = Evaluate(unoptimized, doc, {}, opts);
+        StatusOr<Value> got = Evaluate(optimized, doc, {}, opts);
+        ASSERT_TRUE(want.ok() && got.ok()) << label;
+        EXPECT_EQ(got->type(), want->type()) << label;
+        EXPECT_EQ(got->ToString(doc), want->ToString(doc)) << label;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerDifferentialTest,
+                         testing::Range<uint64_t>(1, 4));
+
+// --- plan-cache canonicalization -------------------------------------------
+
+TEST(OptimizePlanCacheTest, EquivalentSpellingsShareOneCachedPlan) {
+  batch::PlanCache cache(8);
+  batch::SharedPlan abbreviated = *cache.GetOrCompile("//t");
+  batch::SharedPlan explicit_descendant = *cache.GetOrCompile("/descendant::t");
+  batch::SharedPlan unabbreviated =
+      *cache.GetOrCompile("/descendant-or-self::node()/child::t");
+  EXPECT_EQ(abbreviated.get(), explicit_descendant.get())
+      << "//t and /descendant::t must dedup onto one plan";
+  EXPECT_EQ(abbreviated.get(), unabbreviated.get());
+  const batch::PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u) << "three source aliases";
+  EXPECT_EQ(stats.canonical_shares, 2u) << "two spellings adopted plan #1";
+}
+
+TEST(OptimizePlanCacheTest, GetOrCompileQueryServesTheSharedPlan) {
+  batch::PlanCache cache(8);
+  Query spelled = *cache.GetOrCompileQuery("//t");
+  Query canonical = *cache.GetOrCompileQuery("/descendant::t");
+  EXPECT_EQ(spelled.shared_plan().get(), canonical.shared_plan().get());
+  xml::Document doc = MustParse("<r><t/><u><t/></u></r>");
+  EXPECT_EQ(*spelled.Count(doc), 2u);
+  EXPECT_EQ(*canonical.Count(doc), 2u);
+}
+
+// --- budget parity across all engines (ISSUE 5 satellite) ------------------
+
+TEST(BudgetParityTest, TinyBudgetTripsEveryEngine) {
+  // Large enough that every engine's cheapest accounted pass exceeds
+  // one unit. The per-engine query keeps each engine on its natural
+  // path: kCoreXPath takes the linear path evaluator, kOptMinContext
+  // the bottom-up (Wadler) backward propagation that used to skip
+  // budget accounting entirely, the rest their table-filling loops.
+  xml::Document doc =
+      xml::MakeRandomDocument(90, {"a", "b"}, /*seed=*/7);
+  for (EngineKind engine : AllEngines()) {
+    // The fused plan of a bare //a is one step from one frontier node —
+    // a single budget unit — so the linear engine gets a two-step path.
+    const char* query =
+        engine == EngineKind::kCoreXPath ? "//a//b" : "boolean(//a)";
+    EvalOptions options;
+    options.engine = engine;
+    options.budget = 1;
+    StatusOr<Value> v =
+        Evaluate(MustCompile(query), doc, EvalContext{}, options);
+    ASSERT_FALSE(v.ok()) << EngineKindToString(engine)
+                         << " ignored EvalOptions::budget";
+    EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted)
+        << EngineKindToString(engine);
+  }
+}
+
+TEST(BudgetParityTest, GenerousBudgetPassesEveryEngine) {
+  xml::Document doc = xml::MakeRandomDocument(90, {"a", "b"}, /*seed=*/7);
+  for (EngineKind engine : AllEngines()) {
+    const char* query =
+        engine == EngineKind::kCoreXPath ? "//a//b" : "boolean(//a)";
+    EvalOptions options;
+    options.engine = engine;
+    // Roomy even for E↑'s |D|³-row tables on this document.
+    options.budget = 1'000'000'000'000;
+    EXPECT_TRUE(
+        Evaluate(MustCompile(query), doc, EvalContext{}, options).ok())
+        << EngineKindToString(engine);
+  }
+}
+
+}  // namespace
+}  // namespace xpe

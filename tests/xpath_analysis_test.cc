@@ -14,8 +14,10 @@ namespace {
 
 using test::MustCompile;
 
-std::string Normalized(std::string_view query,
-                       const CompileOptions& options = {}) {
+std::string Normalized(std::string_view query, CompileOptions options = {}) {
+  // These tests pin the *normal form*; the optimizer's rewrites on top
+  // of it are pinned separately in optimize_test.cc.
+  options.optimize = false;
   return MustCompile(query, options).tree().ToString();
 }
 
