@@ -1,0 +1,183 @@
+// What observability costs: the same full-mode queries evaluated three
+// ways — "floor" (no sinks at all), "disabled" (an EvalStats sink
+// attached, profiling off: the standard serving shape), and "enabled"
+// (EvalStats + a QueryProfile sink recording per-step rows).
+//
+// The disabled path is the one that matters: every query a server runs
+// pays it, and it is designed to be a null-pointer check per step — so
+// --smoke gates it at <=5% over the floor (plus a few microseconds of
+// grace for timer noise; the check is interleaved min-of-N, so a noisy
+// runner has N chances to show the true cost). The enabled path times
+// every step kernel call, so it is allowed real overhead, gated at
+// <=2x the disabled path. --json PATH writes the rows for the uploaded
+// perf-trajectory artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace xpe::bench {
+namespace {
+
+/// One timed full-mode evaluation, in microseconds; aborts on error.
+double EvalOnceUs(const xpath::CompiledQuery& q, const xml::Document& doc,
+                  const EvalOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<Value> v = Evaluate(q, doc, EvalContext{}, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!v.ok()) {
+    fprintf(stderr, "eval(%s): %s\n", q.source().c_str(),
+            v.status().ToString().c_str());
+    std::abort();
+  }
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct ObsRow {
+  std::string query;
+  int nodes = 0;
+  double floor_us = 0;     // no sinks
+  double disabled_us = 0;  // stats sink, no profile (serving shape)
+  double enabled_us = 0;   // stats + per-step profiler
+  uint64_t step_rows = 0;  // profiler rows the enabled run produced
+};
+
+int RunBench(bool smoke, const char* json_path) {
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{50'000} : std::vector<int>{20'000, 200'000};
+  const int rounds = smoke ? 15 : 7;
+  const char* kQueries[] = {
+      "//x",        // one fused step: the per-step overhead, undiluted
+      "//a/x",      // two steps over a broad frontier
+      "//a[x]//x",  // predicate + two descendant steps
+  };
+
+  printf("%8s %12s %10s %12s %11s %10s %10s\n", "nodes", "query", "floor_us",
+         "disabled_us", "enabled_us", "dis/floor", "en/dis");
+  std::vector<ObsRow> rows;
+  bool smoke_ok = true;
+  for (int n : sizes) {
+    xml::Document doc =
+        xml::MakeRandomDocument(n, DilutedLabels(99), /*seed=*/4242);
+    doc.WarmCaches();  // index builds are shared setup, not sink cost
+    for (const char* text : kQueries) {
+      const xpath::CompiledQuery q = MustCompile(text);
+
+      EvalOptions floor_opts;
+      EvalStats stats;
+      EvalOptions disabled_opts;
+      disabled_opts.stats = &stats;
+      obs::QueryProfile profile;
+      EvalOptions enabled_opts;
+      enabled_opts.stats = &stats;
+      enabled_opts.profile = &profile;
+
+      // The three configurations must agree on the answer before their
+      // timings mean anything.
+      const std::string floor_repr =
+          Evaluate(q, doc, {}, floor_opts)->Repr();
+      const std::string enabled_repr =
+          Evaluate(q, doc, {}, enabled_opts)->Repr();
+      if (floor_repr != enabled_repr) {
+        fprintf(stderr, "FAIL: %s: profiling changed the result\n", text);
+        return 1;
+      }
+
+      // Interleaved min-of-N: each round times each configuration once,
+      // so drift (thermal, scheduler) hits all three alike, and the min
+      // is each configuration's least-disturbed run.
+      ObsRow row;
+      row.query = text;
+      row.nodes = doc.size();
+      row.floor_us = row.disabled_us = row.enabled_us = 1e300;
+      for (int r = 0; r < rounds; ++r) {
+        row.floor_us = std::min(row.floor_us, EvalOnceUs(q, doc, floor_opts));
+        stats = EvalStats{};
+        row.disabled_us =
+            std::min(row.disabled_us, EvalOnceUs(q, doc, disabled_opts));
+        stats = EvalStats{};
+        profile.Clear();
+        row.enabled_us =
+            std::min(row.enabled_us, EvalOnceUs(q, doc, enabled_opts));
+      }
+      row.step_rows = profile.steps().size();
+
+      printf("%8d %12s %10.1f %12.1f %11.1f %9.2fx %9.2fx\n", doc.size(),
+             text, row.floor_us, row.disabled_us, row.enabled_us,
+             row.disabled_us / row.floor_us, row.enabled_us / row.disabled_us);
+      rows.push_back(row);
+
+      if (smoke && std::strcmp(text, "//x") == 0) {
+        if (row.step_rows == 0) {
+          fprintf(stderr, "SMOKE FAIL: enabled //x produced no step rows\n");
+          smoke_ok = false;
+        }
+        // Grace term: at these scales a single timer quantum or cache
+        // eviction is a few us; the ratio gate alone would turn that
+        // into flakes on sub-ms evals.
+        if (row.disabled_us > row.floor_us * 1.05 + 5.0) {
+          fprintf(stderr,
+                  "SMOKE FAIL: stats-only //x %.1fus exceeds 5%% over the "
+                  "no-sink floor %.1fus\n",
+                  row.disabled_us, row.floor_us);
+          smoke_ok = false;
+        }
+        if (row.enabled_us > row.disabled_us * 2.0 + 5.0) {
+          fprintf(stderr,
+                  "SMOKE FAIL: profiled //x %.1fus exceeds 2x the "
+                  "stats-only run %.1fus\n",
+                  row.enabled_us, row.disabled_us);
+          smoke_ok = false;
+        }
+      }
+    }
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"bench_obs\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ObsRow& r = rows[i];
+      fprintf(f,
+              "    {\"query\": \"%s\", \"nodes\": %d, \"floor_us\": %.1f, "
+              "\"disabled_us\": %.1f, \"enabled_us\": %.1f, "
+              "\"step_rows\": %llu}%s\n",
+              r.query.c_str(), r.nodes, r.floor_us, r.disabled_us,
+              r.enabled_us, static_cast<unsigned long long>(r.step_rows),
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("wrote %s\n", json_path);
+  }
+
+  if (smoke && !smoke_ok) return 1;
+  if (smoke) {
+    printf("smoke OK: stats-only evaluation within 5%% of the no-sink "
+           "floor; per-step profiling within 2x of stats-only\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return xpe::bench::RunBench(smoke, json_path);
+}

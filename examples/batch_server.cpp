@@ -3,6 +3,11 @@
 // shared read-only documents, request batches fanned out concurrently
 // with results returned in request order.
 //
+// Observability comes from obs::Registry: the pool, its plan cache and
+// its worker sessions publish counters and latency histograms into one
+// registry, and the exporters render what a real service would put
+// behind /metrics.json (obs::ToJson) or /metrics (ToPrometheusText).
+//
 //   ./build/batch_server [workers]
 
 #include <cstdio>
@@ -27,8 +32,12 @@ int main(int argc, char** argv) {
 
   // One pool for the process. Worker count defaults to the hardware;
   // each worker owns one Evaluator session, and all workers share one
-  // PlanCache, so a repeated query is compiled exactly once.
+  // PlanCache, so a repeated query is compiled exactly once. A private
+  // registry keeps this demo's numbers self-contained; a service would
+  // usually omit the field and publish into obs::Registry::Global().
+  obs::Registry metrics;
   batch::BatchOptions options;
+  options.registry = &metrics;
   if (argc > 1) options.workers = std::atoi(argv[1]);
   batch::BatchEvaluator server(options);
   printf("serving with %d worker(s)\n\n", server.workers());
@@ -60,22 +69,14 @@ int main(int argc, char** argv) {
   }
 
   const batch::BatchStats& stats = server.last_batch_stats();
-  printf("\nbatch: %llu items, %llu errors, plan cache %llu hits / %llu "
-         "misses\n",
+  printf("\nbatch: %llu items, %llu errors (per-batch EvalStats: %s)\n",
          static_cast<unsigned long long>(stats.items),
          static_cast<unsigned long long>(stats.errors),
-         static_cast<unsigned long long>(stats.plan_cache_hits),
-         static_cast<unsigned long long>(stats.plan_cache_misses));
-  printf("eval: %llu contexts, %llu indexed steps, peak %llu table cells\n",
-         static_cast<unsigned long long>(stats.eval.contexts_evaluated),
-         static_cast<unsigned long long>(stats.eval.indexed_steps),
-         static_cast<unsigned long long>(stats.eval.cells_peak));
+         stats.eval.ToString().c_str());
 
-  const batch::PlanCache::Stats cache = server.plan_cache().stats();
-  printf("cache: %zu entries, %llu hits, %llu misses, %llu canonical "
-         "shares\n",
-         cache.entries, static_cast<unsigned long long>(cache.hits),
-         static_cast<unsigned long long>(cache.misses),
-         static_cast<unsigned long long>(cache.canonical_shares));
+  // Everything the serve tier recorded — batch latency/queue-wait/
+  // utilization histograms, plan-cache counters and compile times,
+  // per-session eval metrics — in one deterministic JSON snapshot.
+  printf("\n/metrics.json:\n%s", obs::ToJson(metrics).c_str());
   return 0;
 }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/clock.h"
 
 namespace xpe::batch {
 
@@ -17,6 +21,7 @@ void MergeEvalStats(EvalStats* agg, const EvalStats& s) {
   agg->contexts_evaluated += s.contexts_evaluated;
   agg->axis_evals += s.axis_evals;
   agg->indexed_steps += s.indexed_steps;
+  agg->nodes_visited += s.nodes_visited;
   agg->arena_bytes_peak = std::max(agg->arena_bytes_peak, s.arena_bytes_peak);
 }
 
@@ -37,19 +42,43 @@ struct BatchEvaluator::Batch {
   const std::vector<BatchItem>* items = nullptr;
   std::vector<BatchResult>* results = nullptr;
   std::atomic<size_t> next{0};
+  uint64_t submit_ns = 0;  // set before workers are woken; read-only after
   int active_workers = 0;  // guarded by BatchEvaluator::mu_
   BatchStats stats;        // guarded by BatchEvaluator::mu_
 };
 
 BatchEvaluator::BatchEvaluator(const BatchOptions& options)
     : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::Registry::Global()),
       cache_(std::make_unique<PlanCache>(options.plan_cache_capacity,
-                                         options.compile)) {
+                                         options.compile, registry_)) {
+  // One sink written by every worker is a data race by construction;
+  // refusing loudly beats silently dropping the caller's sink (which is
+  // what this code used to do). Aggregated counters are in
+  // last_batch_stats() and the registry.
+  if (options.eval.stats != nullptr || options.eval.profile != nullptr) {
+    fprintf(stderr,
+            "xpe::batch::BatchOptions::eval carries a %s sink: one sink "
+            "shared by every worker thread is a data race. Use "
+            "last_batch_stats() / BatchOptions::registry for aggregated "
+            "counters.\n",
+            options.eval.stats != nullptr ? "stats" : "profile");
+    fflush(stderr);
+    std::abort();
+  }
+  items_total_ = registry_->GetCounter("xpe_batch_items_total");
+  errors_total_ = registry_->GetCounter("xpe_batch_errors_total");
+  item_latency_us_ = registry_->GetHistogram("xpe_batch_item_latency_us");
+  queue_wait_us_ = registry_->GetHistogram("xpe_batch_queue_wait_us");
+  worker_utilization_pct_ =
+      registry_->GetHistogram("xpe_batch_worker_utilization_pct");
   const int n = ResolveWorkerCount(options.workers);
   sessions_.reserve(n);
   threads_.reserve(n);
   for (int i = 0; i < n; ++i) {
     sessions_.push_back(std::make_unique<Evaluator>());
+    sessions_.back()->AttachMetrics(registry_);
   }
   for (int i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
@@ -89,6 +118,7 @@ std::vector<BatchResult> BatchEvaluator::EvaluateAll(
   Batch batch;
   batch.items = &items;
   batch.results = &results;
+  batch.submit_ns = obs::MonotonicNanos();
   batch.active_workers = workers();
 
   {
@@ -125,12 +155,17 @@ void BatchEvaluator::WorkerLoop(int worker_index) {
 
     // Thread-local accumulation; merged once under the lock below.
     BatchStats local;
+    uint64_t busy_ns = 0;
     for (;;) {
       const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch->items->size()) break;
       const BatchItem& item = (*batch->items)[i];
       BatchResult& out = (*batch->results)[i];
       ++local.items;
+      // Queue wait: submit-to-claim. Under a full pool this is the
+      // scheduling backlog an arriving item sees.
+      const uint64_t claim_ns = obs::MonotonicNanos();
+      queue_wait_us_->Record((claim_ns - batch->submit_ns) / 1000);
 
       if (item.doc == nullptr) {
         out.value = Status::InvalidArgument("BatchItem::doc is null");
@@ -147,6 +182,9 @@ void BatchEvaluator::WorkerLoop(int worker_index) {
       if (!plan.ok()) {
         out.value = plan.status();
         ++local.errors;
+        const uint64_t done_ns = obs::MonotonicNanos();
+        item_latency_us_->Record((done_ns - claim_ns) / 1000);
+        busy_ns += done_ns - claim_ns;
         continue;
       }
 
@@ -155,7 +193,20 @@ void BatchEvaluator::WorkerLoop(int worker_index) {
       opts.result = item.result;  // per-item result shape (BatchItem)
       out.value = session.Evaluate(**plan, *item.doc, item.context, opts);
       if (!out.value.ok()) ++local.errors;
+      const uint64_t done_ns = obs::MonotonicNanos();
+      item_latency_us_->Record((done_ns - claim_ns) / 1000);
+      busy_ns += done_ns - claim_ns;
     }
+    // Utilization over this batch: item work as a share of the worker's
+    // submit-to-drain wall time (a starved worker in a skewed batch
+    // shows up as a low bucket here).
+    if (local.items > 0) {
+      const uint64_t elapsed_ns = obs::MonotonicNanos() - batch->submit_ns;
+      worker_utilization_pct_->Record(
+          elapsed_ns == 0 ? 100 : busy_ns * 100 / elapsed_ns);
+    }
+    items_total_->Add(local.items);
+    errors_total_->Add(local.errors);
 
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -14,6 +14,7 @@
 #include "src/core/evaluator.h"
 #include "src/core/stats.h"
 #include "src/core/value.h"
+#include "src/obs/metrics.h"
 
 namespace xpe::batch {
 
@@ -58,10 +59,12 @@ struct BatchStats {
 struct BatchOptions {
   /// Worker threads. 0 = std::thread::hardware_concurrency() (min 1).
   int workers = 0;
-  /// Engine/index/budget options applied to every item. The stats sink
-  /// is ignored — per-batch stats are aggregated internally (a shared
-  /// sink would be a data race by construction) — and the result spec
-  /// is overridden per item by BatchItem::result.
+  /// Engine/index/budget options applied to every item. The stats and
+  /// profile sinks must be null: a single sink shared by every worker
+  /// would be a data race by construction, so the constructor aborts
+  /// loudly instead of silently dropping the caller's sink — per-batch
+  /// stats are aggregated race-free into BatchStats and the registry.
+  /// The result spec is overridden per item by BatchItem::result.
   EvalOptions eval;
   /// Bound on distinct cached plans (LRU beyond it).
   size_t plan_cache_capacity = 1024;
@@ -72,6 +75,12 @@ struct BatchOptions {
   /// First-touch under contention is safe either way; warming keeps the
   /// O(|D|) builds out of measured query latency.
   bool warm_documents = true;
+  /// Where the pool publishes its serve-tier metrics — per-item latency
+  /// and queue-wait histograms, per-worker utilization, item/error
+  /// counters — and where its PlanCache and worker sessions publish
+  /// theirs. Null means the process-wide obs::Registry::Global(). Must
+  /// outlive the BatchEvaluator.
+  obs::Registry* registry = nullptr;
 };
 
 /// Inter-query parallel evaluation: a fixed pool of worker threads, one
@@ -119,7 +128,15 @@ class BatchEvaluator {
   void WorkerLoop(int worker_index);
 
   const BatchOptions options_;
+  obs::Registry* registry_;  // resolved in the constructor, never null
   std::unique_ptr<PlanCache> cache_;
+
+  // Serve-tier metrics, resolved once at construction.
+  obs::Counter* items_total_;
+  obs::Counter* errors_total_;
+  obs::Histogram* item_latency_us_;
+  obs::Histogram* queue_wait_us_;
+  obs::Histogram* worker_utilization_pct_;
 
   // One session per worker, created up front and only ever touched by
   // that worker (index-matched to threads_).

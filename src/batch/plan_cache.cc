@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/clock.h"
+
 namespace xpe::batch {
 
 SharedPlan PlanCache::Lookup(std::string_view query) {
@@ -9,9 +11,11 @@ SharedPlan PlanCache::Lookup(std::string_view query) {
   auto it = by_source_.find(query);
   if (it == by_source_.end()) {
     ++stats_.misses;
+    misses_metric_->Increment();
     return nullptr;
   }
   ++stats_.hits;
+  hits_metric_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
   return it->second->plan;
 }
@@ -24,20 +28,25 @@ StatusOr<SharedPlan> PlanCache::GetOrCompile(std::string_view query,
     auto it = by_source_.find(query);
     if (it != by_source_.end()) {
       ++stats_.hits;
+      hits_metric_->Increment();
       lru_.splice(lru_.begin(), lru_, it->second);
       if (cache_hit != nullptr) *cache_hit = true;
       return it->second->plan;
     }
     ++stats_.misses;
+    misses_metric_->Increment();
   }
 
   // Compile outside the lock: parsing a pathological query must not
   // stall every other thread's cache hit.
+  const uint64_t compile_t0 = obs::MonotonicNanos();
   StatusOr<xpath::CompiledQuery> compiled =
       xpath::Compile(query, compile_options_);
+  compile_us_metric_->Record((obs::MonotonicNanos() - compile_t0) / 1000);
   if (!compiled.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.failures;
+    failures_metric_->Increment();
     return compiled.status();
   }
   auto plan =
@@ -62,6 +71,7 @@ SharedPlan PlanCache::InsertLocked(std::string_view source, SharedPlan plan) {
   if (canon != by_canonical_.end()) {
     if (SharedPlan existing = canon->second.lock()) {
       ++stats_.canonical_shares;
+      canonical_shares_metric_->Increment();
       plan = std::move(existing);
     } else {
       canon->second = plan;  // expired: re-publish ours
@@ -85,6 +95,7 @@ SharedPlan PlanCache::InsertLocked(std::string_view source, SharedPlan plan) {
       by_canonical_.erase(vc);
     }
     ++stats_.evictions;
+    evictions_metric_->Increment();
   }
   // The canonical level must stay bounded too: an evicted plan kept
   // alive by an in-flight holder leaves a live weak entry behind, and

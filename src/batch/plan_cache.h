@@ -11,6 +11,7 @@
 
 #include "src/common/status.h"
 #include "src/core/query.h"
+#include "src/obs/metrics.h"
 #include "src/xpath/compile.h"
 
 namespace xpe::batch {
@@ -58,10 +59,27 @@ class PlanCache {
     size_t canonical_entries = 0;  // dedup-level entries (bounded: see .cc)
   };
 
+  /// `registry` is where the cache publishes its metrics
+  /// (xpe_plan_cache_{hits,misses,evictions,canonical_shares,failures}
+  /// _total counters and the xpe_plan_cache_compile_us histogram);
+  /// defaults to the process-wide obs::Registry::Global(). The counters
+  /// mirror stats() — stats() stays the exact per-cache view, the
+  /// registry aggregates across caches for the exporters.
   explicit PlanCache(size_t capacity = 1024,
-                     xpath::CompileOptions compile_options = {})
+                     xpath::CompileOptions compile_options = {},
+                     obs::Registry* registry = nullptr)
       : capacity_(capacity == 0 ? 1 : capacity),
-        compile_options_(std::move(compile_options)) {}
+        compile_options_(std::move(compile_options)) {
+    obs::Registry& r =
+        registry != nullptr ? *registry : obs::Registry::Global();
+    hits_metric_ = r.GetCounter("xpe_plan_cache_hits_total");
+    misses_metric_ = r.GetCounter("xpe_plan_cache_misses_total");
+    evictions_metric_ = r.GetCounter("xpe_plan_cache_evictions_total");
+    canonical_shares_metric_ =
+        r.GetCounter("xpe_plan_cache_canonical_shares_total");
+    failures_metric_ = r.GetCounter("xpe_plan_cache_failures_total");
+    compile_us_metric_ = r.GetHistogram("xpe_plan_cache_compile_us");
+  }
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -122,6 +140,14 @@ class PlanCache {
 
   const size_t capacity_;
   const xpath::CompileOptions compile_options_;
+
+  // Registry metrics, resolved once at construction (never null).
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Counter* canonical_shares_metric_;
+  obs::Counter* failures_metric_;
+  obs::Histogram* compile_us_metric_;
 
   mutable std::mutex mu_;
   LruList lru_;

@@ -39,6 +39,7 @@ class BottomUpEvaluator {
         tree_(tree),
         doc_(doc),
         stats_(options.stats),
+        profile_(options.profile),
         budget_(options.budget),
         use_index_(options.use_index),
         n_(doc.size()),
@@ -268,7 +269,7 @@ class BottomUpEvaluator {
     for (NodeId x = 0; x < n_; ++x) {
       for (NodeId y : rel->Row(x)) in_frontier.Set(y);
     }
-    const StepKernel kernel(doc_, step, use_index_, stats_);
+    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id);
     NodeTable step_of;
     step_of.Reset(ws_.arena(), n_);
     EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
@@ -320,6 +321,7 @@ class BottomUpEvaluator {
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
+  obs::QueryProfile* profile_;
   uint64_t budget_;
   bool use_index_;
   uint64_t used_ = 0;

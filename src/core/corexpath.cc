@@ -48,6 +48,7 @@ class CoreXPathEvaluator {
         tree_(tree),
         doc_(doc),
         stats_(options.stats),
+        profile_(options.profile),
         budget_(options.budget),
         use_index_(options.use_index) {}
 
@@ -78,7 +79,7 @@ class CoreXPathEvaluator {
       // with predicates the candidates must be filtered first.
       const uint64_t step_limit =
           is_last && step.children.empty() ? limit : kNoNodeLimit;
-      StepKernel(doc_, step, use_index_, stats_)
+      StepKernel(doc_, step, use_index_, stats_, profile_, n.children[s])
           .EvalInto(*current, candidates.get(), step_limit);
       for (AstId pred : step.children) {
         XPE_RETURN_IF_ERROR(PredSet(pred, *candidates, sel.get()));
@@ -150,7 +151,8 @@ class CoreXPathEvaluator {
       const AstNode& step = tree_.node(path.children[s]);
       XPE_RETURN_IF_ERROR(ChargeBudget(current->size()));
       RestrictByNodeTestInto(doc_, step.axis, step.test, *current,
-                             use_index_, stats_, tested.get());
+                             use_index_, stats_, tested.get(), profile_,
+                             path.children[s]);
       for (AstId pred : step.children) {
         XPE_RETURN_IF_ERROR(PredSet(pred, *tested, sel.get()));
         IntersectInto(*tested, *sel, tmp.get());
@@ -193,6 +195,7 @@ class CoreXPathEvaluator {
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
+  obs::QueryProfile* profile_;
   const uint64_t budget_;
   uint64_t used_ = 0;
   const bool use_index_;

@@ -7,6 +7,7 @@
 #include "src/core/stats.h"
 #include "src/core/step_common.h"
 #include "src/index/step_index.h"
+#include "src/obs/profiler.h"
 
 namespace xpe {
 
@@ -56,9 +57,13 @@ const char* ResultModeToString(ResultMode mode) {
 }
 
 std::string EvalStats::ToString() const {
+  // Every field, keyed by its exact struct-field name, in declaration
+  // order. The format is pinned by a test (obs_test.cc): a field added
+  // to EvalStats but not rendered here is a silent observability hole.
   return "cells_allocated=" + std::to_string(cells_allocated) +
+         " cells_live=" + std::to_string(cells_live) +
          " cells_peak=" + std::to_string(cells_peak) +
-         " contexts=" + std::to_string(contexts_evaluated) +
+         " contexts_evaluated=" + std::to_string(contexts_evaluated) +
          " axis_evals=" + std::to_string(axis_evals) +
          " indexed_steps=" + std::to_string(indexed_steps) +
          " nodes_visited=" + std::to_string(nodes_visited) +
@@ -136,7 +141,12 @@ StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
     return StatusOr<Value>(Status::InvalidArgument(
         "result mode 'limit' requires ResultSpec::limit >= 1"));
   }
+  const uint64_t eval_t0 =
+      options.profile != nullptr ? obs::MonotonicNanos() : 0;
   auto finish = [&](StatusOr<Value> result) -> StatusOr<Value> {
+    if (options.profile != nullptr) {
+      options.profile->RecordPhase("eval", obs::MonotonicNanos() - eval_t0);
+    }
     if (options.stats != nullptr) {
       options.stats->arena_bytes_peak = std::max<uint64_t>(
           options.stats->arena_bytes_peak, ws.arena()->bytes_peak());

@@ -9,6 +9,10 @@
 #include "src/core/value.h"
 #include "src/xpath/compile.h"
 
+namespace xpe::obs {
+class QueryProfile;
+}  // namespace xpe::obs
+
 namespace xpe {
 
 /// The evaluation engines this library implements. All six compute the
@@ -129,6 +133,16 @@ struct EvalOptions {
   uint64_t budget = 0;
   /// Result shape / early-termination contract; see ResultSpec.
   ResultSpec result;
+  /// Optional per-query profiling sink (obs/profiler.h): the dispatcher
+  /// records the eval phase span and the step kernels record one
+  /// runtime row per location-step node (wall time, frontier/result
+  /// sizes, nodes_visited, indexed vs. scanned). Null (the default)
+  /// costs one pointer check per kernel call — no clocks, no locks;
+  /// bench_obs gates that the disabled path stays free. Like `stats`,
+  /// the sink is single-threaded: one per evaluation, never shared
+  /// across workers. Most callers want Query::Profile() (query.h),
+  /// which attaches a sink and joins the rows with the plan report.
+  obs::QueryProfile* profile = nullptr;
   /// Evaluate index-eligible location steps against the per-name postings
   /// of Document::index() instead of the O(|D|) axis scans. Changes cost
   /// only, never results; the index is built lazily on first indexed

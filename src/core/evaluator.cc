@@ -28,12 +28,43 @@ EvalWorkspace::ScratchBits EvalWorkspace::AcquireBits(size_t n) {
   return ScratchBits(this, std::move(vec));
 }
 
+void Evaluator::AttachMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    evals_total_ = nullptr;
+    arena_reused_evals_ = nullptr;
+    arena_bytes_peak_metric_ = nullptr;
+    eval_latency_us_ = nullptr;
+    return;
+  }
+  evals_total_ = registry->GetCounter("xpe_session_evals_total");
+  arena_reused_evals_ =
+      registry->GetCounter("xpe_session_arena_reused_evals_total");
+  arena_bytes_peak_metric_ =
+      registry->GetCounter("xpe_session_arena_bytes_peak");
+  eval_latency_us_ = registry->GetHistogram("xpe_session_eval_latency_us");
+}
+
 StatusOr<Value> Evaluator::Evaluate(const xpath::CompiledQuery& query,
                                     const xml::Document& doc,
                                     const EvalContext& context,
                                     const EvalOptions& options) {
   workspace_.BeginEvaluation();
-  return internal::EvaluateWith(workspace_, query, doc, context, options);
+  if (evals_total_ == nullptr) {
+    return internal::EvaluateWith(workspace_, query, doc, context, options);
+  }
+  const uint64_t blocks_before = workspace_.arena_ref().block_allocations();
+  const uint64_t t0 = obs::MonotonicNanos();
+  StatusOr<Value> result =
+      internal::EvaluateWith(workspace_, query, doc, context, options);
+  eval_latency_us_->Record((obs::MonotonicNanos() - t0) / 1000);
+  evals_total_->Increment();
+  // An evaluation that allocated no new arena blocks ran entirely from
+  // retained memory — the session's steady state.
+  if (workspace_.arena_ref().block_allocations() == blocks_before) {
+    arena_reused_evals_->Increment();
+  }
+  arena_bytes_peak_metric_->MaxWith(workspace_.arena_ref().bytes_peak());
+  return result;
 }
 
 StatusOr<NodeSet> Evaluator::EvaluateNodeSet(const xpath::CompiledQuery& query,

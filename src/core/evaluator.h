@@ -7,6 +7,7 @@
 #include "src/axes/arena.h"
 #include "src/axes/node_table.h"
 #include "src/core/engine.h"
+#include "src/obs/metrics.h"
 
 namespace xpe {
 
@@ -136,8 +137,22 @@ class Evaluator {
     return workspace_.arena_ref().block_allocations();
   }
 
+  /// Publishes per-evaluation session metrics into `registry` (pass
+  /// nullptr to detach): evals served, eval latency histogram, arena
+  /// bytes high-water mark, and how many evaluations ran entirely from
+  /// retained arena memory (the reuse ratio is reused/total). Metric
+  /// names are xpe_session_*; all sessions publishing into one registry
+  /// aggregate — per-session breakdowns want per-session registries.
+  /// The registry must outlive the session.
+  void AttachMetrics(obs::Registry* registry);
+
  private:
   EvalWorkspace workspace_;
+  // Resolved once by AttachMetrics; updates are single relaxed atomics.
+  obs::Counter* evals_total_ = nullptr;
+  obs::Counter* arena_reused_evals_ = nullptr;
+  obs::Counter* arena_bytes_peak_metric_ = nullptr;
+  obs::Histogram* eval_latency_us_ = nullptr;
 };
 
 }  // namespace xpe

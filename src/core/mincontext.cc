@@ -18,6 +18,7 @@ MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
       tree_(tree),
       doc_(doc),
       stats_(options.stats),
+      profile_(options.profile),
       budget_(options.budget),
       use_index_(options.use_index),
       ablate_outermost_sets_(options.ablate_outermost_sets),
@@ -25,9 +26,11 @@ MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
       scalar_tables_(tree.size()),
       rel_tables_(tree.size()) {}
 
-NodeSet MinContextEngine::StepImage(const AstNode& step, const NodeSet& x,
+NodeSet MinContextEngine::StepImage(AstId step_id, const NodeSet& x,
                                     uint64_t limit) {
-  return StepKernel(doc_, step, use_index_, stats_).Eval(x, limit);
+  const AstNode& step = tree_.node(step_id);
+  return StepKernel(doc_, step, use_index_, stats_, profile_, step_id)
+      .Eval(x, limit);
 }
 
 Status MinContextEngine::ChargeBudget(uint64_t n) {
@@ -256,7 +259,7 @@ Status MinContextEngine::EvalStepRelation(AstId step_id, const NodeSet& x,
     return Status::OK();
   }
 
-  const NodeSet y_all = StepImage(step, x);
+  const NodeSet y_all = StepImage(step_id, x);
 
   bool positional = false;
   for (AstId pred : step.children) {
@@ -499,7 +502,7 @@ StatusOr<NodeSet> MinContextEngine::EvalOutermostLocpath(AstId id,
         // `limit`-prefix is exactly the prefix of the full result.
         const uint64_t step_limit =
             is_last && step.children.empty() ? limit : kNoNodeLimit;
-        NodeSet y_all = StepImage(step, current, step_limit);
+        NodeSet y_all = StepImage(n.children[s], current, step_limit);
         if (step.children.empty()) {
           current = std::move(y_all);
           continue;

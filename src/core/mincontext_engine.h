@@ -110,11 +110,12 @@ class MinContextEngine {
   Status EvalStepRelation(xpath::AstId step_id, const NodeSet& x,
                           NodeTable* out);
 
-  /// χ(X) ∩ T(t) for one step: the document index's postings when the
-  /// step is index-eligible and use_index_ is on, the O(|D|) scan
-  /// otherwise. `limit` bounds the image to its document-order-first
-  /// nodes (kNoNodeLimit = full image).
-  NodeSet StepImage(const xpath::AstNode& step, const NodeSet& x,
+  /// χ(X) ∩ T(t) for the step node `step_id`: the document index's
+  /// postings when the step is index-eligible and use_index_ is on, the
+  /// O(|D|) scan otherwise. `limit` bounds the image to its
+  /// document-order-first nodes (kNoNodeLimit = full image). Addressed
+  /// by AstId so profiling rows attribute to the plan's step nodes.
+  NodeSet StepImage(xpath::AstId step_id, const NodeSet& x,
                     uint64_t limit = kNoNodeLimit);
 
   /// Shared predicate filtering of one origin's ordered candidate list,
@@ -142,6 +143,7 @@ class MinContextEngine {
   const xpath::QueryTree& tree_;
   const xml::Document& doc_;
   EvalStats* stats_;
+  obs::QueryProfile* profile_;
   uint64_t budget_;
   bool use_index_;
   bool ablate_outermost_sets_;

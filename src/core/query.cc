@@ -1,5 +1,8 @@
 #include "src/core/query.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "src/xpath/explain.h"
 
 namespace xpe {
@@ -105,6 +108,61 @@ Status Query::ForEach(const xml::Document& doc, const NodeSink& sink,
 }
 
 std::string Query::Explain() const { return xpath::Explain(*plan_); }
+
+namespace {
+
+/// The static plan analysis with the measured runtime appended: phase
+/// spans, then one row per profiled step, each joined back to the
+/// plan's rendering of that parse-tree node (the AstId is the key the
+/// kernels recorded under).
+std::string RenderProfileReport(const xpath::CompiledQuery& plan,
+                                const obs::ProfileReport& report) {
+  std::string out = xpath::Explain(plan);
+  char line[256];
+  out += "\nruntime profile\n---------------\n";
+  for (const obs::QueryProfile::Phase& p : report.data.phases()) {
+    std::snprintf(line, sizeof(line), "  %-10s %12.1f us\n", p.name.c_str(),
+                  static_cast<double>(p.wall_ns) / 1e3);
+    out += line;
+  }
+  out +=
+      "\n  step                              calls    wall_us   frontier"
+      "   produced    visited    indexed\n";
+  for (const obs::QueryProfile::Step& s : report.data.steps()) {
+    std::string rendered = plan.tree().ToString(s.ast_id);
+    if (rendered.size() > 32) rendered.resize(32);
+    std::snprintf(line, sizeof(line),
+                  "  %-32s %6" PRIu64 " %10.1f %10" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 "  %5" PRIu64 "/%" PRIu64 "\n",
+                  rendered.c_str(), s.calls,
+                  static_cast<double>(s.wall_ns) / 1e3, s.frontier, s.produced,
+                  s.nodes_visited, s.indexed_calls,
+                  s.indexed_calls + s.scanned_calls);
+    out += line;
+  }
+  out += "\n  " + report.stats.ToString() + "\n";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<obs::ProfileReport> Query::Profile(const xml::Document& doc,
+                                            const EvalContext& ctx) {
+  obs::ProfileReport report;
+  const xpath::CompileStats& cs = plan_->compile_stats();
+  report.data.RecordPhase("parse", cs.parse_ns);
+  report.data.RecordPhase("normalize", cs.normalize_ns);
+  report.data.RecordPhase("optimize", cs.optimize_ns);
+  report.data.RecordPhase("analyze", cs.analyze_ns);
+  EvalOptions opts = options_;
+  opts.result = ResultSpec{};  // kFull: profile the whole evaluation
+  opts.stats = &report.stats;
+  opts.profile = &report.data;
+  XPE_ASSIGN_OR_RETURN(Value v, session_->Evaluate(*plan_, doc, ctx, opts));
+  (void)v;
+  report.text = RenderProfileReport(*plan_, report);
+  return report;
+}
 
 const std::string& Query::source() const { return plan_->source(); }
 

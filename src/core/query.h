@@ -10,6 +10,7 @@
 
 #include "src/core/engine.h"
 #include "src/core/evaluator.h"
+#include "src/obs/profiler.h"
 
 namespace xpe {
 
@@ -130,6 +131,20 @@ class Query {
   // --- introspection ----------------------------------------------------
   /// The §3.1/§4 analysis report of the plan (xpath::Explain).
   std::string Explain() const;
+
+  /// Runs the query once (ResultMode::kFull, current engine/index
+  /// options) with a private profiler and stats sink attached, and
+  /// returns the static plan analysis joined with the measured runtime:
+  /// compile-stage phase spans (from the plan's CompileStats), the
+  /// dispatcher's eval span, and one row per location-step node —
+  /// kernel calls, wall time, frontier/produced sizes, nodes visited,
+  /// indexed vs. scanned — keyed to the plan's rendered steps. The
+  /// caller's WithStats sink is not touched; `report.stats` holds this
+  /// run's counters (row nodes_visited sum == stats.nodes_visited for
+  /// location-path plans). Diagnosis mode: one profiled run costs two
+  /// clock reads per kernel call — don't put it on a serving path.
+  StatusOr<obs::ProfileReport> Profile(const xml::Document& doc,
+                                       const EvalContext& ctx = {});
 
   const xpath::CompiledQuery& plan() const { return *plan_; }
   /// The shared plan, e.g. for seeding another facade or a cache.

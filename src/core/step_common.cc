@@ -73,8 +73,13 @@ NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
 }
 
 StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
-                       bool use_index, EvalStats* stats)
-    : doc_(doc), step_(step), stats_(stats) {
+                       bool use_index, EvalStats* stats,
+                       obs::QueryProfile* profile, xpath::AstId step_id)
+    : doc_(doc),
+      step_(step),
+      stats_(stats),
+      profile_(profile),
+      step_id_(step_id) {
   if (use_index && step.index_eligible) {
     postings_ =
         &index::StepPostings(doc, doc.index(), step.axis, step.test);
@@ -83,27 +88,39 @@ StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
 
 NodeSet RestrictByNodeTest(const Document& doc, Axis axis,
                            const NodeTest& test, const NodeSet& nodes,
-                           bool use_index, EvalStats* stats) {
+                           bool use_index, EvalStats* stats,
+                           obs::QueryProfile* profile, xpath::AstId step_id) {
+  const uint64_t t0 = profile != nullptr ? obs::MonotonicNanos() : 0;
+  bool indexed = false;
+  NodeSet out;
   if (use_index && index::NodeTestIndexable(test)) {
     if (stats != nullptr) ++stats->indexed_steps;
-    NodeSet out =
-        index::IndexedApplyNodeTest(doc, doc.index(), axis, test, nodes);
-    // Same input+output accounting as the scan branch (and StepKernel),
-    // so index-on/off comparisons of nodes_visited measure one quantity.
-    if (stats != nullptr) stats->nodes_visited += nodes.size() + out.size();
-    return out;
+    indexed = true;
+    out = index::IndexedApplyNodeTest(doc, doc.index(), axis, test, nodes);
+  } else {
+    out = ApplyNodeTest(doc, axis, test, nodes);
   }
-  NodeSet out = ApplyNodeTest(doc, axis, test, nodes);
-  if (stats != nullptr) stats->nodes_visited += nodes.size() + out.size();
+  // Same input+output accounting in both branches (and in StepKernel),
+  // so index-on/off comparisons of nodes_visited measure one quantity.
+  const uint64_t visited = nodes.size() + out.size();
+  if (stats != nullptr) stats->nodes_visited += visited;
+  if (profile != nullptr) {
+    profile->RecordStep(step_id, obs::MonotonicNanos() - t0, nodes.size(),
+                        out.size(), visited, indexed);
+  }
   return out;
 }
 
 void RestrictByNodeTestInto(const Document& doc, Axis axis,
                             const NodeTest& test,
                             std::span<const NodeId> nodes, bool use_index,
-                            EvalStats* stats, std::vector<NodeId>* out) {
+                            EvalStats* stats, std::vector<NodeId>* out,
+                            obs::QueryProfile* profile, xpath::AstId step_id) {
+  const uint64_t t0 = profile != nullptr ? obs::MonotonicNanos() : 0;
+  bool indexed = false;
   if (use_index && index::NodeTestIndexable(test)) {
     if (stats != nullptr) ++stats->indexed_steps;
+    indexed = true;
     index::IndexedApplyNodeTestInto(doc, doc.index(), axis, test, nodes, out);
   } else if (test.kind == NodeTest::Kind::kNode) {
     out->assign(nodes.begin(), nodes.end());
@@ -111,45 +128,72 @@ void RestrictByNodeTestInto(const Document& doc, Axis axis,
     ApplyNodeTestInto(doc, axis, test, nodes, out);
   }
   // Input+output in every branch; see RestrictByNodeTest.
-  if (stats != nullptr) stats->nodes_visited += nodes.size() + out->size();
+  const uint64_t visited = nodes.size() + out->size();
+  if (stats != nullptr) stats->nodes_visited += visited;
+  if (profile != nullptr) {
+    profile->RecordStep(step_id, obs::MonotonicNanos() - t0, nodes.size(),
+                        out->size(), visited, indexed);
+  }
 }
 
 NodeSet StepKernel::Eval(const NodeSet& x, uint64_t limit) const {
+  const uint64_t t0 = profile_ != nullptr ? obs::MonotonicNanos() : 0;
   if (postings_ != nullptr &&
       index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x.ids())) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
     std::vector<NodeId> out;
     index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
                                        step_.test, x.ids(), &out, limit);
-    if (stats_ != nullptr) stats_->nodes_visited += x.size() + out.size();
+    const uint64_t visited = x.size() + out.size();
+    if (stats_ != nullptr) stats_->nodes_visited += visited;
+    if (profile_ != nullptr) {
+      profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
+                           out.size(), visited, /*indexed=*/true);
+    }
     return NodeSet::FromSorted(out);
   }
   if (stats_ != nullptr) ++stats_->axis_evals;
   const NodeSet image = EvalAxis(doc_, step_.axis, x);
-  if (stats_ != nullptr) stats_->nodes_visited += x.size() + image.size();
+  const uint64_t visited = x.size() + image.size();
+  if (stats_ != nullptr) stats_->nodes_visited += visited;
   NodeSet result = ApplyNodeTest(doc_, step_.axis, step_.test, image);
   if (limit != kNoNodeLimit && result.size() > limit) {
-    return NodeSet::FromSorted(
+    result = NodeSet::FromSorted(
         std::span<const NodeId>(result.ids()).first(limit));
+  }
+  if (profile_ != nullptr) {
+    profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
+                         result.size(), visited, /*indexed=*/false);
   }
   return result;
 }
 
 void StepKernel::EvalInto(std::span<const NodeId> x, std::vector<NodeId>* out,
                           uint64_t limit) const {
+  const uint64_t t0 = profile_ != nullptr ? obs::MonotonicNanos() : 0;
   if (postings_ != nullptr &&
       index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
     index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
                                        step_.test, x, out, limit);
-    if (stats_ != nullptr) stats_->nodes_visited += x.size() + out->size();
+    const uint64_t visited = x.size() + out->size();
+    if (stats_ != nullptr) stats_->nodes_visited += visited;
+    if (profile_ != nullptr) {
+      profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
+                           out->size(), visited, /*indexed=*/true);
+    }
     return;
   }
   if (stats_ != nullptr) ++stats_->axis_evals;
   const NodeSet image = EvalAxis(doc_, step_.axis, NodeSet::FromSorted(x));
-  if (stats_ != nullptr) stats_->nodes_visited += x.size() + image.size();
+  const uint64_t visited = x.size() + image.size();
+  if (stats_ != nullptr) stats_->nodes_visited += visited;
   ApplyNodeTestInto(doc_, step_.axis, step_.test, image.ids(), out);
   if (limit != kNoNodeLimit && out->size() > limit) out->resize(limit);
+  if (profile_ != nullptr) {
+    profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
+                         out->size(), visited, /*indexed=*/false);
+  }
 }
 
 }  // namespace xpe

@@ -6,6 +6,7 @@
 
 #include "src/axes/axis.h"
 #include "src/core/stats.h"
+#include "src/obs/profiler.h"
 #include "src/xml/document.h"
 #include "src/xpath/ast.h"
 
@@ -64,8 +65,15 @@ inline constexpr uint64_t kNoNodeLimit = ~uint64_t{0};
 /// not sublinear — the reason Exists()/First() want the index on.
 class StepKernel {
  public:
+  /// `profile`/`step_id`: optional per-query profiling sink and the
+  /// step's parse-tree id to attribute rows to (obs/profiler.h). A null
+  /// sink costs one pointer check per Eval/EvalInto; a non-null one
+  /// adds two monotonic clock reads per call and records a row with the
+  /// same nodes_visited accounting the stats counters use.
   StepKernel(const xml::Document& doc, const xpath::AstNode& step,
-             bool use_index, EvalStats* stats);
+             bool use_index, EvalStats* stats,
+             obs::QueryProfile* profile = nullptr,
+             xpath::AstId step_id = xpath::kInvalidAstId);
 
   /// Equivalent to ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)),
   /// restricted to its first `limit` nodes in document order.
@@ -85,6 +93,8 @@ class StepKernel {
   /// Resolved postings when the indexed path applies, nullptr for scan.
   const std::vector<xml::NodeId>* postings_ = nullptr;
   EvalStats* stats_;
+  obs::QueryProfile* profile_;
+  xpath::AstId step_id_;
 };
 
 // (The `//t` fusion that used to live here as a runtime peephole —
@@ -95,16 +105,22 @@ class StepKernel {
 /// T(t) ∩ nodes for the backward-propagation passes: a postings
 /// intersection when `use_index` is on and the test is postings-backed
 /// (counted in stats->indexed_steps), the ApplyNodeTest scan otherwise.
+/// `profile`/`step_id` attribute a runtime row to the propagated step,
+/// like StepKernel.
 NodeSet RestrictByNodeTest(const xml::Document& doc, Axis axis,
                            const xpath::NodeTest& test, const NodeSet& nodes,
-                           bool use_index, EvalStats* stats);
+                           bool use_index, EvalStats* stats,
+                           obs::QueryProfile* profile = nullptr,
+                           xpath::AstId step_id = xpath::kInvalidAstId);
 
 /// RestrictByNodeTest into a caller-owned buffer (cleared first).
 void RestrictByNodeTestInto(const xml::Document& doc, Axis axis,
                             const xpath::NodeTest& test,
                             std::span<const xml::NodeId> nodes,
                             bool use_index, EvalStats* stats,
-                            std::vector<xml::NodeId>* out);
+                            std::vector<xml::NodeId>* out,
+                            obs::QueryProfile* profile = nullptr,
+                            xpath::AstId step_id = xpath::kInvalidAstId);
 
 }  // namespace xpe
 

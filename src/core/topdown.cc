@@ -36,6 +36,7 @@ class TopDownEvaluator {
         tree_(tree),
         doc_(doc),
         stats_(options.stats),
+        profile_(options.profile),
         budget_(options.budget),
         use_index_(options.use_index) {}
 
@@ -274,7 +275,7 @@ class TopDownEvaluator {
     s_rel.Reset(ws_.arena(), doc_.size());
     // One kernel for the whole per-origin loop: the postings lookup
     // happens once per step, not once per origin.
-    const StepKernel kernel(doc_, step, use_index_, stats_);
+    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id);
     {
       EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
       for (NodeId x : *x_all) {
@@ -338,6 +339,7 @@ class TopDownEvaluator {
   const QueryTree& tree_;
   const Document& doc_;
   EvalStats* stats_;
+  obs::QueryProfile* profile_;
   uint64_t budget_;
   bool use_index_;
   uint64_t used_ = 0;

@@ -99,8 +99,9 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
 
     // Y' := members of the propagated set passing this step's node test
     // (a postings intersection when the index is on).
-    NodeSet tested = RestrictByNodeTest(doc_, step.axis, step.test, current,
-                                        use_index_, stats_);
+    NodeSet tested =
+        RestrictByNodeTest(doc_, step.axis, step.test, current, use_index_,
+                           stats_, profile_, path.children[s]);
     if (step.children.empty()) {
       if (stats_ != nullptr) ++stats_->axis_evals;
       current = EvalAxisInverse(doc_, step.axis, tested);
@@ -136,7 +137,7 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
     // whose surviving candidates intersect the propagated set.
     if (stats_ != nullptr) ++stats_->axis_evals;
     NodeSet origins = EvalAxisInverse(doc_, step.axis, tested);
-    NodeSet universe = StepImage(step, origins);
+    NodeSet universe = StepImage(path.children[s], origins);
     for (AstId pred : step.children) {
       XPE_RETURN_IF_ERROR(EvalByCnodeOnly(pred, universe));
     }

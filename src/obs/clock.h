@@ -1,0 +1,21 @@
+#ifndef XPE_OBS_CLOCK_H_
+#define XPE_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xpe::obs {
+
+/// Monotonic timestamp in nanoseconds — the one clock every obs
+/// component (profiler spans, latency histograms, bench gates) reads,
+/// so durations are always comparable.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace xpe::obs
+
+#endif  // XPE_OBS_CLOCK_H_

@@ -1,0 +1,79 @@
+#include "src/obs/export.h"
+
+#include <sstream>
+
+namespace xpe::obs {
+
+namespace {
+
+std::string Sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+/// Index of the highest populated bucket, -1 when empty — bounds the
+/// emitted bucket series so an all-small histogram does not print 64
+/// lines of zeros.
+int TopBucket(const Histogram::Snapshot& s) {
+  for (int i = Histogram::kBuckets - 1; i >= 0; --i) {
+    if (s.buckets[i] != 0) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string ToJson(const Registry& registry) {
+  const Registry::MetricsSnapshot snap = registry.Snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << Sanitize(snap.counters[i].first)
+        << "\": " << snap.counters[i].second;
+  }
+  out << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const Histogram::Snapshot& h = snap.histograms[i].second;
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << Sanitize(snap.histograms[i].first) << "\": {\"count\": " << h.count
+        << ", \"sum\": " << h.sum << ", \"max\": " << h.max
+        << ", \"p50\": " << h.p50 << ", \"p95\": " << h.p95
+        << ", \"p99\": " << h.p99 << "}";
+  }
+  out << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string ToPrometheusText(const Registry& registry) {
+  const Registry::MetricsSnapshot snap = registry.Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = Sanitize(name);
+    out << "# TYPE " << n << " counter\n" << n << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = Sanitize(name);
+    out << "# TYPE " << n << " histogram\n";
+    uint64_t cumulative = 0;
+    const int top = TopBucket(h);
+    for (int i = 0; i <= top; ++i) {
+      cumulative += h.buckets[i];
+      out << n << "_bucket{le=\"" << Histogram::Snapshot::BucketUpperBound(i)
+          << "\"} " << cumulative << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << n << "_sum " << h.sum << "\n";
+    out << n << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xpe::obs

@@ -1,0 +1,34 @@
+#ifndef XPE_OBS_EXPORT_H_
+#define XPE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace xpe::obs {
+
+/// Renders a registry snapshot as one JSON object:
+///
+///   {
+///     "counters": { "<name>": <value>, ... },
+///     "histograms": {
+///       "<name>": { "count": n, "sum": s, "max": m,
+///                   "p50": a, "p95": b, "p99": c }, ...
+///     }
+///   }
+///
+/// Keys are sorted, so the output is deterministic for a given state —
+/// the shape the bench artifacts and the serve tier's /metrics.json
+/// endpoint emit.
+std::string ToJson(const Registry& registry);
+
+/// Renders a registry snapshot in the Prometheus text exposition
+/// format: counters as `# TYPE <name> counter` + a value line,
+/// histograms as cumulative `<name>_bucket{le="..."}` series (the
+/// log-bucket upper bounds) plus `_sum` and `_count`. Metric names are
+/// sanitized to [a-zA-Z0-9_:].
+std::string ToPrometheusText(const Registry& registry);
+
+}  // namespace xpe::obs
+
+#endif  // XPE_OBS_EXPORT_H_

@@ -1,0 +1,114 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace xpe::obs {
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based; ceil so p100 == last.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * count + 0.999999));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The top populated bucket's upper bound can exceed the true max;
+      // clamp so quantiles never report above the observed maximum.
+      return std::min(BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.p50 = s.Quantile(0.50);
+  s.p95 = s.Quantile(0.95);
+  s.p99 = s.Quantile(0.99);
+  return s;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const uint64_t m = other.max();
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < m &&
+         !max_.compare_exchange_weak(cur, m, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrumented subsystems may record during static
+  // destruction; a function-local leaked singleton cannot be destroyed
+  // out from under them.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.counters.find(std::string(name));
+  if (it != stripe.counters.end()) return it->second.get();
+  auto [inserted, _] =
+      stripe.counters.emplace(std::string(name), std::make_unique<Counter>());
+  return inserted->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.histograms.find(std::string(name));
+  if (it != stripe.histograms.end()) return it->second.get();
+  auto [inserted, _] = stripe.histograms.emplace(std::string(name),
+                                                 std::make_unique<Histogram>());
+  return inserted->second.get();
+}
+
+Registry::MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot out;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [name, counter] : stripe.counters) {
+      out.counters.emplace_back(name, counter->value());
+    }
+    for (const auto& [name, hist] : stripe.histograms) {
+      out.histograms.emplace_back(name, hist->snapshot());
+    }
+  }
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Registry::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto& [name, counter] : stripe.counters) counter->Reset();
+    for (auto& [name, hist] : stripe.histograms) hist->Reset();
+  }
+}
+
+}  // namespace xpe::obs

@@ -1,0 +1,166 @@
+#ifndef XPE_OBS_METRICS_H_
+#define XPE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/clock.h"
+
+namespace xpe::obs {
+
+/// A monotonically increasing (or high-watermark) metric. All updates
+/// are single relaxed atomics: safe from any number of threads, no
+/// locks, no fences on the fast path. Reads are relaxed snapshots —
+/// exporters may observe counters mid-update relative to each other,
+/// which is the usual metrics contract.
+class Counter {
+ public:
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  /// Raises the value to at least `v` (for peaks/high-water marks,
+  /// e.g. arena_bytes_peak across sessions).
+  void MaxWith(uint64_t v) {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A log-bucketed latency/size histogram: bucket i holds values whose
+/// bit width is i, i.e. [2^(i-1), 2^i). Constant memory, O(1) lockless
+/// Record from any thread, and mergeable across workers by bucket-wise
+/// addition. Quantiles are estimated as the upper bound of the bucket
+/// containing the target rank — at most 2x off, which is the right
+/// resolution for tail-latency gating (p99 regressions are multiples,
+/// not percents).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// A relaxed-consistent copy of the whole histogram, with the derived
+  /// quantiles precomputed (what the exporters and gates consume).
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    /// Upper bound (inclusive) of bucket `i`: the value a rank in that
+    /// bucket is reported as.
+    static uint64_t BucketUpperBound(int i) {
+      return i >= kBuckets - 1 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+    }
+    uint64_t Quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+  /// Adds another histogram's contents into this one (bucket-wise sums,
+  /// max of maxes). Safe against concurrent Record on either side.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+ private:
+  static int BucketOf(uint64_t v) {
+    int w = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++w;
+    }
+    return w >= kBuckets ? kBuckets - 1 : w;
+  }
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// The process-wide metrics registry: named counters and histograms,
+/// created on first use and stable for the process lifetime.
+///
+/// Concurrency: the name → metric maps are lock-striped (the name's
+/// hash picks the stripe), so registration from many threads contends
+/// only per stripe — and registration is the cold path anyway. The
+/// intended pattern is the one the instrumented subsystems use: resolve
+/// the Counter*/Histogram* once at construction, then update through
+/// the pointer, which is a single relaxed atomic with no registry
+/// involvement at all. Returned pointers are never invalidated.
+///
+/// Names should be Prometheus-compatible ([a-zA-Z0-9_:], by convention
+/// `xpe_<subsystem>_<what>[_total|_us]`); the exporters sanitize
+/// anything else. One name must not be used as both a counter and a
+/// histogram (the exporters would emit it twice).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The default process-wide registry the serve-tier subsystems
+  /// (PlanCache, BatchEvaluator) publish into unless given their own.
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Everything currently registered, sorted by name (deterministic
+  /// exporter output). Values are relaxed-consistent snapshots.
+  struct MetricsSnapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric. Pointers handed out stay valid
+  /// (entries are never removed) — this is for tests and bench reruns,
+  /// not a lifecycle operation.
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  Stripe& StripeFor(std::string_view name) {
+    return stripes_[std::hash<std::string_view>{}(name) % kStripes];
+  }
+
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace xpe::obs
+
+#endif  // XPE_OBS_METRICS_H_

@@ -1,0 +1,84 @@
+#include "src/obs/profiler.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xpe::obs {
+
+void QueryProfile::RecordPhase(std::string_view name, uint64_t wall_ns) {
+  phases_.push_back(Phase{std::string(name), wall_ns});
+}
+
+void QueryProfile::RecordStep(uint32_t ast_id, uint64_t wall_ns,
+                              uint64_t frontier, uint64_t produced,
+                              uint64_t nodes_visited, bool indexed) {
+  // Per-origin loops hit the same step id thousands of times in a row;
+  // check the most recent row before the (short) linear scan.
+  Step* row = nullptr;
+  if (!steps_.empty() && steps_.back().ast_id == ast_id) {
+    row = &steps_.back();
+  } else {
+    for (Step& s : steps_) {
+      if (s.ast_id == ast_id) {
+        row = &s;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      steps_.push_back(Step{});
+      row = &steps_.back();
+      row->ast_id = ast_id;
+    }
+  }
+  ++row->calls;
+  row->wall_ns += wall_ns;
+  row->frontier += frontier;
+  row->produced += produced;
+  row->nodes_visited += nodes_visited;
+  if (indexed) {
+    ++row->indexed_calls;
+  } else {
+    ++row->scanned_calls;
+  }
+}
+
+uint64_t QueryProfile::nodes_visited_total() const {
+  uint64_t total = 0;
+  for (const Step& s : steps_) total += s.nodes_visited;
+  return total;
+}
+
+uint64_t QueryProfile::step_wall_ns_total() const {
+  uint64_t total = 0;
+  for (const Step& s : steps_) total += s.wall_ns;
+  return total;
+}
+
+void QueryProfile::Clear() {
+  phases_.clear();
+  steps_.clear();
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  char line[192];
+  for (const Phase& p : phases_) {
+    snprintf(line, sizeof(line), "phase %-10s %10.1fus\n", p.name.c_str(),
+             p.wall_ns / 1000.0);
+    out += line;
+  }
+  snprintf(line, sizeof(line), "%6s %8s %10s %10s %10s %10s %8s\n", "ast",
+           "calls", "wall_us", "frontier", "produced", "visited", "indexed");
+  out += line;
+  for (const Step& s : steps_) {
+    snprintf(line, sizeof(line),
+             "%6u %8" PRIu64 " %10.1f %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+             " %4" PRIu64 "/%" PRIu64 "\n",
+             s.ast_id, s.calls, s.wall_ns / 1000.0, s.frontier, s.produced,
+             s.nodes_visited, s.indexed_calls, s.calls);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xpe::obs

@@ -1,5 +1,6 @@
 #include "src/xpath/compile.h"
 
+#include "src/obs/clock.h"
 #include "src/xpath/parser.h"
 #include "src/xpath/relevance.h"
 
@@ -8,16 +9,24 @@ namespace xpe::xpath {
 StatusOr<CompiledQuery> Compile(std::string_view query,
                                 const CompileOptions& options) {
   CompiledQuery compiled;
+  CompileStats& cs = compiled.compile_stats_;
   compiled.source_ = std::string(query);
+  uint64_t t = obs::MonotonicNanos();
   XPE_ASSIGN_OR_RETURN(compiled.tree_, ParseXPath(query));
+  cs.parse_ns = obs::MonotonicNanos() - t;
+  t = obs::MonotonicNanos();
   XPE_RETURN_IF_ERROR(Normalize(&compiled.tree_, options.bindings));
   ComputeRelevance(&compiled.tree_);
+  cs.normalize_ns = obs::MonotonicNanos() - t;
   if (options.optimize) {
+    t = obs::MonotonicNanos();
     Optimize(&compiled.tree_, &compiled.optimize_stats_);
     // The rewritten tree needs fresh annotations (a fused step's relev /
     // eligibility differ from the pair it replaced).
     ComputeRelevance(&compiled.tree_);
+    cs.optimize_ns = obs::MonotonicNanos() - t;
   }
+  t = obs::MonotonicNanos();
   ClassifyFragments(&compiled.tree_);
   compiled.fragment_ = ClassifyQuery(compiled.tree_);
   AnnotateIndexEligibility(&compiled.tree_);
@@ -26,6 +35,7 @@ StatusOr<CompiledQuery> Compile(std::string_view query,
   // by Optimize, so equivalent spellings (`//t`, `/descendant::t`) get
   // equal keys and plan caches collapse them onto one plan.
   compiled.canonical_key_ = compiled.tree_.ToString();
+  cs.analyze_ns = obs::MonotonicNanos() - t;
   return compiled;
 }
 

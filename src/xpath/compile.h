@@ -23,6 +23,19 @@ struct CompileOptions {
   bool optimize = true;
 };
 
+/// Wall time of the front-end pipeline's stages, recorded by Compile.
+/// Feeds Query::Profile()'s phase spans and the plan cache's
+/// compile-time histogram; total_ns() is the full Compile call.
+struct CompileStats {
+  uint64_t parse_ns = 0;     // lexer + parser
+  uint64_t normalize_ns = 0; // Normalize + initial ComputeRelevance
+  uint64_t optimize_ns = 0;  // rewrite pipeline + re-annotation (0 if off)
+  uint64_t analyze_ns = 0;   // fragments + index eligibility + canonical key
+  uint64_t total_ns() const {
+    return parse_ns + normalize_ns + optimize_ns + analyze_ns;
+  }
+};
+
 /// A parsed, normalized, typed and fragment-classified query, ready for
 /// any of the evaluation engines. Immutable after construction; one
 /// CompiledQuery can be evaluated against any number of documents, from
@@ -48,6 +61,8 @@ class CompiledQuery {
   /// What the compile-time rewrite pipeline did to this plan (all zeros
   /// when CompileOptions::optimize was off or nothing applied).
   const OptimizeStats& optimize_stats() const { return optimize_stats_; }
+  /// How long each front-end stage took for this plan.
+  const CompileStats& compile_stats() const { return compile_stats_; }
 
  private:
   friend StatusOr<CompiledQuery> Compile(std::string_view,
@@ -57,6 +72,7 @@ class CompiledQuery {
   std::string canonical_key_;
   Fragment fragment_ = Fragment::kFullXPath;
   OptimizeStats optimize_stats_;
+  CompileStats compile_stats_;
 };
 
 /// Parses + normalizes + types + analyzes an XPath 1.0 query:

@@ -67,6 +67,9 @@
 #include "src/core/value.h"         // the four XPath value types
 #include "src/index/document_index.h"  // per-document search index
 #include "src/index/step_index.h"   // index-accelerated step kernels
+#include "src/obs/export.h"         // metrics exporters (JSON, Prometheus)
+#include "src/obs/metrics.h"        // obs::Registry — counters/histograms
+#include "src/obs/profiler.h"       // per-query profiler (Query::Profile)
 #include "src/xml/document.h"       // Document / DocumentBuilder
 #include "src/xml/generator.h"      // synthetic document generators
 #include "src/xml/parser.h"         // xml::Parse
