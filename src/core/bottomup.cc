@@ -13,6 +13,7 @@
 #include "src/core/engine_internal.h"
 #include "src/core/functions.h"
 #include "src/core/step_common.h"
+#include "src/exec/parallel_step.h"
 
 namespace xpe::internal {
 
@@ -42,6 +43,7 @@ class BottomUpEvaluator {
         profile_(options.profile),
         budget_(options.budget),
         use_index_(options.use_index),
+        parallel_(exec::MakePolicy(options.parallel, options.result.mode)),
         n_(doc.size()),
         tri_size_(static_cast<size_t>(n_) * (n_ + 1) / 2),
         scalar_tables_(tree.size()),
@@ -269,7 +271,8 @@ class BottomUpEvaluator {
     for (NodeId x = 0; x < n_; ++x) {
       for (NodeId y : rel->Row(x)) in_frontier.Set(y);
     }
-    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id);
+    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id,
+                            &parallel_);
     NodeTable step_of;
     step_of.Reset(ws_.arena(), n_);
     EvalWorkspace::ScratchIds candidates = ws_.AcquireIds();
@@ -324,6 +327,9 @@ class BottomUpEvaluator {
   obs::QueryProfile* profile_;
   uint64_t budget_;
   bool use_index_;
+  /// Per-origin frontiers are single nodes, but descendant steps still
+  /// partition their subtree-interval domain (exec/parallel_step.h).
+  exec::ParallelPolicy parallel_;
   uint64_t used_ = 0;
   const NodeId n_;
   const size_t tri_size_;

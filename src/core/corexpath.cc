@@ -26,6 +26,7 @@
 
 #include "src/core/engine_internal.h"
 #include "src/core/step_common.h"
+#include "src/exec/parallel_step.h"
 
 namespace xpe::internal {
 
@@ -50,7 +51,8 @@ class CoreXPathEvaluator {
         stats_(options.stats),
         profile_(options.profile),
         budget_(options.budget),
-        use_index_(options.use_index) {}
+        use_index_(options.use_index),
+        parallel_(exec::MakePolicy(options.parallel, options.result.mode)) {}
 
   /// Forward evaluation of a Core XPath location path from start set `x`
   /// into `out` (a pooled scratch buffer). `limit` is the document-order
@@ -79,7 +81,8 @@ class CoreXPathEvaluator {
       // with predicates the candidates must be filtered first.
       const uint64_t step_limit =
           is_last && step.children.empty() ? limit : kNoNodeLimit;
-      StepKernel(doc_, step, use_index_, stats_, profile_, n.children[s])
+      StepKernel(doc_, step, use_index_, stats_, profile_, n.children[s],
+                 &parallel_)
           .EvalInto(*current, candidates.get(), step_limit);
       for (AstId pred : step.children) {
         XPE_RETURN_IF_ERROR(PredSet(pred, *candidates, sel.get()));
@@ -152,7 +155,7 @@ class CoreXPathEvaluator {
       XPE_RETURN_IF_ERROR(ChargeBudget(current->size()));
       RestrictByNodeTestInto(doc_, step.axis, step.test, *current,
                              use_index_, stats_, tested.get(), profile_,
-                             path.children[s]);
+                             path.children[s], &parallel_);
       for (AstId pred : step.children) {
         XPE_RETURN_IF_ERROR(PredSet(pred, *tested, sel.get()));
         IntersectInto(*tested, *sel, tmp.get());
@@ -199,6 +202,8 @@ class CoreXPathEvaluator {
   const uint64_t budget_;
   uint64_t used_ = 0;
   const bool use_index_;
+  /// Resolved once per evaluation; every step kernel shares it.
+  const exec::ParallelPolicy parallel_;
 };
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "src/common/status.h"
 #include "src/core/stats.h"
 #include "src/core/value.h"
+#include "src/exec/parallel_options.h"
 #include "src/xpath/compile.h"
 
 namespace xpe::obs {
@@ -149,6 +150,18 @@ struct EvalOptions {
   /// evaluation. The naive engine ignores this — it stays the index-free
   /// executable specification the differential tests compare against.
   bool use_index = true;
+  /// Intra-query parallelism (exec/parallel_options.h): partition heavy
+  /// location steps across the shared executor pool and merge in
+  /// document order. Results, stats and profiler accounting are
+  /// identical to sequential evaluation; only wall-clock changes. Off
+  /// by default — worth enabling for single heavy queries over large
+  /// documents (the `//x` full-materialization shape); for many small
+  /// queries prefer batch::BatchEvaluator, with which this composes
+  /// safely (both draw on one fixed process-wide pool, and evaluations
+  /// already running on pool threads stay sequential). The naive engine
+  /// ignores this, like use_index — it stays the executable
+  /// specification.
+  exec::ParallelOptions parallel;
   /// Ablation switch (bench_ablation): disables §3.1's "special treatment
   /// of location paths on the outermost level" in MINCONTEXT /
   /// OPTMINCONTEXT — outermost paths are then evaluated as per-origin

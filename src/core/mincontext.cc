@@ -23,13 +23,15 @@ MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
       use_index_(options.use_index),
       ablate_outermost_sets_(options.ablate_outermost_sets),
       node_limit_(options.result.node_limit()),
+      parallel_(exec::MakePolicy(options.parallel, options.result.mode)),
       scalar_tables_(tree.size()),
       rel_tables_(tree.size()) {}
 
 NodeSet MinContextEngine::StepImage(AstId step_id, const NodeSet& x,
                                     uint64_t limit) {
   const AstNode& step = tree_.node(step_id);
-  return StepKernel(doc_, step, use_index_, stats_, profile_, step_id)
+  return StepKernel(doc_, step, use_index_, stats_, profile_, step_id,
+                    &parallel_)
       .Eval(x, limit);
 }
 

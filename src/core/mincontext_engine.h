@@ -9,6 +9,7 @@
 #include "src/core/evaluator.h"
 #include "src/core/functions.h"
 #include "src/core/step_common.h"
+#include "src/exec/parallel_step.h"
 
 namespace xpe::internal {
 
@@ -149,6 +150,10 @@ class MinContextEngine {
   bool ablate_outermost_sets_;
   /// ResultSpec::node_limit() of the call, applied to the outermost path.
   uint64_t node_limit_;
+  /// EvalOptions::parallel resolved once; shared by every step kernel
+  /// (StepImage, the step relations, the backward-propagation
+  /// restrictions in wadler.cc).
+  exec::ParallelPolicy parallel_;
   uint64_t used_ = 0;
 
   std::vector<ScalarTable> scalar_tables_;

@@ -83,6 +83,13 @@ class Query {
     options_.stats = stats;
     return *this;
   }
+  /// Intra-query parallelism for subsequent evaluations (identical
+  /// results and stats, wall-clock only; see EvalOptions::parallel):
+  ///   q.WithParallel({.enabled = true});
+  Query& WithParallel(const exec::ParallelOptions& parallel) {
+    options_.parallel = parallel;
+    return *this;
+  }
 
   // --- typed result verbs ----------------------------------------------
   /// The full XPath 1.0 result Value (ResultMode::kFull).

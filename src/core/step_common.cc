@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/exec/parallel_step.h"
 #include "src/index/step_index.h"
 
 namespace xpe {
@@ -72,14 +73,25 @@ NodeSet StepCandidates(const Document& doc, Axis axis, const NodeTest& test,
                        EvalAxis(doc, axis, NodeSet::Single(origin)));
 }
 
+namespace {
+
+/// True when the step may try the chunked kernels of parallel_step.h.
+bool ParallelActive(const exec::ParallelPolicy* parallel) {
+  return parallel != nullptr && parallel->active();
+}
+
+}  // namespace
+
 StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
                        bool use_index, EvalStats* stats,
-                       obs::QueryProfile* profile, xpath::AstId step_id)
+                       obs::QueryProfile* profile, xpath::AstId step_id,
+                       const exec::ParallelPolicy* parallel)
     : doc_(doc),
       step_(step),
       stats_(stats),
       profile_(profile),
-      step_id_(step_id) {
+      step_id_(step_id),
+      parallel_(parallel) {
   if (use_index && step.index_eligible) {
     postings_ =
         &index::StepPostings(doc, doc.index(), step.axis, step.test);
@@ -89,83 +101,59 @@ StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
 NodeSet RestrictByNodeTest(const Document& doc, Axis axis,
                            const NodeTest& test, const NodeSet& nodes,
                            bool use_index, EvalStats* stats,
-                           obs::QueryProfile* profile, xpath::AstId step_id) {
-  const uint64_t t0 = profile != nullptr ? obs::MonotonicNanos() : 0;
-  bool indexed = false;
-  NodeSet out;
-  if (use_index && index::NodeTestIndexable(test)) {
-    if (stats != nullptr) ++stats->indexed_steps;
-    indexed = true;
-    out = index::IndexedApplyNodeTest(doc, doc.index(), axis, test, nodes);
-  } else {
-    out = ApplyNodeTest(doc, axis, test, nodes);
-  }
-  // Same input+output accounting in both branches (and in StepKernel),
-  // so index-on/off comparisons of nodes_visited measure one quantity.
-  const uint64_t visited = nodes.size() + out.size();
-  if (stats != nullptr) stats->nodes_visited += visited;
-  if (profile != nullptr) {
-    profile->RecordStep(step_id, obs::MonotonicNanos() - t0, nodes.size(),
-                        out.size(), visited, indexed);
-  }
-  return out;
+                           obs::QueryProfile* profile, xpath::AstId step_id,
+                           const exec::ParallelPolicy* parallel) {
+  std::vector<NodeId> out;
+  RestrictByNodeTestInto(doc, axis, test, nodes.ids(), use_index, stats, &out,
+                         profile, step_id, parallel);
+  return NodeSet::FromSorted(out);
 }
 
 void RestrictByNodeTestInto(const Document& doc, Axis axis,
                             const NodeTest& test,
                             std::span<const NodeId> nodes, bool use_index,
                             EvalStats* stats, std::vector<NodeId>* out,
-                            obs::QueryProfile* profile, xpath::AstId step_id) {
+                            obs::QueryProfile* profile, xpath::AstId step_id,
+                            const exec::ParallelPolicy* parallel) {
   const uint64_t t0 = profile != nullptr ? obs::MonotonicNanos() : 0;
   bool indexed = false;
+  uint32_t workers = 0;
   if (use_index && index::NodeTestIndexable(test)) {
     if (stats != nullptr) ++stats->indexed_steps;
     indexed = true;
-    index::IndexedApplyNodeTestInto(doc, doc.index(), axis, test, nodes, out);
+    if (ParallelActive(parallel)) {
+      workers = exec::ParallelRestrict(*parallel, doc, /*use_index=*/true,
+                                       axis, test, nodes, out);
+    }
+    if (workers == 0) {
+      index::IndexedApplyNodeTestInto(doc, doc.index(), axis, test, nodes,
+                                      out);
+    }
   } else if (test.kind == NodeTest::Kind::kNode) {
     out->assign(nodes.begin(), nodes.end());
   } else {
-    ApplyNodeTestInto(doc, axis, test, nodes, out);
+    if (ParallelActive(parallel)) {
+      workers = exec::ParallelRestrict(*parallel, doc, /*use_index=*/false,
+                                       axis, test, nodes, out);
+    }
+    if (workers == 0) ApplyNodeTestInto(doc, axis, test, nodes, out);
   }
-  // Input+output in every branch; see RestrictByNodeTest.
+  // Input+output in every branch (and in StepKernel), so index-on/off
+  // and parallel-on/off comparisons of nodes_visited measure one
+  // quantity.
   const uint64_t visited = nodes.size() + out->size();
   if (stats != nullptr) stats->nodes_visited += visited;
   if (profile != nullptr) {
     profile->RecordStep(step_id, obs::MonotonicNanos() - t0, nodes.size(),
-                        out->size(), visited, indexed);
+                        out->size(), visited, indexed,
+                        workers == 0 ? 1 : workers);
   }
 }
 
 NodeSet StepKernel::Eval(const NodeSet& x, uint64_t limit) const {
-  const uint64_t t0 = profile_ != nullptr ? obs::MonotonicNanos() : 0;
-  if (postings_ != nullptr &&
-      index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x.ids())) {
-    if (stats_ != nullptr) ++stats_->indexed_steps;
-    std::vector<NodeId> out;
-    index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
-                                       step_.test, x.ids(), &out, limit);
-    const uint64_t visited = x.size() + out.size();
-    if (stats_ != nullptr) stats_->nodes_visited += visited;
-    if (profile_ != nullptr) {
-      profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
-                           out.size(), visited, /*indexed=*/true);
-    }
-    return NodeSet::FromSorted(out);
-  }
-  if (stats_ != nullptr) ++stats_->axis_evals;
-  const NodeSet image = EvalAxis(doc_, step_.axis, x);
-  const uint64_t visited = x.size() + image.size();
-  if (stats_ != nullptr) stats_->nodes_visited += visited;
-  NodeSet result = ApplyNodeTest(doc_, step_.axis, step_.test, image);
-  if (limit != kNoNodeLimit && result.size() > limit) {
-    result = NodeSet::FromSorted(
-        std::span<const NodeId>(result.ids()).first(limit));
-  }
-  if (profile_ != nullptr) {
-    profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
-                         result.size(), visited, /*indexed=*/false);
-  }
-  return result;
+  std::vector<NodeId> out;
+  EvalInto(x.ids(), &out, limit);
+  return NodeSet::FromSorted(out);
 }
 
 void StepKernel::EvalInto(std::span<const NodeId> x, std::vector<NodeId>* out,
@@ -174,25 +162,48 @@ void StepKernel::EvalInto(std::span<const NodeId> x, std::vector<NodeId>* out,
   if (postings_ != nullptr &&
       index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
-    index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
-                                       step_.test, x, out, limit);
+    uint32_t workers = 0;
+    if (ParallelActive(parallel_)) {
+      workers = exec::ParallelIndexedStep(*parallel_, doc_, *postings_,
+                                          step_.axis, step_.test, x, out,
+                                          limit);
+    }
+    if (workers == 0) {
+      index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
+                                         step_.test, x, out, limit);
+    }
     const uint64_t visited = x.size() + out->size();
     if (stats_ != nullptr) stats_->nodes_visited += visited;
     if (profile_ != nullptr) {
       profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
-                           out->size(), visited, /*indexed=*/true);
+                           out->size(), visited, /*indexed=*/true,
+                           workers == 0 ? 1 : workers);
     }
     return;
   }
   if (stats_ != nullptr) ++stats_->axis_evals;
-  const NodeSet image = EvalAxis(doc_, step_.axis, NodeSet::FromSorted(x));
-  const uint64_t visited = x.size() + image.size();
+  uint32_t workers = 0;
+  uint64_t image_size = 0;
+  if (ParallelActive(parallel_)) {
+    workers = exec::ParallelDescendantScan(*parallel_, doc_, step_.axis,
+                                           step_.test, x, out, limit,
+                                           &image_size);
+  }
+  if (workers == 0) {
+    const NodeSet image = EvalAxis(doc_, step_.axis, NodeSet::FromSorted(x));
+    image_size = image.size();
+    ApplyNodeTestInto(doc_, step_.axis, step_.test, image.ids(), out);
+    if (limit != kNoNodeLimit && out->size() > limit) out->resize(limit);
+  }
+  // image_size is the full pre-node-test axis image either way: the
+  // parallel scan reconstructs the count the sequential path
+  // materializes, so nodes_visited is parallel-invariant.
+  const uint64_t visited = x.size() + image_size;
   if (stats_ != nullptr) stats_->nodes_visited += visited;
-  ApplyNodeTestInto(doc_, step_.axis, step_.test, image.ids(), out);
-  if (limit != kNoNodeLimit && out->size() > limit) out->resize(limit);
   if (profile_ != nullptr) {
     profile_->RecordStep(step_id_, obs::MonotonicNanos() - t0, x.size(),
-                         out->size(), visited, /*indexed=*/false);
+                         out->size(), visited, /*indexed=*/false,
+                         workers == 0 ? 1 : workers);
   }
 }
 

@@ -10,6 +10,10 @@
 #include "src/xml/document.h"
 #include "src/xpath/ast.h"
 
+namespace xpe::exec {
+struct ParallelPolicy;
+}  // namespace xpe::exec
+
 namespace xpe {
 
 /// Step-evaluation helpers shared by all engines, so node-test and
@@ -70,10 +74,18 @@ class StepKernel {
   /// sink costs one pointer check per Eval/EvalInto; a non-null one
   /// adds two monotonic clock reads per call and records a row with the
   /// same nodes_visited accounting the stats counters use.
+  ///
+  /// `parallel`: optional intra-query parallelism policy
+  /// (exec/parallel_step.h; engines resolve EvalOptions::parallel once
+  /// per evaluation with exec::MakePolicy). Null or inactive means pure
+  /// sequential evaluation; an active policy routes partitionable steps
+  /// through the shared executor pool with bit-identical results and
+  /// accounting — the profiler row's workers_used reports the width.
   StepKernel(const xml::Document& doc, const xpath::AstNode& step,
              bool use_index, EvalStats* stats,
              obs::QueryProfile* profile = nullptr,
-             xpath::AstId step_id = xpath::kInvalidAstId);
+             xpath::AstId step_id = xpath::kInvalidAstId,
+             const exec::ParallelPolicy* parallel = nullptr);
 
   /// Equivalent to ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x)),
   /// restricted to its first `limit` nodes in document order.
@@ -95,6 +107,8 @@ class StepKernel {
   EvalStats* stats_;
   obs::QueryProfile* profile_;
   xpath::AstId step_id_;
+  /// Null or inactive (max_workers == 1) means sequential.
+  const exec::ParallelPolicy* parallel_;
 };
 
 // (The `//t` fusion that used to live here as a runtime peephole —
@@ -106,12 +120,13 @@ class StepKernel {
 /// intersection when `use_index` is on and the test is postings-backed
 /// (counted in stats->indexed_steps), the ApplyNodeTest scan otherwise.
 /// `profile`/`step_id` attribute a runtime row to the propagated step,
-/// like StepKernel.
+/// and `parallel` opts the pass into chunked evaluation, like StepKernel.
 NodeSet RestrictByNodeTest(const xml::Document& doc, Axis axis,
                            const xpath::NodeTest& test, const NodeSet& nodes,
                            bool use_index, EvalStats* stats,
                            obs::QueryProfile* profile = nullptr,
-                           xpath::AstId step_id = xpath::kInvalidAstId);
+                           xpath::AstId step_id = xpath::kInvalidAstId,
+                           const exec::ParallelPolicy* parallel = nullptr);
 
 /// RestrictByNodeTest into a caller-owned buffer (cleared first).
 void RestrictByNodeTestInto(const xml::Document& doc, Axis axis,
@@ -120,7 +135,8 @@ void RestrictByNodeTestInto(const xml::Document& doc, Axis axis,
                             bool use_index, EvalStats* stats,
                             std::vector<xml::NodeId>* out,
                             obs::QueryProfile* profile = nullptr,
-                            xpath::AstId step_id = xpath::kInvalidAstId);
+                            xpath::AstId step_id = xpath::kInvalidAstId,
+                            const exec::ParallelPolicy* parallel = nullptr);
 
 }  // namespace xpe
 

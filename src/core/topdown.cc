@@ -8,6 +8,7 @@
 #include "src/core/engine_internal.h"
 #include "src/core/functions.h"
 #include "src/core/step_common.h"
+#include "src/exec/parallel_step.h"
 
 namespace xpe::internal {
 
@@ -38,7 +39,8 @@ class TopDownEvaluator {
         stats_(options.stats),
         profile_(options.profile),
         budget_(options.budget),
-        use_index_(options.use_index) {}
+        use_index_(options.use_index),
+        parallel_(exec::MakePolicy(options.parallel, options.result.mode)) {}
 
   /// E↓[[e]](c1,...,cl): one result per context.
   StatusOr<std::vector<Value>> EvalList(AstId id,
@@ -275,7 +277,8 @@ class TopDownEvaluator {
     s_rel.Reset(ws_.arena(), doc_.size());
     // One kernel for the whole per-origin loop: the postings lookup
     // happens once per step, not once per origin.
-    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id);
+    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id,
+                            &parallel_);
     {
       EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
       for (NodeId x : *x_all) {
@@ -342,6 +345,9 @@ class TopDownEvaluator {
   obs::QueryProfile* profile_;
   uint64_t budget_;
   bool use_index_;
+  /// Per-origin frontiers are single nodes, but descendant steps still
+  /// partition their subtree-interval domain (exec/parallel_step.h).
+  exec::ParallelPolicy parallel_;
   uint64_t used_ = 0;
 };
 

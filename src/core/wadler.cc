@@ -101,7 +101,7 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
     // (a postings intersection when the index is on).
     NodeSet tested =
         RestrictByNodeTest(doc_, step.axis, step.test, current, use_index_,
-                           stats_, profile_, path.children[s]);
+                           stats_, profile_, path.children[s], &parallel_);
     if (step.children.empty()) {
       if (stats_ != nullptr) ++stats_->axis_evals;
       current = EvalAxisInverse(doc_, step.axis, tested);

@@ -11,7 +11,8 @@ void QueryProfile::RecordPhase(std::string_view name, uint64_t wall_ns) {
 
 void QueryProfile::RecordStep(uint32_t ast_id, uint64_t wall_ns,
                               uint64_t frontier, uint64_t produced,
-                              uint64_t nodes_visited, bool indexed) {
+                              uint64_t nodes_visited, bool indexed,
+                              uint32_t workers) {
   // Per-origin loops hit the same step id thousands of times in a row;
   // check the most recent row before the (short) linear scan.
   Step* row = nullptr;
@@ -40,6 +41,7 @@ void QueryProfile::RecordStep(uint32_t ast_id, uint64_t wall_ns,
   } else {
     ++row->scanned_calls;
   }
+  if (workers > row->workers_used) row->workers_used = workers;
 }
 
 uint64_t QueryProfile::nodes_visited_total() const {
@@ -67,15 +69,16 @@ std::string QueryProfile::ToString() const {
              p.wall_ns / 1000.0);
     out += line;
   }
-  snprintf(line, sizeof(line), "%6s %8s %10s %10s %10s %10s %8s\n", "ast",
-           "calls", "wall_us", "frontier", "produced", "visited", "indexed");
+  snprintf(line, sizeof(line), "%6s %8s %10s %10s %10s %10s %8s %7s\n", "ast",
+           "calls", "wall_us", "frontier", "produced", "visited", "indexed",
+           "workers");
   out += line;
   for (const Step& s : steps_) {
     snprintf(line, sizeof(line),
              "%6u %8" PRIu64 " %10.1f %10" PRIu64 " %10" PRIu64 " %10" PRIu64
-             " %4" PRIu64 "/%" PRIu64 "\n",
+             " %4" PRIu64 "/%" PRIu64 " %7u\n",
              s.ast_id, s.calls, s.wall_ns / 1000.0, s.frontier, s.produced,
-             s.nodes_visited, s.indexed_calls, s.calls);
+             s.nodes_visited, s.indexed_calls, s.calls, s.workers_used);
     out += line;
   }
   return out;

@@ -47,12 +47,18 @@ class QueryProfile {
     uint64_t nodes_visited = 0;  // same accounting as EvalStats::nodes_visited
     uint64_t indexed_calls = 0;  // answered from the document index
     uint64_t scanned_calls = 0;  // answered by an O(|D|) axis scan
+    /// Widest partition any call of this step ran with: 1 = every call
+    /// was sequential, >1 = EvalOptions::parallel split the step into
+    /// that many concurrent chunk streams (exec/parallel_step.h). Max
+    /// over calls, not a sum — per-origin loops make sums meaningless.
+    uint32_t workers_used = 1;
   };
 
   void RecordPhase(std::string_view name, uint64_t wall_ns);
 
   void RecordStep(uint32_t ast_id, uint64_t wall_ns, uint64_t frontier,
-                  uint64_t produced, uint64_t nodes_visited, bool indexed);
+                  uint64_t produced, uint64_t nodes_visited, bool indexed,
+                  uint32_t workers = 1);
 
   const std::vector<Phase>& phases() const { return phases_; }
   /// Step rows in first-touch order (evaluation order for a single

@@ -28,6 +28,17 @@
 //  - false-predicate pruning: a step whose predicate list contains a
 //    constant false yields the empty frontier, and every downstream step
 //    maps empty to empty — the tail of the path is dead code.
+//  - neutral-operand elimination: `e and true()` / `e or false()` (either
+//    operand order) reduce to e's effective boolean value. The rewrite
+//    emits `boolean(e)` unless e is statically boolean-typed: and/or
+//    coerce operands, so a bare node-set/number/string in the operator's
+//    place would compare differently downstream (`(ns and true()) = "x"`
+//    is boolean = string, `ns = "x"` is node-set = string).
+//  - arithmetic folding: XPath number arithmetic is context-free IEEE
+//    double math, so literal operands fold at compile time with the
+//    engines' own EvalArithmetic semantics (x/0 → ±Infinity, mod →
+//    fmod's dividend sign) — and a folded `[1 + 1]` is a literal the
+//    position-tightening rules can then see.
 
 #include "src/xpath/optimize.h"
 
@@ -46,7 +57,10 @@ std::string OptimizeStats::ToString() const {
          " true_preds_dropped=" + std::to_string(dropped_true_predicates) +
          " pruned_after_false=" + std::to_string(pruned_after_false) +
          " position_tightened=" +
-         std::to_string(tightened_position_predicates);
+         std::to_string(tightened_position_predicates) +
+         " neutral_ops_dropped=" +
+         std::to_string(eliminated_neutral_operands) +
+         " arith_folded=" + std::to_string(folded_arithmetic);
 }
 
 namespace {
@@ -112,6 +126,42 @@ bool IsPossiblePosition(double v) {
   return v >= 1.0 && v == std::trunc(v) && !std::isnan(v) && !std::isinf(v);
 }
 
+bool BinOpIsArithmetic(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The engines' EvalArithmetic (core/functions.cc), mirrored here so the
+/// compile-time fold is bit-identical to what a runtime evaluation of the
+/// same operands would produce: IEEE division (x/0 → ±Infinity, 0/0 →
+/// NaN) and fmod's truncated modulo (sign of the dividend, 5 mod -2 = 1).
+/// Kept local instead of including core/functions.h — the xpath front
+/// end sits below core in the layering.
+double FoldArithmetic(BinOp op, double lhs, double rhs) {
+  switch (op) {
+    case BinOp::kAdd:
+      return lhs + rhs;
+    case BinOp::kSub:
+      return lhs - rhs;
+    case BinOp::kMul:
+      return lhs * rhs;
+    case BinOp::kDiv:
+      return lhs / rhs;
+    case BinOp::kMod:
+      return std::fmod(lhs, rhs);
+    default:
+      return 0.0;
+  }
+}
+
 class Optimizer {
  public:
   Optimizer(QueryTree* tree, OptimizeStats* stats)
@@ -133,6 +183,31 @@ class Optimizer {
     call.fn = value ? FunctionId::kTrue : FunctionId::kFalse;
     call.type = ValueType::kBoolean;
     call.relev = 0;
+    return tree_->Add(std::move(call));
+  }
+
+  AstId MakeNumberLiteral(double value) {
+    AstNode lit;
+    lit.kind = ExprKind::kNumberLiteral;
+    lit.number = value;
+    lit.type = ValueType::kNumber;
+    lit.relev = 0;
+    return tree_->Add(std::move(lit));
+  }
+
+  /// expr(id) as a boolean-typed expression. A no-op after Normalize
+  /// (and/or operands arrive EnsureType-wrapped), but the neutral-operand
+  /// rewrite moves an operand into its parent's *value* position, where
+  /// a bare non-boolean would change downstream semantics — so this
+  /// guards the invariant structurally rather than by assumption.
+  AstId EnsureBoolean(AstId id) {
+    if (node(id).type == ValueType::kBoolean) return id;
+    AstNode call;
+    call.kind = ExprKind::kFunctionCall;
+    call.fn = FunctionId::kBoolean;
+    call.type = ValueType::kBoolean;
+    call.relev = node(id).relev;
+    call.children.push_back(id);
     return tree_->Add(std::move(call));
   }
 
@@ -257,6 +332,25 @@ class Optimizer {
         break;
     }
 
+    // Fold constant arithmetic to its literal. Operands that are
+    // themselves constant arithmetic have already folded (post-order),
+    // so nested expressions collapse within one pass, and the result can
+    // feed IsPositionEqualsLiteral in the same round ([1 + 1] → [2] →
+    // position() = 2 tightening where applicable).
+    if (node(id).kind == ExprKind::kBinaryOp &&
+        BinOpIsArithmetic(node(id).op)) {
+      const std::optional<double> lhs =
+          NumberLiteralValue(*tree_, node(id).children[0]);
+      const std::optional<double> rhs =
+          NumberLiteralValue(*tree_, node(id).children[1]);
+      if (lhs.has_value() && rhs.has_value()) {
+        const double folded = FoldArithmetic(node(id).op, *lhs, *rhs);
+        if (stats_ != nullptr) ++stats_->folded_arithmetic;
+        changed_ = true;
+        return MakeNumberLiteral(folded);
+      }
+    }
+
     // Fold this node itself when it is a boolean constant in disguise.
     if (node(id).type == ValueType::kBoolean &&
         !IsBareBooleanLiteral(node(id))) {
@@ -269,6 +363,23 @@ class Optimizer {
         }
         changed_ = true;
         return MakeBooleanLiteral(*v);
+      }
+      // The node did not fold, but an and/or may still carry a constant
+      // *neutral* operand (`e and true()`, `e or false()`, either order):
+      // the other operand alone decides. Soundness of keeping just it:
+      // had any operand folded to the op's deciding constant — or both
+      // folded — FoldBoolean above would have succeeded; so at most one
+      // operand is constant here, and only the neutral one.
+      if (node(id).kind == ExprKind::kBinaryOp &&
+          (node(id).op == BinOp::kAnd || node(id).op == BinOp::kOr)) {
+        const AstId lhs = node(id).children[0];
+        const AstId rhs = node(id).children[1];
+        if (FoldBoolean(lhs).has_value() || FoldBoolean(rhs).has_value()) {
+          const AstId kept = FoldBoolean(lhs).has_value() ? rhs : lhs;
+          if (stats_ != nullptr) ++stats_->eliminated_neutral_operands;
+          changed_ = true;
+          return EnsureBoolean(kept);
+        }
       }
     }
     return id;

@@ -35,11 +35,22 @@ struct OptimizeStats {
   /// on the single-candidate self/parent axes decides to true (n = 1,
   /// predicate dropped) or false (n >= 2).
   uint32_t tightened_position_predicates = 0;
+  /// and/or operands that are the operator's neutral constant dropped:
+  /// `e and true()` / `e or false()` (either operand order) rewrite to
+  /// `e` — as `boolean(e)` when e is not statically boolean-typed, since
+  /// and/or coerce their operands and a bare node-set/number/string
+  /// compares differently downstream.
+  uint32_t eliminated_neutral_operands = 0;
+  /// Constant arithmetic folded to its number literal (`1 + 1` → `2`,
+  /// IEEE semantics — the engines' own EvalArithmetic), which is what
+  /// lets `[1 + 1]` feed the position-tightening rules above.
+  uint32_t folded_arithmetic = 0;
 
   uint32_t total() const {
     return fused_descendant_steps + removed_self_steps + folded_constants +
            dropped_true_predicates + pruned_after_false +
-           tightened_position_predicates;
+           tightened_position_predicates + eliminated_neutral_operands +
+           folded_arithmetic;
   }
 
   std::string ToString() const;

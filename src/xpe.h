@@ -65,6 +65,7 @@
 #include "src/core/query.h"         // Query — the typed-verbs facade
 #include "src/core/stats.h"         // EvalStats instrumentation
 #include "src/core/value.h"         // the four XPath value types
+#include "src/exec/parallel_options.h"  // intra-query parallelism knobs
 #include "src/index/document_index.h"  // per-document search index
 #include "src/index/step_index.h"   // index-accelerated step kernels
 #include "src/obs/export.h"         // metrics exporters (JSON, Prometheus)

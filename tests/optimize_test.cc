@@ -60,9 +60,10 @@ TEST(OptimizeRuleTest, DescendantPairFusesForEverySpelling) {
 TEST(OptimizeRuleTest, FusionCarriesPositionFreePredicates) {
   EXPECT_EQ(OptimizedKey("//t[u]"), "/descendant::t[boolean(child::u)]");
   // A predicate whose position dependence folds away mid-pass becomes
-  // fusable on the next round (the Relev bits are refreshed per pass).
+  // fusable on the next round (the Relev bits are refreshed per pass);
+  // the folded false() is then the or's neutral operand and drops too.
   EXPECT_EQ(OptimizedKey("//t[b or position() = 0]"),
-            "/descendant::t[(boolean(child::b) or false())]");
+            "/descendant::t[boolean(child::b)]");
   // Positional predicates veto the fusion: the hop changes their
   // candidate-list ranks, so the pair must stay.
   EXPECT_EQ(OptimizedKey("//t[1]"),
@@ -129,9 +130,46 @@ TEST(OptimizeRuleTest, BooleanConstantsFold) {
   // A deciding constant operand settles and/or without the other side.
   EXPECT_EQ(OptimizedKey("a[b and false()]"), "child::a[false()]");
   EXPECT_EQ(OptimizedKey("a[b or true()]"), "child::a");
-  // No deciding constant: the expression stays.
-  EXPECT_EQ(OptimizedKey("a[b or false()]"),
-            "child::a[(boolean(child::b) or false())]");
+}
+
+TEST(OptimizeRuleTest, NeutralOperandsDrop) {
+  // The operator's neutral constant decides nothing: the other operand
+  // alone is the expression (either operand order).
+  EXPECT_EQ(OptimizedKey("a[b and true()]"), "child::a[boolean(child::b)]");
+  EXPECT_EQ(OptimizedKey("a[true() and b]"), "child::a[boolean(child::b)]");
+  EXPECT_EQ(OptimizedKey("a[b or false()]"), "child::a[boolean(child::b)]");
+  EXPECT_EQ(OptimizedKey("a[false() or b]"), "child::a[boolean(child::b)]");
+  // The kept operand stays boolean-typed (and/or coerce their operands),
+  // so surrounding comparisons keep their boolean = string semantics.
+  EXPECT_EQ(OptimizedKey("(b and true()) = 'x'"),
+            "(boolean(child::b) = 'x')");
+
+  const xpath::CompiledQuery dropped = MustCompile("a[b and true()]");
+  EXPECT_EQ(dropped.optimize_stats().eliminated_neutral_operands, 1u);
+  EXPECT_NE(xpath::Explain(dropped).find("neutral_ops_dropped=1"),
+            std::string::npos);
+}
+
+TEST(OptimizeRuleTest, ConstantArithmeticFolds) {
+  // [1 + 1] normalizes to position() = (1 + 1); the folded literal is
+  // exactly what the position rules see for a spelled-out [2].
+  EXPECT_EQ(OptimizedKey("a[1 + 1]"), OptimizedKey("a[2]"));
+  EXPECT_EQ(OptimizedKey("a[1 + 1]"), "child::a[(position() = 2)]");
+  EXPECT_EQ(OptimizedKey("a[2 * 3 - 1]"), "child::a[(position() = 5)]");
+  EXPECT_EQ(OptimizedKey("a[4 div 2]"), "child::a[(position() = 2)]");
+  EXPECT_EQ(OptimizedKey("a[7 mod 3]"), "child::a[(position() = 1)]");
+  // ... including feeding the impossible-position and single-candidate
+  // tightenings.
+  EXPECT_EQ(OptimizedKey("a[1 - 2]"), "child::a[false()]");
+  EXPECT_EQ(OptimizedKey("a[3 div 2]"), "child::a[false()]");
+  EXPECT_EQ(OptimizedKey("a/parent::b[3 - 1]"), "child::a/parent::b[false()]");
+  // Non-constant operands stay put.
+  EXPECT_EQ(OptimizedKey("a[count(b) + 1]"),
+            "child::a[(position() = (count(child::b) + 1))]");
+
+  const xpath::CompiledQuery folded = MustCompile("a[2 * 3 - 1]");
+  EXPECT_EQ(folded.optimize_stats().folded_arithmetic, 2u);
+  EXPECT_NE(xpath::Explain(folded).find("arith_folded=2"), std::string::npos);
 }
 
 TEST(OptimizeRuleTest, StatsRecordEveryRewrite) {
@@ -192,6 +230,10 @@ const char* kOptimizerCorpus[] = {
     "//b/parent::a[1]",
     "//a[b and false()]",
     "//a[b or true()]",
+    "//a[b and true()]",
+    "//a[b or false()]",
+    "//a/b[1 + 1]",
+    "//a/b[2 * 2 - 1]",
     "//a[.//c]//b",
     "//a | .//b",
     "(//a//b)[2]",
