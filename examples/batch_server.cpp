@@ -1,14 +1,13 @@
-// Batch serving: how a multi-user XPath service drives xpe::batch — one
-// BatchEvaluator for the process (worker pool + shared plan cache), many
-// shared read-only documents, request batches fanned out concurrently
-// with results returned in request order.
+// The batch server, promoted to a real service: serve::Server puts the
+// BatchEvaluator worker pool, the versioned DocumentStore, per-tenant
+// plan caches and admission control behind an embedded HTTP endpoint.
+// See docs/http_api.md for the wire surface and docs/operations.md for
+// the metrics this process exports at /metrics.
 //
-// Observability comes from obs::Registry: the pool, its plan cache and
-// its worker sessions publish counters and latency histograms into one
-// registry, and the exporters render what a real service would put
-// behind /metrics.json (obs::ToJson) or /metrics (ToPrometheusText).
+//   ./build/batch_server [port]       (default 8080; 0 = ephemeral)
 //
-//   ./build/batch_server [workers]
+//   curl -s localhost:8080/query -d \
+//     '{"doc": "catalog", "xpath": "//book[@year > 2000]/title"}'
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,65 +17,36 @@
 int main(int argc, char** argv) {
   using namespace xpe;
 
-  // A "corpus": two shared documents, warmed once at startup so serving
-  // threads never pay the lazy O(|D|) index builds.
-  StatusOr<xml::Document> catalog = xml::Parse(R"(<catalog>
+  long port = 8080;
+  if (argc > 1) {
+    char* end = nullptr;
+    port = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || port < 0 || port > 65535) {
+      std::fprintf(stderr, "usage: %s [port 0-65535]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  serve::ServeOptions options;
+  options.port = static_cast<int>(port);
+  serve::Server server(options);  // publishes into obs::Registry::Global()
+
+  // Seed the store; Put parses, warms the lazy caches, and publishes —
+  // later PUT /documents/catalog hot-swaps without dropping a request.
+  server.documents().Put("catalog", xml::Parse(R"(<catalog>
     <book id="b1" year="1999"><title>Data on the Web</title></book>
     <book id="b2" year="2002"><title>XPath Essentials</title></book>
     <book id="b3" year="2003"><title>Efficient XPath</title></book>
-  </catalog>)");
-  if (!catalog.ok()) return 1;
-  xml::Document auctions = xml::MakeAuctionDocument(25, /*seed=*/7);
-  catalog->WarmCaches();
-  auctions.WarmCaches();
+  </catalog>)").value());
+  server.documents().Put("auctions", xml::MakeAuctionDocument(25, /*seed=*/7));
 
-  // One pool for the process. Worker count defaults to the hardware;
-  // each worker owns one Evaluator session, and all workers share one
-  // PlanCache, so a repeated query is compiled exactly once. A private
-  // registry keeps this demo's numbers self-contained; a service would
-  // usually omit the field and publish into obs::Registry::Global().
-  obs::Registry metrics;
-  batch::BatchOptions options;
-  options.registry = &metrics;
-  if (argc > 1) options.workers = std::atoi(argv[1]);
-  batch::BatchEvaluator server(options);
-  printf("serving with %d worker(s)\n\n", server.workers());
-
-  // A mixed "request log": different users, queries, and documents.
-  // Note the repeats — the plan cache turns them into compile-free hits.
-  std::vector<batch::BatchItem> requests = {
-      {"//book[@year > 2000]/title", &*catalog, {}},
-      {"count(//book)", &*catalog, {}},
-      {"//person[creditcard]/name", &auctions, {}},
-      {"//book[@year > 2000]/title", &*catalog, {}},  // repeat: cache hit
-      {"//open_auction[count(bidder) > 2]", &auctions, {}},
-      {"id(//itemref)/name", &auctions, {}},
-      {"count(//book)", &*catalog, {}},               // repeat: cache hit
-      {"//book[", &*catalog, {}},                     // a user's typo
-  };
-
-  const std::vector<batch::BatchResult> results = server.EvaluateAll(requests);
-
-  // Results are in request order no matter how workers interleaved.
-  for (size_t i = 0; i < requests.size(); ++i) {
-    printf("[%zu] %-40s ", i, requests[i].query.c_str());
-    const batch::BatchResult& r = results[i];
-    if (!r.value.ok()) {
-      printf("ERROR %s\n", r.value.status().ToString().c_str());
-      continue;
-    }
-    printf("%s%s\n", r.value->Repr().c_str(), r.cache_hit ? "  (cached)" : "");
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
   }
-
-  const batch::BatchStats& stats = server.last_batch_stats();
-  printf("\nbatch: %llu items, %llu errors (per-batch EvalStats: %s)\n",
-         static_cast<unsigned long long>(stats.items),
-         static_cast<unsigned long long>(stats.errors),
-         stats.eval.ToString().c_str());
-
-  // Everything the serve tier recorded — batch latency/queue-wait/
-  // utilization histograms, plan-cache counters and compile times,
-  // per-session eval metrics — in one deterministic JSON snapshot.
-  printf("\n/metrics.json:\n%s", obs::ToJson(metrics).c_str());
+  std::printf("serving on http://127.0.0.1:%d  (POST /query, GET /documents,"
+              " /metrics, /healthz)\npress Enter to stop\n", server.port());
+  std::getchar();
+  server.Stop();  // drains the queue, joins every thread
   return 0;
 }

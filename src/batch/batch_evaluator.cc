@@ -172,26 +172,39 @@ void BatchEvaluator::WorkerLoop(int worker_index) {
         ++local.errors;
         continue;
       }
-      StatusOr<SharedPlan> plan = cache_->GetOrCompile(item.query,
-                                                       &out.cache_hit);
-      if (out.cache_hit) {
-        ++local.plan_cache_hits;
-      } else {
-        ++local.plan_cache_misses;
-      }
-      if (!plan.ok()) {
-        out.value = plan.status();
-        ++local.errors;
-        const uint64_t done_ns = obs::MonotonicNanos();
-        item_latency_us_->Record((done_ns - claim_ns) / 1000);
-        busy_ns += done_ns - claim_ns;
-        continue;
+      // A supplied plan (the serve tier's per-tenant resolution)
+      // bypasses the pool cache and its hit/miss accounting.
+      SharedPlan plan = item.plan;
+      if (plan == nullptr) {
+        StatusOr<SharedPlan> cached =
+            cache_->GetOrCompile(item.query, &out.cache_hit);
+        if (out.cache_hit) {
+          ++local.plan_cache_hits;
+        } else {
+          ++local.plan_cache_misses;
+        }
+        if (!cached.ok()) {
+          out.value = cached.status();
+          ++local.errors;
+          const uint64_t done_ns = obs::MonotonicNanos();
+          item_latency_us_->Record((done_ns - claim_ns) / 1000);
+          busy_ns += done_ns - claim_ns;
+          continue;
+        }
+        plan = std::move(cached).value();
       }
 
-      EvalOptions opts = options_.eval;
-      opts.stats = &local.eval;  // worker-private sink, merged at the end
+      EvalOptions opts = item.eval.has_value() ? *item.eval : options_.eval;
+      // Per-item overrides may carry their own (single-worker) sink;
+      // the pool's aggregation still needs every item's counters, so
+      // evaluate into a private sink and fan out afterwards.
+      EvalStats* caller_sink = opts.stats;
+      EvalStats item_stats;
+      opts.stats = &item_stats;
       opts.result = item.result;  // per-item result shape (BatchItem)
-      out.value = session.Evaluate(**plan, *item.doc, item.context, opts);
+      out.value = session.Evaluate(*plan, *item.doc, item.context, opts);
+      MergeEvalStats(&local.eval, item_stats);
+      if (caller_sink != nullptr) MergeEvalStats(caller_sink, item_stats);
       if (!out.value.ok()) ++local.errors;
       const uint64_t done_ns = obs::MonotonicNanos();
       item_latency_us_->Record((done_ns - claim_ns) / 1000);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,11 +31,30 @@ namespace xpe::batch {
 /// engines, so probe-shaped items cost what a probe costs. It overrides
 /// BatchOptions::eval.result for this item. A per-item sink, if set,
 /// runs on whichever worker thread evaluates the item.
+///
+/// `plan` (optional) supplies a precompiled plan, bypassing the pool's
+/// own PlanCache for this item; `query` is then informational only
+/// (error messages). This is the serve-tier handoff: xpe::serve
+/// resolves plans in *per-tenant* PlanCaches (sharing the process-wide
+/// CanonicalPlanLevel) and hands the worker pool ready plans, so tenant
+/// isolation lives in the caches while the pool stays tenant-blind.
+/// Plan-supplied items count neither a cache hit nor a miss, and
+/// BatchResult::cache_hit stays false — the caller already knows.
+///
+/// `eval` (optional) overrides BatchOptions::eval for this item: the
+/// serve tier uses it for per-request budgets (admission control) and
+/// per-request parallelism. Unlike BatchOptions::eval, a per-item
+/// stats/profile sink here is allowed — exactly one worker evaluates
+/// the item, so there is no cross-thread sharing; the sink runs on that
+/// worker thread. The item's `result` field still wins over
+/// eval->result.
 struct BatchItem {
   std::string query;
   const xml::Document* doc = nullptr;
   EvalContext context = {};
   ResultSpec result = {};
+  SharedPlan plan;
+  std::optional<EvalOptions> eval;
 };
 
 /// Per-item outcome, in *item order* — results[i] always answers
@@ -115,6 +135,12 @@ struct BatchOptions {
 /// of times (calls are serialized — one batch runs at a time; concurrent
 /// callers queue on an internal mutex). The plan cache persists across
 /// batches, so steady-state workloads run fully warm.
+///
+/// This pool is the evaluation backend of xpe::serve (serve/server.h):
+/// the HTTP front door micro-batches admitted requests onto
+/// EvaluateAll, with plans pre-resolved per tenant (BatchItem::plan)
+/// and per-request budgets applied via BatchItem::eval — see
+/// docs/architecture.md for the full request data-flow.
 class BatchEvaluator {
  public:
   explicit BatchEvaluator(const BatchOptions& options = {});

@@ -1,10 +1,64 @@
 #include "src/batch/plan_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/obs/clock.h"
 
 namespace xpe::batch {
+
+CanonicalPlanLevel& CanonicalPlanLevel::Global() {
+  static CanonicalPlanLevel* level = new CanonicalPlanLevel();  // leaked
+  return *level;
+}
+
+SharedPlan CanonicalPlanLevel::Adopt(SharedPlan plan) {
+  const std::string& key = plan->canonical_key();
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it != stripe.map.end()) {
+    if (SharedPlan existing = it->second.lock()) return existing;
+    it->second = plan;  // expired: re-publish ours under the same key
+    return plan;
+  }
+  stripe.map.emplace(key, plan);
+  if (stripe.map.size() > stripe.sweep_watermark) {
+    for (auto sweep = stripe.map.begin(); sweep != stripe.map.end();) {
+      sweep = sweep->second.expired() ? stripe.map.erase(sweep)
+                                      : std::next(sweep);
+    }
+    stripe.sweep_watermark = std::max<size_t>(64, stripe.map.size() * 2);
+  }
+  return plan;
+}
+
+size_t CanonicalPlanLevel::live_entries() const {
+  size_t live = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [key, weak] : stripe.map) {
+      if (!weak.expired()) ++live;
+    }
+  }
+  return live;
+}
+
+size_t CanonicalPlanLevel::SweepExpired() {
+  size_t removed = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.map.begin(); it != stripe.map.end();) {
+      if (it->second.expired()) {
+        it = stripe.map.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
 
 SharedPlan PlanCache::Lookup(std::string_view query) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -66,18 +120,30 @@ StatusOr<SharedPlan> PlanCache::GetOrCompile(std::string_view query,
 SharedPlan PlanCache::InsertLocked(std::string_view source, SharedPlan plan) {
   // Canonical dedup: a different spelling of an already-cached query
   // shares the existing plan object (weak_ptr: eviction of the last
-  // source alias really frees the plan once evaluations finish).
-  auto canon = by_canonical_.find(plan->canonical_key());
-  if (canon != by_canonical_.end()) {
-    if (SharedPlan existing = canon->second.lock()) {
+  // source alias really frees the plan once evaluations finish). With a
+  // shared CanonicalPlanLevel the dedup domain is process-wide and
+  // lock-striped; Adopt() is self-contained, so calling it under mu_
+  // cannot deadlock.
+  if (canonical_level_ != nullptr) {
+    SharedPlan adopted = canonical_level_->Adopt(plan);
+    if (adopted != plan) {
       ++stats_.canonical_shares;
       canonical_shares_metric_->Increment();
-      plan = std::move(existing);
-    } else {
-      canon->second = plan;  // expired: re-publish ours
+      plan = std::move(adopted);
     }
   } else {
-    by_canonical_.emplace(plan->canonical_key(), plan);
+    auto canon = by_canonical_.find(plan->canonical_key());
+    if (canon != by_canonical_.end()) {
+      if (SharedPlan existing = canon->second.lock()) {
+        ++stats_.canonical_shares;
+        canonical_shares_metric_->Increment();
+        plan = std::move(existing);
+      } else {
+        canon->second = plan;  // expired: re-publish ours
+      }
+    } else {
+      by_canonical_.emplace(plan->canonical_key(), plan);
+    }
   }
 
   lru_.push_front(Entry{std::string(source), plan});

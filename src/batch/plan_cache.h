@@ -22,6 +22,65 @@ namespace xpe::batch {
 /// across cache eviction.
 using SharedPlan = std::shared_ptr<const xpath::CompiledQuery>;
 
+/// A process-wide, lock-striped dedup level over compiled plans, keyed
+/// by CompiledQuery::canonical_key(). It holds weak references only —
+/// it never extends a plan's lifetime, it just lets independent
+/// PlanCaches (one per tenant in xpe::serve) converge on a single plan
+/// object for equivalent queries, so N tenants asking "//a" (or any
+/// spelling that normalizes to it) share one compilation's memory
+/// instead of N copies.
+///
+/// Thread-safety: the canonical-key → weak_ptr map is sharded into
+/// kStripes stripes, each with its own mutex (the key's hash picks the
+/// stripe), so tenants registering plans contend only when their keys
+/// collide on a stripe. Expired entries are swept opportunistically
+/// when a stripe outgrows its high-water mark — the level is
+/// self-bounding without any coordination with cache eviction.
+///
+/// Adopt() is self-contained (one stripe lock, no callbacks), so a
+/// PlanCache may call it while holding its own mutex without lock-order
+/// hazards.
+class CanonicalPlanLevel {
+ public:
+  CanonicalPlanLevel() = default;
+  CanonicalPlanLevel(const CanonicalPlanLevel&) = delete;
+  CanonicalPlanLevel& operator=(const CanonicalPlanLevel&) = delete;
+
+  /// The default process-wide level shared by every cache that opts in
+  /// (ServeOptions wires the per-tenant caches here).
+  static CanonicalPlanLevel& Global();
+
+  /// Returns the already-published plan equivalent to `plan` if one is
+  /// still alive, publishing `plan` (and returning it) otherwise. The
+  /// caller replaces its plan with the return value; pointer inequality
+  /// means an existing plan was adopted.
+  SharedPlan Adopt(SharedPlan plan);
+
+  /// Live (non-expired) entries — O(n), for tests and introspection.
+  size_t live_entries() const;
+
+  /// Drops every expired entry now; returns how many were removed.
+  /// Adopt() already sweeps opportunistically; this is for tests.
+  size_t SweepExpired();
+
+ private:
+  static constexpr size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::weak_ptr<const xpath::CompiledQuery>>
+        map;
+    /// Sweep expired entries when the map grows past this; doubled (min
+    /// 64) after each sweep that stays mostly live, halved toward the
+    /// live size otherwise — amortized O(1) per Adopt.
+    size_t sweep_watermark = 64;
+  };
+  Stripe& StripeFor(std::string_view key) {
+    return stripes_[std::hash<std::string_view>{}(key) % kStripes];
+  }
+
+  Stripe stripes_[kStripes];
+};
+
 /// A thread-safe cache from query text to compiled plan, so repeated
 /// workloads skip the whole parse → normalize → type → classify
 /// front-end (Maneth & Nguyen's whole-query-optimization motivation:
@@ -39,9 +98,20 @@ using SharedPlan = std::shared_ptr<const xpath::CompiledQuery>;
 /// level holds weak references only, so eviction actually frees plans
 /// nobody is evaluating.
 ///
+/// The canonical level comes in two scopes:
+///  - private (the default): this cache's own map — the original
+///    behavior, one dedup domain per cache;
+///  - shared: pass a CanonicalPlanLevel* and equivalent plans are
+///    deduplicated *across caches*. This is how xpe::serve keeps one
+///    PlanCache per tenant (isolated capacity, isolated LRU, isolated
+///    stats) while the process still compiles and stores each distinct
+///    canonical query once — the per-tenant/canonical split described
+///    in docs/architecture.md.
+///
 /// Variable bindings change what a query compiles to, so they are fixed
 /// per cache (constructor), not per lookup: one PlanCache serves one
-/// binding environment.
+/// binding environment. Caches sharing a CanonicalPlanLevel must share
+/// one binding environment too — canonical keys do not encode bindings.
 ///
 /// Thread-safety: all members are guarded by one mutex. Compilation runs
 /// outside the lock — a slow compile never blocks cache hits on other
@@ -56,7 +126,9 @@ class PlanCache {
     uint64_t evictions = 0;       // LRU source entries dropped
     uint64_t failures = 0;        // compiles that returned an error
     size_t entries = 0;           // current source entries
-    size_t canonical_entries = 0;  // dedup-level entries (bounded: see .cc)
+    /// Private dedup-level entries (bounded: see .cc). Always 0 when a
+    /// shared CanonicalPlanLevel is attached — ask the level instead.
+    size_t canonical_entries = 0;
   };
 
   /// `registry` is where the cache publishes its metrics
@@ -65,11 +137,17 @@ class PlanCache {
   /// defaults to the process-wide obs::Registry::Global(). The counters
   /// mirror stats() — stats() stays the exact per-cache view, the
   /// registry aggregates across caches for the exporters.
+  ///
+  /// `canonical` switches the dedup level to the given shared
+  /// CanonicalPlanLevel (see the class comment); null keeps the
+  /// private per-cache level.
   explicit PlanCache(size_t capacity = 1024,
                      xpath::CompileOptions compile_options = {},
-                     obs::Registry* registry = nullptr)
+                     obs::Registry* registry = nullptr,
+                     CanonicalPlanLevel* canonical = nullptr)
       : capacity_(capacity == 0 ? 1 : capacity),
-        compile_options_(std::move(compile_options)) {
+        compile_options_(std::move(compile_options)),
+        canonical_level_(canonical) {
     obs::Registry& r =
         registry != nullptr ? *registry : obs::Registry::Global();
     hits_metric_ = r.GetCounter("xpe_plan_cache_hits_total");
@@ -140,6 +218,8 @@ class PlanCache {
 
   const size_t capacity_;
   const xpath::CompileOptions compile_options_;
+  /// Shared cross-cache dedup level; null = use by_canonical_ below.
+  CanonicalPlanLevel* const canonical_level_ = nullptr;
 
   // Registry metrics, resolved once at construction (never null).
   obs::Counter* hits_metric_;

@@ -1,0 +1,35 @@
+#include "src/serve/admission.h"
+
+namespace xpe::serve {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         obs::Registry* registry)
+    : options_(options) {
+  obs::Registry& r = registry != nullptr ? *registry : obs::Registry::Global();
+  admitted_total_ = r.GetCounter("xpe_serve_admission_admitted_total");
+  rejected_total_ = r.GetCounter("xpe_serve_admission_rejected_total");
+  inflight_peak_ = r.GetCounter("xpe_serve_admission_inflight_peak");
+}
+
+std::optional<AdmissionController::Ticket> AdmissionController::TryAdmit() {
+  const int now = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_inflight <= 0 || now > options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_total_->Increment();
+    return std::nullopt;
+  }
+  admitted_total_->Increment();
+  inflight_peak_->MaxWith(static_cast<uint64_t>(now));
+  return Ticket(this);
+}
+
+uint64_t AdmissionController::EffectiveBudget(uint64_t requested) const {
+  uint64_t budget = requested == 0 ? options_.default_budget : requested;
+  if (options_.max_budget != 0 &&
+      (budget == 0 || budget > options_.max_budget)) {
+    budget = options_.max_budget;
+  }
+  return budget;
+}
+
+}  // namespace xpe::serve

@@ -1,0 +1,63 @@
+#include "src/serve/document_store.h"
+
+#include <utility>
+
+namespace xpe::serve {
+
+DocumentStore::DocumentStore(obs::Registry* registry) {
+  obs::Registry& r = registry != nullptr ? *registry : obs::Registry::Global();
+  puts_total_ = r.GetCounter("xpe_serve_doc_puts_total");
+  swaps_total_ = r.GetCounter("xpe_serve_doc_swaps_total");
+  docs_peak_ = r.GetCounter("xpe_serve_docs_peak");
+}
+
+DocumentHandle DocumentStore::Put(std::string_view name, xml::Document doc) {
+  // Warm outside the lock: the O(|D|) cache builds must block neither
+  // concurrent lookups nor other publications.
+  doc.WarmCaches();
+
+  auto version = std::make_shared<DocumentVersion>();
+  version->name = std::string(name);
+  version->doc = std::move(doc);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& next = next_version_[version->name];
+  version->version = ++next;
+  auto [it, inserted] = docs_.insert_or_assign(version->name,
+                                               DocumentHandle(version));
+  puts_total_->Increment();
+  if (!inserted) swaps_total_->Increment();
+  docs_peak_->MaxWith(docs_.size());
+  return it->second;
+}
+
+DocumentHandle DocumentStore::Get(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+bool DocumentStore::Remove(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) return false;
+  docs_.erase(it);
+  return true;
+}
+
+std::vector<DocumentStore::Info> DocumentStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(docs_.size());
+  for (const auto& [name, handle] : docs_) {
+    out.push_back(Info{name, handle->version, handle->doc.size()});
+  }
+  return out;
+}
+
+size_t DocumentStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+}  // namespace xpe::serve

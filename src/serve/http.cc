@@ -1,0 +1,511 @@
+#include "src/serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace xpe::serve {
+
+namespace {
+
+constexpr int kPollMs = 50;           // stop-flag check granularity
+constexpr int kClientTimeoutMs = 30'000;  // client round-trip ceiling
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Waits until `fd` is readable. Returns 1 ready, 0 stop-requested,
+/// -1 error/hangup-without-data.
+int WaitReadable(int fd, const std::atomic<bool>* stop, int total_ms = -1) {
+  int waited = 0;
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return 0;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int r = poll(&pfd, 1, kPollMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r > 0) return 1;  // readable or HUP — let read() report which
+    waited += kPollMs;
+    if (total_ms >= 0 && waited >= total_ms) return -1;
+  }
+}
+
+/// Appends up to 64 KiB of newly read bytes to `*buffer`. Returns read()'s
+/// result (0 = EOF, <0 = error).
+ssize_t ReadSome(int fd, std::string* buffer) {
+  char chunk[64 * 1024];
+  ssize_t n;
+  do {
+    n = read(fd, chunk, sizeof(chunk));
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) buffer->append(chunk, static_cast<size_t>(n));
+  return n;
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n;
+    do {
+      n = send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Parses "METHOD SP target SP HTTP/x.y" + header lines out of `head`
+/// (which excludes the terminating blank line). Returns false on any
+/// syntax violation.
+bool ParseHead(std::string_view head, HttpRequest* out) {
+  const size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  out->method = std::string(request_line.substr(0, sp1));
+  out->target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out->version = std::string(Trim(request_line.substr(sp2 + 1)));
+  if (out->method.empty() || out->target.empty() ||
+      out->version.rfind("HTTP/", 0) != 0) {
+    return false;
+  }
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    // Whitespace before the colon is an RFC 7230 request-smuggling
+    // vector; reject it outright.
+    const std::string_view name = line.substr(0, colon);
+    if (name.empty() || name.back() == ' ' || name.back() == '\t') {
+      return false;
+    }
+    out->headers.emplace_back(ToLower(name),
+                              std::string(Trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+/// Parses a response status line + headers (HttpClient side).
+bool ParseResponseHead(std::string_view head, HttpResponse* out,
+                       bool* keep_alive) {
+  const size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (status_line.rfind("HTTP/", 0) != 0) return false;
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) {
+    return false;
+  }
+  out->status = 0;
+  for (int i = 0; i < 3; ++i) {
+    const char c = status_line[sp + 1 + i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    out->status = out->status * 10 + (c - '0');
+  }
+
+  *keep_alive = status_line.rfind("HTTP/1.1", 0) == 0;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    const std::string value(Trim(line.substr(colon + 1)));
+    if (name == "content-type") out->content_type = value;
+    if (name == "connection") *keep_alive = ToLower(value) != "close";
+    out->extra_headers.emplace_back(name, value);
+  }
+  return true;
+}
+
+/// Content-Length lookup: -1 absent, -2 invalid.
+int64_t ContentLengthOf(const HttpRequest& request) {
+  const std::string* value = request.FindHeader("content-length");
+  if (value == nullptr) return -1;
+  if (value->empty() || value->size() > 18) return -2;
+  int64_t n = 0;
+  for (const char c : *value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -2;
+    n = n * 10 + (c - '0');
+  }
+  return n;
+}
+
+StatusOr<int> ConnectTo(const std::string& host, int port) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket(): " + std::string(strerror(errno)));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const int err = errno;
+    close(fd);
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            "): " + strerror(err));
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t(target);
+  const size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("connection");
+  if (connection != nullptr) {
+    const std::string v = ToLower(*connection);
+    if (v == "close") return false;
+    if (v == "keep-alive") return true;
+  }
+  return version == "HTTP/1.1";
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 422:
+      return "Unprocessable Content";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+HttpReadOutcome ReadHttpRequest(int fd, const HttpLimits& limits,
+                                const std::atomic<bool>* stop,
+                                HttpRequest* out, std::string* buffer) {
+  *out = HttpRequest{};
+  // Phase 1: accumulate until the blank line ending the head.
+  size_t head_end;
+  size_t scan_from = 0;
+  for (;;) {
+    head_end = buffer->find("\r\n\r\n", scan_from);
+    if (head_end != std::string::npos) break;
+    scan_from = buffer->size() < 3 ? 0 : buffer->size() - 3;
+    if (buffer->size() > limits.max_head_bytes) {
+      return HttpReadOutcome::kHeadTooLarge;
+    }
+    const int ready = WaitReadable(fd, stop);
+    if (ready == 0) return HttpReadOutcome::kStopped;
+    if (ready < 0) return HttpReadOutcome::kError;
+    const ssize_t n = ReadSome(fd, buffer);
+    if (n == 0) {
+      // Clean close between requests vs. mid-head truncation.
+      return buffer->empty() ? HttpReadOutcome::kClosed
+                             : HttpReadOutcome::kMalformed;
+    }
+    if (n < 0) return HttpReadOutcome::kError;
+  }
+
+  if (!ParseHead(std::string_view(*buffer).substr(0, head_end), out)) {
+    return HttpReadOutcome::kMalformed;
+  }
+
+  // Phase 2: the body, exactly Content-Length bytes.
+  const int64_t content_length = ContentLengthOf(*out);
+  if (content_length == -2) return HttpReadOutcome::kMalformed;
+  const size_t body_len = content_length < 0
+                              ? 0
+                              : static_cast<size_t>(content_length);
+  if (body_len > limits.max_body_bytes) {
+    return HttpReadOutcome::kBodyTooLarge;
+  }
+  const size_t body_start = head_end + 4;
+  while (buffer->size() < body_start + body_len) {
+    const int ready = WaitReadable(fd, stop);
+    if (ready == 0) return HttpReadOutcome::kStopped;
+    if (ready < 0) return HttpReadOutcome::kError;
+    const ssize_t n = ReadSome(fd, buffer);
+    if (n == 0) return HttpReadOutcome::kMalformed;  // truncated body
+    if (n < 0) return HttpReadOutcome::kError;
+  }
+  out->body = buffer->substr(body_start, body_len);
+  buffer->erase(0, body_start + body_len);  // keep pipelined read-ahead
+  return HttpReadOutcome::kOk;
+}
+
+bool WriteHttpResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     HttpStatusReason(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  if (response.close) head += "Connection: close\r\n";
+  head += "\r\n";
+  return WriteAll(fd, head) && WriteAll(fd, response.body);
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      port_(other.port_) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) close(fd);
+}
+
+StatusOr<Listener> Listener::Bind(const std::string& host, int port,
+                                  int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket(): " + std::string(strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    close(fd);
+    return Status::Internal("bind(" + host + ":" + std::to_string(port) +
+                            "): " + strerror(err));
+  }
+  if (listen(fd, backlog) < 0) {
+    const int err = errno;
+    close(fd);
+    return Status::Internal("listen(): " + std::string(strerror(err)));
+  }
+  struct sockaddr_in bound = {};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    close(fd);
+    return Status::Internal("getsockname(): " + std::string(strerror(err)));
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+int Listener::Accept(const std::atomic<bool>* stop) {
+  for (;;) {
+    // Snapshot the fd: a concurrent Close() (Server::Stop()'s wake-up)
+    // swaps it to -1; accept() on the closed snapshot fails cleanly.
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return -1;
+    const int ready = WaitReadable(fd, stop);
+    if (ready <= 0) return -1;
+    int conn;
+    do {
+      conn = accept(fd, nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
+    if (conn < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;
+      }
+      return -1;
+    }
+    const int one = 1;
+    setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return conn;
+  }
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      fd_(other.fd_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<HttpClient> HttpClient::Connect(const std::string& host, int port) {
+  XPE_ASSIGN_OR_RETURN(const int fd, ConnectTo(host, port));
+  HttpClient client;
+  client.host_ = host;
+  client.port_ = port;
+  client.fd_ = fd;
+  return client;
+}
+
+StatusOr<HttpResponse> HttpClient::RoundTrip(std::string_view method,
+                                             std::string_view target,
+                                             std::string_view body,
+                                             std::string_view content_type) {
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: ").append(host_).append("\r\n");
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request.append("Content-Type: ").append(content_type).append("\r\n");
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  request.append("\r\n").append(body);
+
+  StatusOr<HttpResponse> response = RoundTripOnce(request);
+  if (response.ok()) return response;
+  // The server may have closed an idle keep-alive connection; one
+  // reconnect covers that race without masking real failures.
+  XPE_ASSIGN_OR_RETURN(const int fd, ConnectTo(host_, port_));
+  Close();
+  fd_ = fd;
+  return RoundTripOnce(request);
+}
+
+StatusOr<HttpResponse> HttpClient::RoundTripOnce(
+    std::string_view request_bytes) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  if (!WriteAll(fd_, request_bytes)) {
+    return Status::Internal("send failed: " + std::string(strerror(errno)));
+  }
+
+  // Read the response head.
+  size_t head_end;
+  for (;;) {
+    head_end = buffer_.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    const int ready = WaitReadable(fd_, nullptr, kClientTimeoutMs);
+    if (ready <= 0) return Status::Internal("response head timeout");
+    const ssize_t n = ReadSome(fd_, &buffer_);
+    if (n == 0) return Status::Internal("connection closed mid-response");
+    if (n < 0) {
+      return Status::Internal("read failed: " + std::string(strerror(errno)));
+    }
+  }
+  HttpResponse response;
+  bool keep_alive = true;
+  if (!ParseResponseHead(std::string_view(buffer_).substr(0, head_end),
+                         &response, &keep_alive)) {
+    return Status::Internal("malformed response head");
+  }
+  size_t body_len = 0;
+  for (const auto& [name, value] : response.extra_headers) {
+    if (name == "content-length") {
+      body_len = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    }
+  }
+  const size_t body_start = head_end + 4;
+  while (buffer_.size() < body_start + body_len) {
+    const int ready = WaitReadable(fd_, nullptr, kClientTimeoutMs);
+    if (ready <= 0) return Status::Internal("response body timeout");
+    const ssize_t n = ReadSome(fd_, &buffer_);
+    if (n == 0) return Status::Internal("connection closed mid-body");
+    if (n < 0) {
+      return Status::Internal("read failed: " + std::string(strerror(errno)));
+    }
+  }
+  response.body = buffer_.substr(body_start, body_len);
+  buffer_.erase(0, body_start + body_len);
+  if (!keep_alive) Close();
+  return response;
+}
+
+}  // namespace xpe::serve

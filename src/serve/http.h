@@ -1,0 +1,153 @@
+#ifndef XPE_SERVE_HTTP_H_
+#define XPE_SERVE_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xpe::serve {
+
+/// One parsed HTTP/1.1 request. The serve tier speaks a deliberate
+/// subset of RFC 7230 — methods + target + headers + Content-Length
+/// body — which is everything a JSON query API needs: no chunked
+/// transfer encoding (bodies are bounded and buffered anyway), no
+/// multipart, no TLS (terminate upstream; see docs/operations.md).
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (as sent; matched exactly)
+  std::string target;   // the raw request target, e.g. "/query"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  /// Header fields with names lower-cased at parse time (field names
+  /// are case-insensitive; values are kept verbatim, trimmed).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// The target without its query string ("/query?x=1" → "/query").
+  std::string_view path() const;
+  /// Value of the first header named `name` (lower-case), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+  /// HTTP/1.1 defaults to persistent connections; "Connection: close"
+  /// (and HTTP/1.0 without "keep-alive") opts out.
+  bool KeepAlive() const;
+};
+
+/// One response to serialize. The writer adds Content-Length, Date-free
+/// minimal headers, and Connection per `close`.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool close = false;  // force Connection: close on a keep-alive peer
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Reason phrase for the status codes the API uses ("Not Found", ...).
+const char* HttpStatusReason(int status);
+
+/// Input bounds for reading one request. Oversized input is answered
+/// with 431/413 by the server, never buffered unbounded.
+struct HttpLimits {
+  size_t max_head_bytes = 64 * 1024;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Outcome of reading one request off a connection.
+enum class HttpReadOutcome {
+  kOk,            // *out holds a complete request
+  kClosed,        // peer closed cleanly between requests
+  kStopped,       // *stop went true while waiting
+  kMalformed,     // unparseable head → answer 400 and close
+  kHeadTooLarge,  // head exceeded max_head_bytes → 431
+  kBodyTooLarge,  // Content-Length exceeded max_body_bytes → 413
+  kError,         // socket error
+};
+
+/// Reads one request from `fd` into `*out`. Blocking with a poll loop:
+/// checks `*stop` every ~50 ms so server shutdown never hangs on an
+/// idle keep-alive connection. `buffer` holds bytes read beyond the
+/// previous request (keep-alive pipelining) and must persist across
+/// calls on one connection.
+HttpReadOutcome ReadHttpRequest(int fd, const HttpLimits& limits,
+                                const std::atomic<bool>* stop,
+                                HttpRequest* out, std::string* buffer);
+
+/// Serializes and sends `response` on `fd`. Returns false on a socket
+/// error (peer gone — the caller just drops the connection).
+bool WriteHttpResponse(int fd, const HttpResponse& response);
+
+/// An RAII listening socket (SO_REUSEADDR, loopback or any address).
+/// Accept() polls so a stop flag can interrupt it.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port —
+  /// read it back with port() (how the tests and bench avoid
+  /// collisions).
+  static StatusOr<Listener> Bind(const std::string& host, int port,
+                                 int backlog = 128);
+
+  /// Accepts one connection (TCP_NODELAY set). Returns the fd, or -1
+  /// when `*stop` went true or the listener was closed.
+  int Accept(const std::atomic<bool>* stop);
+
+  int port() const { return port_; }
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+
+  /// Closes the socket. Safe to call from another thread while Accept()
+  /// blocks — closing is how Server::Stop() wakes its acceptor, so the
+  /// fd is handed off atomically and closed exactly once.
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  int port_ = 0;
+};
+
+/// A minimal keep-alive HTTP client for loopback use: the integration
+/// tests, the bench_serve load generator, and health probes in the
+/// demo. One connection, serial request/response round trips.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  static StatusOr<HttpClient> Connect(const std::string& host, int port);
+
+  /// Sends `method target` with `body` and reads the response.
+  /// Reconnects once transparently if the server closed the keep-alive
+  /// connection between round trips.
+  StatusOr<HttpResponse> RoundTrip(std::string_view method,
+                                   std::string_view target,
+                                   std::string_view body = {},
+                                   std::string_view content_type =
+                                       "application/json");
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  StatusOr<HttpResponse> RoundTripOnce(std::string_view request_bytes);
+
+  std::string host_;
+  int port_ = 0;
+  int fd_ = -1;
+  std::string buffer_;  // read-ahead across keep-alive responses
+};
+
+}  // namespace xpe::serve
+
+#endif  // XPE_SERVE_HTTP_H_

@@ -1,0 +1,386 @@
+#include "src/serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xpe::serve {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with an explicit cursor.
+/// Errors carry the 1-based character offset in Status::column so a
+/// client sees where its body went wrong.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> ParseDocument() {
+    XPE_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return StatusOr<Json>(std::move(value));
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status(StatusCode::kParseError, "JSON: " + message, /*line=*/1,
+                  static_cast<int>(pos_) + 1);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > Json::kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        XPE_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json::Str(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return Json::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return Json::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) return Json::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    Consume('{');
+    Json::Object object;
+    SkipWhitespace();
+    if (Consume('}')) return Json::Obj(std::move(object));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      XPE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      XPE_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      object.insert_or_assign(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Json::Obj(std::move(object));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    Consume('[');
+    Json::Array array;
+    SkipWhitespace();
+    if (Consume(']')) return Json::Arr(std::move(array));
+    for (;;) {
+      XPE_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Json::Arr(std::move(array));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          XPE_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!ConsumeWord("\\u")) return Error("unpaired surrogate");
+            XPE_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_]))) {
+      return Error("invalid number");
+    }
+    // JSON forbids leading zeros ("01"); strtod would accept them.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+        return Error("digit required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+        return Error("digit required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Json::Number(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void DumpNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    out->append("null");  // JSON has no NaN/Infinity; documented mapping
+    return;
+  }
+  char buf[32];
+  // Integers (ids, counts, versions) print without a decimal point;
+  // everything else gets round-trippable precision.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+void DumpValue(const Json& v, std::string* out);
+
+void DumpArray(const Json::Array& a, std::string* out) {
+  out->push_back('[');
+  bool first = true;
+  for (const Json& v : a) {
+    if (!first) out->push_back(',');
+    first = false;
+    DumpValue(v, out);
+  }
+  out->push_back(']');
+}
+
+void DumpObject(const Json::Object& o, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : o) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(JsonEscape(key));
+    out->push_back(':');
+    DumpValue(value, out);
+  }
+  out->push_back('}');
+}
+
+void DumpValue(const Json& v, std::string* out) {
+  if (v.is_null()) {
+    out->append("null");
+  } else if (v.is_bool()) {
+    out->append(v.boolean() ? "true" : "false");
+  } else if (v.is_number()) {
+    DumpNumber(v.number(), out);
+  } else if (v.is_string()) {
+    out->append(JsonEscape(v.string()));
+  } else if (v.is_array()) {
+    DumpArray(v.array(), out);
+  } else {
+    DumpObject(v.object(), out);
+  }
+}
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& o = object();
+  auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpValue(*this, &out);
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace xpe::serve

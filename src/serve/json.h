@@ -1,0 +1,97 @@
+#ifndef XPE_SERVE_JSON_H_
+#define XPE_SERVE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xpe::serve {
+
+/// A minimal JSON value for the serve tier's request/response bodies:
+/// parse, typed accessors, and deterministic serialization — nothing
+/// else. The HTTP API (docs/http_api.md) only needs flat objects with
+/// string/number/bool fields plus arrays of objects in responses, so
+/// this deliberately stays a ~300-line RFC 8259 subset instead of a
+/// third-party dependency (the repo takes none).
+///
+/// Faithfulness notes:
+///  - Numbers are doubles (like XPath 1.0 itself); integers round-trip
+///    exactly up to 2^53, which covers every id/count the API emits.
+///  - Object keys are kept sorted (std::map), so Dump() is
+///    deterministic — the property every exporter in this repo has.
+///  - Parse depth is capped (kMaxDepth) so a hostile request body
+///    cannot overflow the stack; parse errors carry 1-based offsets.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  /// Nesting bound for Parse (objects + arrays). Deep enough for any
+  /// real API body, shallow enough that recursion is safe.
+  static constexpr int kMaxDepth = 64;
+
+  Json() : data_(nullptr) {}  // null
+  static Json Null() { return Json(); }
+  static Json Bool(bool b) { return Json(Data(b)); }
+  static Json Number(double n) { return Json(Data(n)); }
+  static Json Str(std::string s) { return Json(Data(std::move(s))); }
+  static Json Arr(Array a = {}) { return Json(Data(std::move(a))); }
+  static Json Obj(Object o = {}) { return Json(Data(std::move(o))); }
+
+  /// Parses exactly one JSON value; trailing non-whitespace is a
+  /// ParseError (a truncated or concatenated body is a client bug the
+  /// server must flag, not guess around).
+  static StatusOr<Json> Parse(std::string_view text);
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool boolean() const { return std::get<bool>(data_); }
+  double number() const { return std::get<double>(data_); }
+  const std::string& string() const { return std::get<std::string>(data_); }
+  const Array& array() const { return std::get<Array>(data_); }
+  const Object& object() const { return std::get<Object>(data_); }
+  Array& array() { return std::get<Array>(data_); }
+  Object& object() { return std::get<Object>(data_); }
+
+  /// Object field lookup; nullptr when this is not an object or the key
+  /// is absent. The request handlers are built on this + the typed
+  /// Field* helpers below, so a malformed body degrades into a precise
+  /// 400, never a crash.
+  const Json* Find(std::string_view key) const;
+
+  /// Sets `key` on an object value (must be an object).
+  void Set(std::string key, Json value) {
+    object().insert_or_assign(std::move(key), std::move(value));
+  }
+
+  /// Compact, deterministic serialization (sorted keys, no whitespace).
+  /// Non-finite numbers render as null — JSON has no NaN/Infinity, and
+  /// the API documents that mapping.
+  std::string Dump() const;
+
+ private:
+  using Data =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+  explicit Json(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+/// Escapes `s` as a JSON string literal including the quotes (control
+/// characters become \u00XX). Exposed for handlers that build bodies
+/// incrementally without going through a Json tree.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace xpe::serve
+
+#endif  // XPE_SERVE_JSON_H_

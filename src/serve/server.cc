@@ -1,0 +1,650 @@
+#include "src/serve/server.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/clock.h"
+#include "src/obs/export.h"
+#include "src/serve/json.h"
+#include "src/xml/parser.h"
+
+namespace xpe::serve {
+
+namespace {
+
+/// How much result data one response may carry; the full node-set stays
+/// available through count/limit semantics, this only bounds rendering
+/// (docs/http_api.md#response-size-bounds).
+constexpr size_t kMaxRenderedNodes = 1000;
+constexpr size_t kMaxStringValue = 256;
+
+/// StatusCode → HTTP status for evaluation/compile errors. 422 for
+/// budget exhaustion is deliberate: the request was well-formed, the
+/// server refused to process it to completion (admission semantics in
+/// docs/operations.md).
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidQuery:
+    case StatusCode::kUnsupported:
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kResourceExhausted:
+      return 422;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse ErrorResponse(int http_status, std::string_view code,
+                           std::string_view message) {
+  Json error = Json::Obj();
+  error.Set("code", Json::Str(std::string(code)));
+  error.Set("message", Json::Str(std::string(message)));
+  Json body = Json::Obj();
+  body.Set("error", std::move(error));
+  HttpResponse response;
+  response.status = http_status;
+  response.body = body.Dump();
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return ErrorResponse(HttpStatusFor(status.code()),
+                       StatusCodeToString(status.code()), status.ToString());
+}
+
+bool ParseResultMode(std::string_view name, ResultMode* mode) {
+  if (name == "full") {
+    *mode = ResultMode::kFull;
+  } else if (name == "first") {
+    *mode = ResultMode::kFirst;
+  } else if (name == "exists") {
+    *mode = ResultMode::kExists;
+  } else if (name == "count") {
+    *mode = ResultMode::kCount;
+  } else if (name == "limit") {
+    *mode = ResultMode::kLimit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// One result node as the API renders it: id (document-order position,
+/// stable for a document version), name, and a bounded string-value.
+Json RenderNode(const xml::Document& doc, xml::NodeId id) {
+  Json node = Json::Obj();
+  node.Set("id", Json::Number(static_cast<double>(id)));
+  node.Set("name", Json::Str(std::string(doc.name(id))));
+  std::string value = doc.StringValue(id);
+  if (value.size() > kMaxStringValue) {
+    value.resize(kMaxStringValue);
+    node.Set("string_truncated", Json::Bool(true));
+  }
+  node.Set("string", Json::Str(std::move(value)));
+  return node;
+}
+
+Json RenderValue(const Value& value, const xml::Document& doc) {
+  Json out = Json::Obj();
+  switch (value.type()) {
+    case ValueType::kNodeSet: {
+      const NodeSet& nodes = value.node_set();
+      out.Set("type", Json::Str("node-set"));
+      out.Set("count", Json::Number(static_cast<double>(nodes.size())));
+      Json::Array rendered;
+      rendered.reserve(std::min(nodes.size(), kMaxRenderedNodes));
+      for (xml::NodeId id : nodes) {
+        if (rendered.size() >= kMaxRenderedNodes) {
+          out.Set("nodes_truncated", Json::Bool(true));
+          break;
+        }
+        rendered.push_back(RenderNode(doc, id));
+      }
+      out.Set("nodes", Json::Arr(std::move(rendered)));
+      break;
+    }
+    case ValueType::kBoolean:
+      out.Set("type", Json::Str("boolean"));
+      out.Set("value", Json::Bool(value.boolean()));
+      break;
+    case ValueType::kNumber:
+      out.Set("type", Json::Str("number"));
+      out.Set("value", Json::Number(value.number()));
+      break;
+    case ValueType::kString:
+      out.Set("type", Json::Str("string"));
+      out.Set("value", Json::Str(value.string()));
+      break;
+  }
+  return out;
+}
+
+/// Typed field extraction with precise 400 messages. A missing optional
+/// field returns true with *out untouched.
+bool FieldString(const Json& body, std::string_view key, bool required,
+                 std::string* out, std::string* error) {
+  const Json* field = body.Find(key);
+  if (field == nullptr) {
+    if (required) *error = "missing required field \"" + std::string(key) + '"';
+    return !required;
+  }
+  if (!field->is_string()) {
+    *error = "field \"" + std::string(key) + "\" must be a string";
+    return false;
+  }
+  *out = field->string();
+  return true;
+}
+
+bool FieldUint(const Json& body, std::string_view key, uint64_t* out,
+               std::string* error) {
+  const Json* field = body.Find(key);
+  if (field == nullptr) return true;
+  if (!field->is_number() || field->number() < 0 ||
+      field->number() != field->number() ||  // NaN
+      field->number() > 9.007199254740992e15) {
+    *error = "field \"" + std::string(key) +
+             "\" must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<uint64_t>(field->number());
+  return true;
+}
+
+bool FieldBool(const Json& body, std::string_view key, bool* out,
+               std::string* error) {
+  const Json* field = body.Find(key);
+  if (field == nullptr) return true;
+  if (!field->is_bool()) {
+    *error = "field \"" + std::string(key) + "\" must be a boolean";
+    return false;
+  }
+  *out = field->boolean();
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : &obs::Registry::Global()),
+      canonical_(options_.canonical != nullptr
+                     ? options_.canonical
+                     : &batch::CanonicalPlanLevel::Global()),
+      documents_(registry_),
+      admission_(options_.admission, registry_) {
+  requests_total_ = registry_->GetCounter("xpe_serve_requests_total");
+  responses_2xx_total_ = registry_->GetCounter("xpe_serve_responses_2xx_total");
+  responses_4xx_total_ = registry_->GetCounter("xpe_serve_responses_4xx_total");
+  responses_5xx_total_ = registry_->GetCounter("xpe_serve_responses_5xx_total");
+  connections_total_ = registry_->GetCounter("xpe_serve_connections_total");
+  connections_shed_total_ =
+      registry_->GetCounter("xpe_serve_connections_shed_total");
+  request_us_ = registry_->GetHistogram("xpe_serve_request_us");
+  dispatch_batch_size_ =
+      registry_->GetHistogram("xpe_serve_dispatch_batch_size");
+  queue_wait_us_ = registry_->GetHistogram("xpe_serve_queue_wait_us");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  stop_.store(false, std::memory_order_release);
+
+  XPE_ASSIGN_OR_RETURN(listener_,
+                       Listener::Bind(options_.host, options_.port));
+  port_ = listener_.port();
+
+  batch::BatchOptions pool_options;
+  pool_options.workers = options_.workers;
+  pool_options.eval = options_.eval;
+  pool_options.compile = options_.compile;
+  pool_options.registry = registry_;
+  // The store warms at Put; re-warming per batch would add a pointless
+  // O(distinct docs) pass per dispatch.
+  pool_options.warm_documents = false;
+  pool_ = std::make_unique<batch::BatchEvaluator>(pool_options);
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  const int handlers = std::max(1, options_.io_threads);
+  handlers_.reserve(handlers);
+  for (int i = 0; i < handlers; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    // Set under both queue locks so no handler can observe stop_ false
+    // and then enqueue past the dispatcher's drain.
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  listener_.Close();  // wakes the acceptor
+  conns_cv_.notify_all();
+  queue_cv_.notify_all();
+
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+  if (dispatcher_.joinable()) dispatcher_.join();
+
+  // Connections accepted but never claimed by a handler.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const int fd : pending_conns_) close(fd);
+  pending_conns_.clear();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = listener_.Accept(&stop_);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stop_.load(std::memory_order_acquire) ||
+          pending_conns_.size() >= options_.accept_backlog) {
+        shed = true;
+      } else {
+        pending_conns_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // Connection-level shedding: every handler is pinned and the
+      // hand-off queue is full. Answer 503 cheaply from the acceptor
+      // instead of letting the connect back up invisibly.
+      connections_shed_total_->Increment();
+      HttpResponse response = ErrorResponse(
+          503, "Overloaded", "no connection handler available; retry");
+      response.close = true;
+      WriteHttpResponse(fd, response);
+      close(fd);
+      continue;
+    }
+    conns_cv_.notify_one();
+  }
+}
+
+void Server::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conns_mu_);
+      conns_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               !pending_conns_.empty();
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      fd = pending_conns_.front();
+      pending_conns_.pop_front();
+    }
+    connections_total_->Increment();
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  for (;;) {
+    HttpRequest request;
+    const HttpReadOutcome outcome =
+        ReadHttpRequest(fd, options_.limits, &stop_, &request, &buffer);
+    switch (outcome) {
+      case HttpReadOutcome::kOk:
+        break;
+      case HttpReadOutcome::kMalformed: {
+        HttpResponse response =
+            ErrorResponse(400, "BadRequest", "malformed HTTP request");
+        response.close = true;
+        WriteHttpResponse(fd, response);
+        return;
+      }
+      case HttpReadOutcome::kHeadTooLarge: {
+        HttpResponse response = ErrorResponse(
+            431, "HeadersTooLarge", "request head exceeds the size limit");
+        response.close = true;
+        WriteHttpResponse(fd, response);
+        return;
+      }
+      case HttpReadOutcome::kBodyTooLarge: {
+        HttpResponse response = ErrorResponse(
+            413, "BodyTooLarge", "request body exceeds the size limit");
+        response.close = true;
+        WriteHttpResponse(fd, response);
+        return;
+      }
+      case HttpReadOutcome::kClosed:
+      case HttpReadOutcome::kStopped:
+      case HttpReadOutcome::kError:
+        return;
+    }
+
+    requests_total_->Increment();
+    const uint64_t t0 = obs::MonotonicNanos();
+    HttpResponse response = Route(request);
+    request_us_->Record((obs::MonotonicNanos() - t0) / 1000);
+    if (response.status >= 500) {
+      responses_5xx_total_->Increment();
+    } else if (response.status >= 400) {
+      responses_4xx_total_->Increment();
+    } else {
+      responses_2xx_total_->Increment();
+    }
+    if (!request.KeepAlive()) response.close = true;
+    if (!WriteHttpResponse(fd, response)) return;
+    if (response.close) return;
+  }
+}
+
+HttpResponse Server::Route(const HttpRequest& request) {
+  const std::string_view path = request.path();
+  if (path == "/query") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "MethodNotAllowed", "use POST /query");
+    }
+    return HandleQuery(request);
+  }
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "MethodNotAllowed", "use GET /healthz");
+    }
+    return HandleHealth();
+  }
+  if (path == "/metrics" || path == "/metrics.json") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "MethodNotAllowed", "metrics are GET-only");
+    }
+    return HandleMetrics(/*json=*/path == "/metrics.json");
+  }
+  if (path == "/documents") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "MethodNotAllowed",
+                           "use GET /documents, or PUT/DELETE "
+                           "/documents/{name}");
+    }
+    return HandleDocumentList();
+  }
+  if (path.rfind("/documents/", 0) == 0) {
+    const std::string_view name = path.substr(strlen("/documents/"));
+    if (name.empty() || name.find('/') != std::string_view::npos) {
+      return ErrorResponse(404, "NotFound", "document names are one segment");
+    }
+    if (request.method == "PUT") return HandleDocumentPut(name, request);
+    if (request.method == "DELETE") return HandleDocumentDelete(name);
+    if (request.method == "GET") {
+      const DocumentHandle handle = documents_.Get(name);
+      if (handle == nullptr) {
+        return ErrorResponse(404, "NotFound",
+                             "unknown document \"" + std::string(name) + '"');
+      }
+      Json body = Json::Obj();
+      body.Set("name", Json::Str(handle->name));
+      body.Set("version", Json::Number(static_cast<double>(handle->version)));
+      body.Set("nodes", Json::Number(static_cast<double>(handle->doc.size())));
+      HttpResponse response;
+      response.body = body.Dump();
+      return response;
+    }
+    return ErrorResponse(405, "MethodNotAllowed",
+                         "use GET, PUT or DELETE on /documents/{name}");
+  }
+  return ErrorResponse(404, "NotFound",
+                       "no such endpoint; see docs/http_api.md");
+}
+
+batch::PlanCache& Server::TenantCache(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(tenant, std::make_unique<batch::PlanCache>(
+                                  options_.plan_cache_capacity,
+                                  options_.compile, registry_, canonical_))
+             .first;
+  }
+  return *it->second;
+}
+
+batch::PlanCache::Stats Server::TenantCacheStats(const std::string& tenant) {
+  return TenantCache(tenant).stats();
+}
+
+HttpResponse Server::HandleQuery(const HttpRequest& request) {
+  StatusOr<Json> body = Json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  if (!body->is_object()) {
+    return ErrorResponse(400, "BadRequest", "request body must be an object");
+  }
+
+  std::string doc_name, xpath, mode_name = "full", tenant = "default";
+  uint64_t limit = 0, budget = 0;
+  bool parallel = options_.eval.parallel.enabled;
+  std::string field_error;
+  if (!FieldString(*body, "doc", /*required=*/true, &doc_name, &field_error) ||
+      !FieldString(*body, "xpath", /*required=*/true, &xpath, &field_error) ||
+      !FieldString(*body, "mode", /*required=*/false, &mode_name,
+                   &field_error) ||
+      !FieldString(*body, "tenant", /*required=*/false, &tenant,
+                   &field_error) ||
+      !FieldUint(*body, "limit", &limit, &field_error) ||
+      !FieldUint(*body, "budget", &budget, &field_error) ||
+      !FieldBool(*body, "parallel", &parallel, &field_error)) {
+    return ErrorResponse(400, "BadRequest", field_error);
+  }
+  ResultMode mode;
+  if (!ParseResultMode(mode_name, &mode)) {
+    return ErrorResponse(400, "BadRequest",
+                         "unknown mode \"" + mode_name +
+                             "\" (full|first|exists|count|limit)");
+  }
+  if (mode == ResultMode::kLimit && limit == 0) {
+    return ErrorResponse(400, "BadRequest",
+                         "mode \"limit\" requires \"limit\" >= 1");
+  }
+
+  // Admission before any engine-adjacent work: shedding must stay the
+  // cheapest path through the server.
+  std::optional<AdmissionController::Ticket> ticket = admission_.TryAdmit();
+  if (!ticket.has_value()) {
+    return ErrorResponse(429, "Overloaded",
+                         "in-flight query limit reached; retry with backoff");
+  }
+
+  const DocumentHandle handle = documents_.Get(doc_name);
+  if (handle == nullptr) {
+    return ErrorResponse(404, "NotFound",
+                         "unknown document \"" + doc_name + '"');
+  }
+
+  // Compile (or hit) in the tenant's cache. Compile errors answer here,
+  // before the job ever reaches the worker pool.
+  bool cache_hit = false;
+  StatusOr<batch::SharedPlan> plan =
+      TenantCache(tenant).GetOrCompile(xpath, &cache_hit);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+
+  QueryJob job;
+  job.doc = handle;
+  job.ticket = std::move(*ticket);
+  job.item.query = std::move(xpath);
+  job.item.doc = &handle->doc;
+  job.item.plan = std::move(plan).value();
+  job.item.result.mode = mode;
+  job.item.result.limit = limit;
+  EvalOptions eval = options_.eval;
+  eval.budget = admission_.EffectiveBudget(budget);
+  eval.parallel.enabled = parallel;
+  job.item.eval = eval;
+  job.enqueue_ns = obs::MonotonicNanos();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      return ErrorResponse(503, "ShuttingDown", "server is stopping");
+    }
+    queue_.push_back(&job);
+  }
+  queue_cv_.notify_one();
+
+  {
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.cv.wait(lock, [&] { return job.done || job.shed; });
+  }
+  if (job.shed) {
+    return ErrorResponse(503, "ShuttingDown",
+                         "server stopped before the query ran");
+  }
+  if (!job.result.value.ok()) return ErrorResponse(job.result.value.status());
+
+  Json out = RenderValue(*job.result.value, handle->doc);
+  out.Set("doc", Json::Str(handle->name));
+  out.Set("doc_version", Json::Number(static_cast<double>(handle->version)));
+  out.Set("mode", Json::Str(mode_name));
+  out.Set("cache_hit", Json::Bool(cache_hit));
+  out.Set("eval_us", Json::Number(static_cast<double>(
+                         (obs::MonotonicNanos() - job.enqueue_ns) / 1000)));
+  HttpResponse response;
+  response.body = out.Dump();
+  return response;
+}
+
+HttpResponse Server::HandleHealth() {
+  Json body = Json::Obj();
+  body.Set("status", Json::Str("ok"));
+  body.Set("documents", Json::Number(static_cast<double>(documents_.size())));
+  body.Set("workers", Json::Number(pool_ != nullptr ? pool_->workers() : 0));
+  body.Set("inflight", Json::Number(admission_.inflight()));
+  HttpResponse response;
+  response.body = body.Dump();
+  return response;
+}
+
+HttpResponse Server::HandleMetrics(bool json) {
+  HttpResponse response;
+  if (json) {
+    response.body = obs::ToJson(*registry_);
+  } else {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::ToPrometheusText(*registry_);
+  }
+  return response;
+}
+
+HttpResponse Server::HandleDocumentList() {
+  Json::Array list;
+  for (const DocumentStore::Info& info : documents_.List()) {
+    Json entry = Json::Obj();
+    entry.Set("name", Json::Str(info.name));
+    entry.Set("version", Json::Number(static_cast<double>(info.version)));
+    entry.Set("nodes", Json::Number(static_cast<double>(info.nodes)));
+    list.push_back(std::move(entry));
+  }
+  Json body = Json::Obj();
+  body.Set("documents", Json::Arr(std::move(list)));
+  HttpResponse response;
+  response.body = body.Dump();
+  return response;
+}
+
+HttpResponse Server::HandleDocumentPut(std::string_view name,
+                                       const HttpRequest& request) {
+  StatusOr<xml::Document> doc = xml::Parse(request.body);
+  if (!doc.ok()) {
+    return ErrorResponse(400, StatusCodeToString(doc.status().code()),
+                         doc.status().ToString());
+  }
+  const DocumentHandle handle =
+      documents_.Put(name, std::move(doc).value());
+  Json body = Json::Obj();
+  body.Set("name", Json::Str(handle->name));
+  body.Set("version", Json::Number(static_cast<double>(handle->version)));
+  body.Set("nodes", Json::Number(static_cast<double>(handle->doc.size())));
+  HttpResponse response;
+  response.status = handle->version == 1 ? 201 : 200;
+  response.body = body.Dump();
+  return response;
+}
+
+HttpResponse Server::HandleDocumentDelete(std::string_view name) {
+  if (!documents_.Remove(name)) {
+    return ErrorResponse(404, "NotFound",
+                         "unknown document \"" + std::string(name) + '"');
+  }
+  Json body = Json::Obj();
+  body.Set("removed", Json::Str(std::string(name)));
+  HttpResponse response;
+  response.body = body.Dump();
+  return response;
+}
+
+void Server::DispatchLoop() {
+  for (;;) {
+    std::vector<QueryJob*> jobs;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (stop_.load(std::memory_order_acquire)) {
+        // Drain everything still queued as shed; exit once empty. No
+        // new jobs can appear — handlers check stop_ under this mutex.
+        while (!queue_.empty()) {
+          QueryJob* job = queue_.front();
+          queue_.pop_front();
+          std::lock_guard<std::mutex> job_lock(job->mu);
+          job->shed = true;
+          job->cv.notify_one();
+        }
+        return;
+      }
+      while (!queue_.empty() && jobs.size() < std::max<size_t>(
+                                                  1, options_.max_batch)) {
+        jobs.push_back(queue_.front());
+        queue_.pop_front();
+      }
+    }
+
+    dispatch_batch_size_->Record(jobs.size());
+    const uint64_t claim_ns = obs::MonotonicNanos();
+    std::vector<batch::BatchItem> items;
+    items.reserve(jobs.size());
+    for (QueryJob* job : jobs) {
+      queue_wait_us_->Record((claim_ns - job->enqueue_ns) / 1000);
+      items.push_back(job->item);
+    }
+
+    std::vector<batch::BatchResult> results = pool_->EvaluateAll(items);
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      QueryJob* job = jobs[i];
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      job->result = std::move(results[i]);
+      job->done = true;
+      job->cv.notify_one();
+    }
+  }
+}
+
+}  // namespace xpe::serve

@@ -6,8 +6,8 @@
 /// six interchangeable evaluation engines — the exponential naive
 /// baseline, E↑ and E↓ of [11], the paper's MINCONTEXT and
 /// OPTMINCONTEXT, and the linear-time Core XPath engine — plus a
-/// per-document search index, pooled evaluation sessions, and a
-/// concurrent batch evaluator.
+/// per-document search index, pooled evaluation sessions, a concurrent
+/// batch evaluator, and an embeddable HTTP query service (xpe::serve).
 ///
 /// Quickstart — compile once with xpe::Query, then ask with typed verbs:
 ///
@@ -71,6 +71,11 @@
 #include "src/obs/export.h"         // metrics exporters (JSON, Prometheus)
 #include "src/obs/metrics.h"        // obs::Registry — counters/histograms
 #include "src/obs/profiler.h"       // per-query profiler (Query::Profile)
+#include "src/serve/admission.h"    // request admission control (429/422)
+#include "src/serve/document_store.h"  // named docs, versioned hot-swap
+#include "src/serve/http.h"         // embedded HTTP/1.1 server + client
+#include "src/serve/json.h"         // minimal JSON for the HTTP API
+#include "src/serve/server.h"       // serve::Server — the network front door
 #include "src/xml/document.h"       // Document / DocumentBuilder
 #include "src/xml/generator.h"      // synthetic document generators
 #include "src/xml/parser.h"         // xml::Parse
