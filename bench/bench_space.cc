@@ -9,11 +9,20 @@
 // The printed `growth` column is the log₂ cell ratio between successive
 // |D| doublings: ≈1 linear, ≈2 quadratic, ≈3 cubic.
 
+// The index-tier section extends the space story to the *indexes*: the
+// flat DocumentIndex (hot) vs the succinct tier (dense), in absolute
+// MemoryUsageBytes per tier on documents up to >10 MB serialized. Under
+// --smoke the largest document gates dense ≤ 40% of hot.
+
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/index/document_index.h"
+#include "src/succinct/succinct_index.h"
 
 namespace xpe::bench {
 namespace {
@@ -58,13 +67,53 @@ void PrintSeries(const Series& series) {
   }
 }
 
+/// Per-tier index footprint vs document size. Returns false when the
+/// gate (dense ≤ 40% of hot, checked on the ≥10 MB document) fails.
+bool PrintTierSeries(bool smoke) {
+  printf("\nIndex tiers: per-tier MemoryUsageBytes vs |D|\n");
+  printf("  %9s %8s %12s %12s %8s\n", "elements", "ser_MB", "hot_bytes",
+         "dense_bytes", "pct");
+  bool ok = true;
+  bool gated = false;
+  for (int n : {10'000, 100'000, 1'000'000}) {
+    const xml::Document doc = xml::MakeRandomDocument(
+        n, {"x", "record", "entry", "section", "item"}, /*seed=*/2003);
+    const double ser_mb = xml::Serialize(doc).size() / 1e6;
+    const size_t hot = doc.index().MemoryUsageBytes();
+    const size_t dense = doc.succinct_index().MemoryUsageBytes();
+    const double pct =
+        100.0 * static_cast<double>(dense) / static_cast<double>(hot);
+    printf("  %9d %8.1f %12zu %12zu %7.1f%%\n", n, ser_mb, hot, dense, pct);
+    if (smoke && ser_mb >= 10.0) {
+      gated = true;
+      if (pct > 40.0) {
+        fprintf(stderr,
+                "FAIL: dense tier is %.1f%% of hot bytes at %.1f MB "
+                "(gate: 40%%)\n", pct, ser_mb);
+        ok = false;
+      }
+    }
+  }
+  if (smoke && !gated) {
+    fprintf(stderr, "FAIL: no document reached the 10 MB gate floor\n");
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace xpe::bench
 
-int main() {
+int main(int argc, char** argv) {
   using xpe::EngineKind;
   using xpe::bench::PrintSeries;
+  using xpe::bench::PrintTierSeries;
   using xpe::bench::Series;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
 
   // One positional predicate so every engine builds real tables.
   constexpr const char* kFullQuery =
@@ -102,5 +151,7 @@ int main() {
   PrintSeries(Series{"MINCONTEXT on the same Wadler query (expect ~2)",
                      EngineKind::kMinContext, kWadlerQuery,
                      {2, 4, 8, 16, 32}});
+  if (!PrintTierSeries(smoke)) return 1;
+  if (smoke) printf("\nsmoke OK: dense tier within the 40%% space gate\n");
   return 0;
 }

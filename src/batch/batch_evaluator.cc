@@ -23,6 +23,8 @@ void MergeEvalStats(EvalStats* agg, const EvalStats& s) {
   agg->indexed_steps += s.indexed_steps;
   agg->nodes_visited += s.nodes_visited;
   agg->arena_bytes_peak = std::max(agg->arena_bytes_peak, s.arena_bytes_peak);
+  agg->count_fast_path += s.count_fast_path;
+  agg->budget_trips += s.budget_trips;
 }
 
 int ResolveWorkerCount(int requested) {

@@ -42,7 +42,7 @@ class BottomUpEvaluator {
         stats_(options.stats),
         profile_(options.profile),
         budget_(options.budget),
-        use_index_(options.use_index),
+        index_(ResolveIndexChoice(doc, options)),
         parallel_(exec::MakePolicy(options.parallel, options.result.mode)),
         n_(doc.size()),
         tri_size_(static_cast<size_t>(n_) * (n_ + 1) / 2),
@@ -271,7 +271,7 @@ class BottomUpEvaluator {
     for (NodeId x = 0; x < n_; ++x) {
       for (NodeId y : rel->Row(x)) in_frontier.Set(y);
     }
-    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id,
+    const StepKernel kernel(doc_, step, index_, stats_, profile_, step_id,
                             &parallel_);
     NodeTable step_of;
     step_of.Reset(ws_.arena(), n_);
@@ -326,7 +326,7 @@ class BottomUpEvaluator {
   EvalStats* stats_;
   obs::QueryProfile* profile_;
   uint64_t budget_;
-  bool use_index_;
+  IndexChoice index_;
   /// Per-origin frontiers are single nodes, but descendant steps still
   /// partition their subtree-interval domain (exec/parallel_step.h).
   exec::ParallelPolicy parallel_;

@@ -51,7 +51,7 @@ class CoreXPathEvaluator {
         stats_(options.stats),
         profile_(options.profile),
         budget_(options.budget),
-        use_index_(options.use_index),
+        index_(ResolveIndexChoice(doc, options)),
         parallel_(exec::MakePolicy(options.parallel, options.result.mode)) {}
 
   /// Forward evaluation of a Core XPath location path from start set `x`
@@ -81,7 +81,7 @@ class CoreXPathEvaluator {
       // with predicates the candidates must be filtered first.
       const uint64_t step_limit =
           is_last && step.children.empty() ? limit : kNoNodeLimit;
-      StepKernel(doc_, step, use_index_, stats_, profile_, n.children[s],
+      StepKernel(doc_, step, index_, stats_, profile_, n.children[s],
                  &parallel_)
           .EvalInto(*current, candidates.get(), step_limit);
       for (AstId pred : step.children) {
@@ -153,9 +153,9 @@ class CoreXPathEvaluator {
     for (size_t s = path.children.size(); s-- > 0;) {
       const AstNode& step = tree_.node(path.children[s]);
       XPE_RETURN_IF_ERROR(ChargeBudget(current->size()));
-      RestrictByNodeTestInto(doc_, step.axis, step.test, *current,
-                             use_index_, stats_, tested.get(), profile_,
-                             path.children[s], &parallel_);
+      RestrictByNodeTestInto(doc_, step.axis, step.test, *current, index_,
+                             stats_, tested.get(), profile_, path.children[s],
+                             &parallel_);
       for (AstId pred : step.children) {
         XPE_RETURN_IF_ERROR(PredSet(pred, *tested, sel.get()));
         IntersectInto(*tested, *sel, tmp.get());
@@ -201,7 +201,7 @@ class CoreXPathEvaluator {
   obs::QueryProfile* profile_;
   const uint64_t budget_;
   uint64_t used_ = 0;
-  const bool use_index_;
+  const IndexChoice index_;
   /// Resolved once per evaluation; every step kernel shares it.
   const exec::ParallelPolicy parallel_;
 };

@@ -1,12 +1,14 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/core/engine_internal.h"
 #include "src/core/evaluator.h"
 #include "src/core/stats.h"
 #include "src/core/step_common.h"
 #include "src/index/step_index.h"
+#include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 
 namespace xpe {
@@ -67,7 +69,9 @@ std::string EvalStats::ToString() const {
          " axis_evals=" + std::to_string(axis_evals) +
          " indexed_steps=" + std::to_string(indexed_steps) +
          " nodes_visited=" + std::to_string(nodes_visited) +
-         " arena_bytes_peak=" + std::to_string(arena_bytes_peak);
+         " arena_bytes_peak=" + std::to_string(arena_bytes_peak) +
+         " count_fast_path=" + std::to_string(count_fast_path) +
+         " budget_trips=" + std::to_string(budget_trips);
 }
 
 namespace {
@@ -111,6 +115,80 @@ Value ApplyResultSpec(Value v, const ResultSpec& spec) {
   }
 }
 
+/// The O(log n) count fast path: a Count() evaluation — ResultMode::kCount,
+/// or a kFull evaluation of a top-level count(π) call — whose operand is a
+/// single predicate-free index-eligible descendant step answers straight
+/// from a postings CountInRange over the origin's subtree interval. No
+/// node-set is materialized and no engine runs: two binary searches over
+/// the per-name postings (either tier), so nodes_visited records
+/// 1 + ⌈log2(postings)⌉ instead of the match count. Returns true and sets
+/// `*out` (a Number) when the shape applies; stats are charged here
+/// because the engines never see the evaluation.
+bool TryCountFastPath(const xpath::CompiledQuery& query,
+                      const xml::Document& doc, const EvalContext& context,
+                      const EvalOptions& options, Value* out) {
+  // The naive engine stays the index-free executable specification.
+  if (!options.use_index || options.engine == EngineKind::kNaive) return false;
+  const xpath::QueryTree& tree = query.tree();
+  const xpath::AstNode* node = &tree.node(tree.root());
+  const ResultSpec& spec = options.result;
+  if (spec.mode == ResultMode::kCount) {
+    // Count(π): the dispatcher would reduce the materialized set.
+  } else if (spec.mode == ResultMode::kFull && !spec.sink &&
+             node->kind == xpath::ExprKind::kFunctionCall &&
+             node->fn == xpath::FunctionId::kCount &&
+             node->children.size() == 1) {
+    node = &tree.node(node->children[0]);
+  } else {
+    return false;
+  }
+  if (node->kind != xpath::ExprKind::kPath || node->has_head ||
+      node->children.size() != 1) {
+    return false;
+  }
+  const xpath::AstNode& step = tree.node(node->children[0]);
+  if (step.kind != xpath::ExprKind::kStep || !step.children.empty() ||
+      !step.index_eligible ||
+      (step.axis != Axis::kDescendant &&
+       step.axis != Axis::kDescendantOrSelf)) {
+    return false;
+  }
+  const xml::NodeId origin = node->absolute ? doc.root() : context.node;
+  const uint64_t t0 = options.profile != nullptr ? obs::MonotonicNanos() : 0;
+  const IndexChoice index = ResolveIndexChoice(doc, options);
+  const index::PostingsView postings = index::StepPostings(
+      doc, doc.index_view(index.tier), step.axis, step.test);
+  // The postings hold only the principal-node-type matches of the test,
+  // so counting them inside the subtree interval is exact — including
+  // the descendant-or-self origin itself when it matches.
+  const xml::NodeId lo =
+      step.axis == Axis::kDescendant ? origin + 1 : origin;
+  const uint64_t count = postings.CountInRange(lo, doc.subtree_end(origin));
+  const uint64_t visited =
+      1 + std::bit_width(static_cast<uint64_t>(postings.size()));
+  if (options.stats != nullptr) {
+    ++options.stats->contexts_evaluated;
+    ++options.stats->indexed_steps;
+    options.stats->nodes_visited += visited;
+    ++options.stats->count_fast_path;
+  }
+  if (options.profile != nullptr) {
+    // One row for the whole query: frontier is the single origin, the
+    // "produced" result is the count itself, and the visited charge is
+    // the same O(log) figure the stats carry — keeping the profiler's
+    // rows-account-for-stats invariant.
+    options.profile->RecordStep(node->children[0],
+                                obs::MonotonicNanos() - t0,
+                                /*frontier=*/1, /*produced=*/count, visited,
+                                /*indexed=*/true);
+  }
+  static obs::Counter* fast_path_total =
+      obs::Registry::Global().GetCounter("xpe_count_fast_path_total");
+  fast_path_total->Increment();
+  *out = Value::Number(static_cast<double>(count));
+  return true;
+}
+
 }  // namespace
 
 StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
@@ -150,10 +228,31 @@ StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
     if (options.stats != nullptr) {
       options.stats->arena_bytes_peak = std::max<uint64_t>(
           options.stats->arena_bytes_peak, ws.arena()->bytes_peak());
+      // Budget trips are recorded centrally so the counter is uniform
+      // across engines, tiers and result modes — kCount and kLimit trip
+      // it identically (the regression test in engine_test.cc holds the
+      // modes equal).
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kResourceExhausted) {
+        ++options.stats->budget_trips;
+      }
     }
     if (!result.ok()) return result;
     return ApplyResultSpec(std::move(result).value(), spec);
   };
+  // The count fast path bypasses the engines entirely (its answer is a
+  // Number already, so ApplyResultSpec must not run — kCount's reduction
+  // expects a node-set); it still records the eval phase and arena peak.
+  if (Value fast; TryCountFastPath(query, doc, context, options, &fast)) {
+    if (options.profile != nullptr) {
+      options.profile->RecordPhase("eval", obs::MonotonicNanos() - eval_t0);
+    }
+    if (options.stats != nullptr) {
+      options.stats->arena_bytes_peak = std::max<uint64_t>(
+          options.stats->arena_bytes_peak, ws.arena()->bytes_peak());
+    }
+    return StatusOr<Value>(std::move(fast));
+  }
   switch (options.engine) {
     case EngineKind::kNaive:
       // The naive engine ignores the node limit (it is the executable

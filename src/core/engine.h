@@ -2,12 +2,14 @@
 #define XPE_CORE_ENGINE_H_
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/core/stats.h"
 #include "src/core/value.h"
 #include "src/exec/parallel_options.h"
+#include "src/index/index_tier.h"
 #include "src/xpath/compile.h"
 
 namespace xpe::obs {
@@ -150,6 +152,14 @@ struct EvalOptions {
   /// evaluation. The naive engine ignores this — it stays the index-free
   /// executable specification the differential tests compare against.
   bool use_index = true;
+  /// Which index storage tier answers indexed steps: kHot (flat postings
+  /// arrays, fastest) or kDense (the succinct tier of src/succinct/ —
+  /// Elias-Fano postings over a balanced-parentheses tree, a fraction of
+  /// the memory at a small decode cost). Unset (the default) defers to
+  /// the document's configured tier (xml::Document::set_index_tier).
+  /// Results are bit-identical across tiers; only space/time trade-offs
+  /// change. Ignored when use_index is false.
+  std::optional<index::IndexTier> index_tier;
   /// Intra-query parallelism (exec/parallel_options.h): partition heavy
   /// location steps across the shared executor pool and merge in
   /// document order. Results, stats and profiler accounting are

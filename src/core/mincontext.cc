@@ -20,7 +20,7 @@ MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
       stats_(options.stats),
       profile_(options.profile),
       budget_(options.budget),
-      use_index_(options.use_index),
+      index_(ResolveIndexChoice(doc, options)),
       ablate_outermost_sets_(options.ablate_outermost_sets),
       node_limit_(options.result.node_limit()),
       parallel_(exec::MakePolicy(options.parallel, options.result.mode)),
@@ -30,7 +30,7 @@ MinContextEngine::MinContextEngine(EvalWorkspace& ws, const QueryTree& tree,
 NodeSet MinContextEngine::StepImage(AstId step_id, const NodeSet& x,
                                     uint64_t limit) {
   const AstNode& step = tree_.node(step_id);
-  return StepKernel(doc_, step, use_index_, stats_, profile_, step_id,
+  return StepKernel(doc_, step, index_, stats_, profile_, step_id,
                     &parallel_)
       .Eval(x, limit);
 }

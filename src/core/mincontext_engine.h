@@ -112,7 +112,7 @@ class MinContextEngine {
                           NodeTable* out);
 
   /// χ(X) ∩ T(t) for the step node `step_id`: the document index's
-  /// postings when the step is index-eligible and use_index_ is on, the
+  /// postings when the step is index-eligible and index_.use_index is on,
   /// O(|D|) scan otherwise. `limit` bounds the image to its
   /// document-order-first nodes (kNoNodeLimit = full image). Addressed
   /// by AstId so profiling rows attribute to the plan's step nodes.
@@ -146,7 +146,7 @@ class MinContextEngine {
   EvalStats* stats_;
   obs::QueryProfile* profile_;
   uint64_t budget_;
-  bool use_index_;
+  IndexChoice index_;
   bool ablate_outermost_sets_;
   /// ResultSpec::node_limit() of the call, applied to the outermost path.
   uint64_t node_limit_;

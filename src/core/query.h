@@ -73,6 +73,13 @@ class Query {
     options_.use_index = use_index;
     return *this;
   }
+  /// Pins the index storage tier for subsequent evaluations (bit-identical
+  /// results; see EvalOptions::index_tier). Without this, evaluations use
+  /// the document's configured tier.
+  Query& WithTier(index::IndexTier tier) {
+    options_.index_tier = tier;
+    return *this;
+  }
   Query& WithBudget(uint64_t budget) {
     options_.budget = budget;
     return *this;

@@ -41,6 +41,18 @@ struct EvalStats {
   /// arena's monotonic growth must not inflate them, which is why
   /// engines charge cells at row commit, not at allocation.
   uint64_t arena_bytes_peak = 0;
+  /// kCount / count() evaluations answered directly from a postings
+  /// CountInRange — the dispatcher's O(log |postings|) fast path — with
+  /// no node-set materialized. When this fires, nodes_visited charges
+  /// 1 + ⌈log2(postings)⌉ for the binary searches instead of the
+  /// materialized set.
+  uint64_t count_fast_path = 0;
+  /// Evaluations aborted by EvalOptions::budget (the evaluation returned
+  /// kResourceExhausted). Set centrally by the dispatcher, so it is
+  /// uniform across engines, tiers and result modes: any reduced reading
+  /// (Count(), Exists(), a kLimit prefix) taken alongside
+  /// budget_trips != 0 is a partial view, not a complete answer.
+  uint64_t budget_trips = 0;
 
   void AddCells(uint64_t n) {
     cells_allocated += n;

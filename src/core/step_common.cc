@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/engine.h"
 #include "src/exec/parallel_step.h"
 #include "src/index/step_index.h"
 
@@ -82,8 +83,14 @@ bool ParallelActive(const exec::ParallelPolicy* parallel) {
 
 }  // namespace
 
+IndexChoice ResolveIndexChoice(const Document& doc,
+                               const EvalOptions& options) {
+  return IndexChoice{options.use_index,
+                     options.index_tier.value_or(doc.index_tier())};
+}
+
 StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
-                       bool use_index, EvalStats* stats,
+                       const IndexChoice& index, EvalStats* stats,
                        obs::QueryProfile* profile, xpath::AstId step_id,
                        const exec::ParallelPolicy* parallel)
     : doc_(doc),
@@ -92,48 +99,51 @@ StepKernel::StepKernel(const Document& doc, const xpath::AstNode& step,
       profile_(profile),
       step_id_(step_id),
       parallel_(parallel) {
-  if (use_index && step.index_eligible) {
-    postings_ =
-        &index::StepPostings(doc, doc.index(), step.axis, step.test);
+  if (index.use_index && step.index_eligible) {
+    postings_ = index::StepPostings(doc, doc.index_view(index.tier),
+                                    step.axis, step.test);
+    has_postings_ = true;
   }
 }
 
 NodeSet RestrictByNodeTest(const Document& doc, Axis axis,
                            const NodeTest& test, const NodeSet& nodes,
-                           bool use_index, EvalStats* stats,
+                           const IndexChoice& index, EvalStats* stats,
                            obs::QueryProfile* profile, xpath::AstId step_id,
                            const exec::ParallelPolicy* parallel) {
   std::vector<NodeId> out;
-  RestrictByNodeTestInto(doc, axis, test, nodes.ids(), use_index, stats, &out,
+  RestrictByNodeTestInto(doc, axis, test, nodes.ids(), index, stats, &out,
                          profile, step_id, parallel);
   return NodeSet::FromSorted(out);
 }
 
 void RestrictByNodeTestInto(const Document& doc, Axis axis,
                             const NodeTest& test,
-                            std::span<const NodeId> nodes, bool use_index,
-                            EvalStats* stats, std::vector<NodeId>* out,
+                            std::span<const NodeId> nodes,
+                            const IndexChoice& index, EvalStats* stats,
+                            std::vector<NodeId>* out,
                             obs::QueryProfile* profile, xpath::AstId step_id,
                             const exec::ParallelPolicy* parallel) {
   const uint64_t t0 = profile != nullptr ? obs::MonotonicNanos() : 0;
   bool indexed = false;
   uint32_t workers = 0;
-  if (use_index && index::NodeTestIndexable(test)) {
+  if (index.use_index && index::NodeTestIndexable(test)) {
     if (stats != nullptr) ++stats->indexed_steps;
     indexed = true;
+    const index::IndexView view = doc.index_view(index.tier);
     if (ParallelActive(parallel)) {
-      workers = exec::ParallelRestrict(*parallel, doc, /*use_index=*/true,
-                                       axis, test, nodes, out);
+      workers =
+          exec::ParallelRestrict(*parallel, doc, &view, axis, test, nodes,
+                                 out);
     }
     if (workers == 0) {
-      index::IndexedApplyNodeTestInto(doc, doc.index(), axis, test, nodes,
-                                      out);
+      index::IndexedApplyNodeTestInto(doc, view, axis, test, nodes, out);
     }
   } else if (test.kind == NodeTest::Kind::kNode) {
     out->assign(nodes.begin(), nodes.end());
   } else {
     if (ParallelActive(parallel)) {
-      workers = exec::ParallelRestrict(*parallel, doc, /*use_index=*/false,
+      workers = exec::ParallelRestrict(*parallel, doc, /*index=*/nullptr,
                                        axis, test, nodes, out);
     }
     if (workers == 0) ApplyNodeTestInto(doc, axis, test, nodes, out);
@@ -159,17 +169,17 @@ NodeSet StepKernel::Eval(const NodeSet& x, uint64_t limit) const {
 void StepKernel::EvalInto(std::span<const NodeId> x, std::vector<NodeId>* out,
                           uint64_t limit) const {
   const uint64_t t0 = profile_ != nullptr ? obs::MonotonicNanos() : 0;
-  if (postings_ != nullptr &&
-      index::IndexedStepWorthwhile(doc_, *postings_, step_.axis, x)) {
+  if (has_postings_ &&
+      index::IndexedStepWorthwhile(doc_, postings_, step_.axis, x)) {
     if (stats_ != nullptr) ++stats_->indexed_steps;
     uint32_t workers = 0;
     if (ParallelActive(parallel_)) {
-      workers = exec::ParallelIndexedStep(*parallel_, doc_, *postings_,
+      workers = exec::ParallelIndexedStep(*parallel_, doc_, postings_,
                                           step_.axis, step_.test, x, out,
                                           limit);
     }
     if (workers == 0) {
-      index::IndexedStepOverPostingsInto(doc_, *postings_, step_.axis,
+      index::IndexedStepOverPostingsInto(doc_, postings_, step_.axis,
                                          step_.test, x, out, limit);
     }
     const uint64_t visited = x.size() + out->size();

@@ -6,6 +6,7 @@
 
 #include "src/axes/axis.h"
 #include "src/core/stats.h"
+#include "src/index/index_tier.h"
 #include "src/obs/profiler.h"
 #include "src/xml/document.h"
 #include "src/xpath/ast.h"
@@ -15,6 +16,23 @@ struct ParallelPolicy;
 }  // namespace xpe::exec
 
 namespace xpe {
+
+struct EvalOptions;  // core/engine.h
+
+/// The resolved index configuration of one evaluation: whether eligible
+/// steps may use postings at all (EvalOptions::use_index) and which
+/// storage tier answers them. Engines resolve this once per evaluation
+/// with ResolveIndexChoice and hand it to every StepKernel /
+/// RestrictByNodeTest call.
+struct IndexChoice {
+  bool use_index = true;
+  index::IndexTier tier = index::IndexTier::kHot;
+};
+
+/// EvalOptions::index_tier overrides the document's configured tier;
+/// unset defers to xml::Document::index_tier().
+IndexChoice ResolveIndexChoice(const xml::Document& doc,
+                               const EvalOptions& options);
 
 /// Step-evaluation helpers shared by all engines, so node-test and
 /// ordering semantics cannot diverge between them.
@@ -82,7 +100,7 @@ class StepKernel {
   /// through the shared executor pool with bit-identical results and
   /// accounting — the profiler row's workers_used reports the width.
   StepKernel(const xml::Document& doc, const xpath::AstNode& step,
-             bool use_index, EvalStats* stats,
+             const IndexChoice& index, EvalStats* stats,
              obs::QueryProfile* profile = nullptr,
              xpath::AstId step_id = xpath::kInvalidAstId,
              const exec::ParallelPolicy* parallel = nullptr);
@@ -102,8 +120,11 @@ class StepKernel {
  private:
   const xml::Document& doc_;
   const xpath::AstNode& step_;
-  /// Resolved postings when the indexed path applies, nullptr for scan.
-  const std::vector<xml::NodeId>* postings_ = nullptr;
+  /// Resolved tier-erased postings when the indexed path applies
+  /// (has_postings_), untouched for scan. The tier was fixed at
+  /// construction via IndexChoice.
+  index::PostingsView postings_;
+  bool has_postings_ = false;
   EvalStats* stats_;
   obs::QueryProfile* profile_;
   xpath::AstId step_id_;
@@ -117,13 +138,14 @@ class StepKernel {
 // result mode; engines simply see the fused plan.)
 
 /// T(t) ∩ nodes for the backward-propagation passes: a postings
-/// intersection when `use_index` is on and the test is postings-backed
-/// (counted in stats->indexed_steps), the ApplyNodeTest scan otherwise.
-/// `profile`/`step_id` attribute a runtime row to the propagated step,
-/// and `parallel` opts the pass into chunked evaluation, like StepKernel.
+/// intersection when `index.use_index` is on and the test is
+/// postings-backed (counted in stats->indexed_steps), the ApplyNodeTest
+/// scan otherwise. `profile`/`step_id` attribute a runtime row to the
+/// propagated step, and `parallel` opts the pass into chunked
+/// evaluation, like StepKernel.
 NodeSet RestrictByNodeTest(const xml::Document& doc, Axis axis,
                            const xpath::NodeTest& test, const NodeSet& nodes,
-                           bool use_index, EvalStats* stats,
+                           const IndexChoice& index, EvalStats* stats,
                            obs::QueryProfile* profile = nullptr,
                            xpath::AstId step_id = xpath::kInvalidAstId,
                            const exec::ParallelPolicy* parallel = nullptr);
@@ -132,7 +154,7 @@ NodeSet RestrictByNodeTest(const xml::Document& doc, Axis axis,
 void RestrictByNodeTestInto(const xml::Document& doc, Axis axis,
                             const xpath::NodeTest& test,
                             std::span<const xml::NodeId> nodes,
-                            bool use_index, EvalStats* stats,
+                            const IndexChoice& index, EvalStats* stats,
                             std::vector<xml::NodeId>* out,
                             obs::QueryProfile* profile = nullptr,
                             xpath::AstId step_id = xpath::kInvalidAstId,

@@ -39,7 +39,7 @@ class TopDownEvaluator {
         stats_(options.stats),
         profile_(options.profile),
         budget_(options.budget),
-        use_index_(options.use_index),
+        index_(ResolveIndexChoice(doc, options)),
         parallel_(exec::MakePolicy(options.parallel, options.result.mode)) {}
 
   /// E↓[[e]](c1,...,cl): one result per context.
@@ -277,7 +277,7 @@ class TopDownEvaluator {
     s_rel.Reset(ws_.arena(), doc_.size());
     // One kernel for the whole per-origin loop: the postings lookup
     // happens once per step, not once per origin.
-    const StepKernel kernel(doc_, step, use_index_, stats_, profile_, step_id,
+    const StepKernel kernel(doc_, step, index_, stats_, profile_, step_id,
                             &parallel_);
     {
       EvalWorkspace::ScratchIds targets = ws_.AcquireIds();
@@ -344,7 +344,7 @@ class TopDownEvaluator {
   EvalStats* stats_;
   obs::QueryProfile* profile_;
   uint64_t budget_;
-  bool use_index_;
+  IndexChoice index_;
   /// Per-origin frontiers are single nodes, but descendant steps still
   /// partition their subtree-interval domain (exec/parallel_step.h).
   exec::ParallelPolicy parallel_;

@@ -100,7 +100,7 @@ StatusOr<NodeSet> MinContextEngine::PropagatePathBackwards(AstId path_id,
     // Y' := members of the propagated set passing this step's node test
     // (a postings intersection when the index is on).
     NodeSet tested =
-        RestrictByNodeTest(doc_, step.axis, step.test, current, use_index_,
+        RestrictByNodeTest(doc_, step.axis, step.test, current, index_,
                            stats_, profile_, path.children[s], &parallel_);
     if (step.children.empty()) {
       if (stats_ != nullptr) ++stats_->axis_evals;

@@ -133,7 +133,7 @@ size_t FindRange(const std::vector<WorkRange>& ranges, uint64_t p) {
 }  // namespace
 
 uint32_t ParallelIndexedStep(const ParallelPolicy& policy, const Document& doc,
-                             const std::vector<NodeId>& postings, Axis axis,
+                             const index::PostingsView& postings, Axis axis,
                              const NodeTest& test, std::span<const NodeId> x,
                              std::vector<NodeId>* out, uint64_t limit) {
   if (!policy.active() || x.empty() || postings.empty() || limit == 0) {
@@ -151,12 +151,8 @@ uint32_t ParallelIndexedStep(const ParallelPolicy& policy, const Document& doc,
         doc, axis == Axis::kDescendantOrSelf, x,
         [&](NodeId begin, NodeId end) {
           WorkRange r;
-          r.begin = static_cast<uint64_t>(
-              std::lower_bound(postings.begin(), postings.end(), begin) -
-              postings.begin());
-          r.end = static_cast<uint64_t>(
-              std::lower_bound(postings.begin(), postings.end(), end) -
-              postings.begin());
+          r.begin = postings.LowerBound(begin);
+          r.end = postings.LowerBound(end);
           return r;
         },
         &ranges);
@@ -174,9 +170,10 @@ uint32_t ParallelIndexedStep(const ParallelPolicy& policy, const Document& doc,
             const uint64_t before = r == 0 ? 0 : ranges[r - 1].cum;
             const uint64_t take =
                 std::min(ranges[r].cum - p, p_end - p);
-            std::copy_n(postings.begin() +
-                            static_cast<size_t>(ranges[r].begin + p - before),
-                        static_cast<size_t>(take), out->begin() + p);
+            const size_t k0 =
+                static_cast<size_t>(ranges[r].begin + p - before);
+            postings.Decode(k0, k0 + static_cast<size_t>(take),
+                            out->data() + p);
             p += take;
             ++r;
           }
@@ -294,11 +291,11 @@ uint32_t ParallelDescendantScan(const ParallelPolicy& policy,
 }
 
 uint32_t ParallelRestrict(const ParallelPolicy& policy, const Document& doc,
-                          bool use_index, Axis axis, const NodeTest& test,
-                          std::span<const NodeId> nodes,
+                          const index::IndexView* index, Axis axis,
+                          const NodeTest& test, std::span<const NodeId> nodes,
                           std::vector<NodeId>* out) {
   if (!policy.active()) return 0;
-  if (use_index && nodes.size() == doc.size()) {
+  if (index != nullptr && nodes.size() == doc.size()) {
     // The sequential kernel answers the universe shape with one copy of
     // the postings; chunked intersections would only be slower.
     return 0;
@@ -306,7 +303,6 @@ uint32_t ParallelRestrict(const ParallelPolicy& policy, const Document& doc,
   uint64_t chunk = 0;
   const uint32_t n_chunks = PlanChunks(nodes.size(), policy, &chunk);
   if (n_chunks == 0) return 0;
-  const index::DocumentIndex* index = use_index ? &doc.index() : nullptr;
   std::vector<std::vector<NodeId>> runs(n_chunks);
   Executor::Shared().Run(
       n_chunks, policy.max_workers, [&](uint32_t t, uint32_t) {

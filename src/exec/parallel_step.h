@@ -8,6 +8,7 @@
 #include "src/axes/axis.h"
 #include "src/core/engine.h"
 #include "src/exec/parallel_options.h"
+#include "src/index/index_tier.h"
 #include "src/xml/document.h"
 #include "src/xpath/ast.h"
 
@@ -82,10 +83,13 @@ void KWayMergeUnique(std::span<const std::vector<xml::NodeId>> runs,
 ///    dedups).
 /// ancestor (each chunk would rescan all postings), following and
 /// preceding (chunk outputs overlap almost entirely) return 0.
+/// Tier-generic: postings may be the flat span or the Elias-Fano list
+/// (index::PostingsView); chunk copies use the view's Decode, which is
+/// std::copy on the hot tier.
 uint32_t ParallelIndexedStep(const ParallelPolicy& policy,
                              const xml::Document& doc,
-                             const std::vector<xml::NodeId>& postings,
-                             Axis axis, const xpath::NodeTest& test,
+                             const index::PostingsView& postings, Axis axis,
+                             const xpath::NodeTest& test,
                              std::span<const xml::NodeId> x,
                              std::vector<xml::NodeId>* out,
                              uint64_t limit = kNoWorkLimit);
@@ -111,12 +115,14 @@ uint32_t ParallelDescendantScan(const ParallelPolicy& policy,
 /// Parallel form of the backward-pass restriction (T(t) ∩ nodes):
 /// chunks of `nodes` run index::IndexedApplyNodeTestInto (indexed) or
 /// ApplyNodeTestInto (scan) and concatenate — chunk outputs are
-/// disjoint and ascending, no merge needed. Returns the partition width
-/// used, or 0 for sequential (under the cutoff, or the indexed
-/// universe shape, where the sequential kernel is a single copy no
-/// split can beat).
+/// disjoint and ascending, no merge needed. `index` selects the indexed
+/// path (any tier); nullptr means the node-test scan. Returns the
+/// partition width used, or 0 for sequential (under the cutoff, or the
+/// indexed universe shape, where the sequential kernel is a single copy
+/// no split can beat).
 uint32_t ParallelRestrict(const ParallelPolicy& policy,
-                          const xml::Document& doc, bool use_index, Axis axis,
+                          const xml::Document& doc,
+                          const index::IndexView* index, Axis axis,
                           const xpath::NodeTest& test,
                           std::span<const xml::NodeId> nodes,
                           std::vector<xml::NodeId>* out);

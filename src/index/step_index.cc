@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "src/core/step_common.h"
+#include "src/succinct/ef_postings.h"
 #include "src/xpath/relevance.h"
 
 namespace xpe::index {
@@ -17,6 +18,48 @@ using xml::NodeKind;
 using xpath::NodeTest;
 
 const std::vector<NodeId> kEmptyPostings;
+
+/// The two postings sequence shapes the kernels are instantiated over.
+/// Both expose the same five operations; the flat one compiles to the
+/// exact span code the pre-tier kernels were, the dense one decodes
+/// Elias-Fano on the fly (Scan is cursor-driven, O(1) amortized per
+/// element — no per-element select).
+struct FlatSeq {
+  std::span<const NodeId> v;
+
+  size_t size() const { return v.size(); }
+  NodeId Get(size_t k) const { return v[k]; }
+  size_t LowerBound(NodeId value) const {
+    return static_cast<size_t>(
+        std::lower_bound(v.begin(), v.end(), value) - v.begin());
+  }
+  size_t LowerBoundFrom(size_t from, NodeId value) const {
+    return static_cast<size_t>(
+        std::lower_bound(v.begin() + from, v.end(), value) - v.begin());
+  }
+  template <typename F>
+  bool Scan(size_t k0, size_t k1, F&& f) const {
+    for (size_t k = k0; k < k1; ++k) {
+      if (!f(v[k])) return false;
+    }
+    return true;
+  }
+};
+
+struct DenseSeq {
+  const succinct::EliasFanoList* list;
+
+  size_t size() const { return list->size(); }
+  NodeId Get(size_t k) const { return list->Get(k); }
+  size_t LowerBound(NodeId value) const { return list->LowerBound(value); }
+  size_t LowerBoundFrom(size_t from, NodeId value) const {
+    return list->LowerBoundFrom(from, value);
+  }
+  template <typename F>
+  bool Scan(size_t k0, size_t k1, F&& f) const {
+    return list->Scan(k0, k1, f);
+  }
+};
 
 /// The kernels append into caller-owned buffers (typically EvalWorkspace
 /// scratch), so per-origin loops in the engines stay allocation-free;
@@ -36,45 +79,51 @@ inline bool AtLimit(const std::vector<NodeId>* out, uint64_t limit) {
 
 /// Appends the postings members inside [lo, hi) — a binary-searched
 /// contiguous range, since postings are sorted by NodeId.
-void AppendRange(const std::vector<NodeId>& postings, NodeId lo, NodeId hi,
+template <typename Seq>
+void AppendRange(const Seq& postings, NodeId lo, NodeId hi,
                  std::vector<NodeId>* out, uint64_t limit) {
-  auto begin = std::lower_bound(postings.begin(), postings.end(), lo);
-  auto end = std::lower_bound(begin, postings.end(), hi);
-  for (auto it = begin; it != end; ++it) {
-    if (AtLimit(out, limit)) return;
-    PushOrdered(out, *it);
-  }
+  const size_t k0 = postings.LowerBound(lo);
+  const size_t k1 = postings.LowerBoundFrom(k0, hi);
+  postings.Scan(k0, k1, [&](NodeId id) {
+    if (AtLimit(out, limit)) return false;
+    PushOrdered(out, id);
+    return true;
+  });
 }
 
-/// Sorted-list intersection; gallops (binary probes from the smaller
-/// side) when one input dwarfs the other.
-void IntersectSortedInto(std::span<const NodeId> a, std::span<const NodeId> b,
+/// Sorted intersection of postings with a flat sorted list; gallops
+/// (binary probes from the smaller side) when one input dwarfs the
+/// other.
+template <typename Seq>
+void IntersectSortedInto(const Seq& postings, std::span<const NodeId> x,
                          std::vector<NodeId>* out, uint64_t limit) {
-  std::span<const NodeId> small = a.size() <= b.size() ? a : b;
-  std::span<const NodeId> big = a.size() <= b.size() ? b : a;
-  if (small.size() * 16 < big.size()) {
-    for (NodeId id : small) {
+  if (postings.size() * 16 < x.size()) {
+    postings.Scan(0, postings.size(), [&](NodeId id) {
+      if (AtLimit(out, limit)) return false;
+      if (std::binary_search(x.begin(), x.end(), id)) PushOrdered(out, id);
+      return true;
+    });
+    return;
+  }
+  if (x.size() * 16 < postings.size()) {
+    for (NodeId id : x) {
       if (AtLimit(out, limit)) return;
-      if (std::binary_search(big.begin(), big.end(), id)) {
-        PushOrdered(out, id);
-      }
+      const size_t k = postings.LowerBound(id);
+      if (k < postings.size() && postings.Get(k) == id) PushOrdered(out, id);
     }
     return;
   }
-  auto ia = small.begin();
-  auto ib = big.begin();
-  while (ia != small.end() && ib != big.end()) {
-    if (AtLimit(out, limit)) return;
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      PushOrdered(out, *ia);
-      ++ia;
-      ++ib;
+  size_t i = 0;
+  postings.Scan(0, postings.size(), [&](NodeId id) {
+    if (AtLimit(out, limit)) return false;
+    while (i < x.size() && x[i] < id) ++i;
+    if (i == x.size()) return false;
+    if (x[i] == id) {
+      PushOrdered(out, id);
+      ++i;
     }
-  }
+    return true;
+  });
 }
 
 /// True when probing `candidates` postings with an O(log |X|) binary
@@ -88,32 +137,33 @@ bool ScanIsCheaper(size_t candidates, size_t origins, NodeId doc_size) {
 
 /// The postings subrange a child step inspects: candidates inside the
 /// covering interval of X's subtrees.
-std::pair<std::vector<NodeId>::const_iterator,
-          std::vector<NodeId>::const_iterator>
-ChildWindow(const Document& doc, const std::vector<NodeId>& postings,
-            std::span<const NodeId> x) {
+template <typename Seq>
+std::pair<size_t, size_t> ChildWindow(const Document& doc,
+                                      const Seq& postings,
+                                      std::span<const NodeId> x) {
   NodeId hi = 0;
   for (NodeId origin : x) hi = std::max(hi, doc.subtree_end(origin));
-  auto begin =
-      std::lower_bound(postings.begin(), postings.end(), x.front() + 1);
-  auto end = std::lower_bound(begin, postings.end(), hi);
-  return {begin, end};
+  const size_t begin = postings.LowerBound(x.front() + 1);
+  return {begin, postings.LowerBoundFrom(begin, hi)};
 }
 
-void ChildStep(const Document& doc, const std::vector<NodeId>& postings,
+template <typename Seq>
+void ChildStep(const Document& doc, const Seq& postings,
                std::span<const NodeId> x, std::vector<NodeId>* out,
                uint64_t limit) {
   // Each candidate in the window pays one O(log |X|) parent probe.
   auto [begin, end] = ChildWindow(doc, postings, x);
-  for (auto it = begin; it != end; ++it) {
-    if (AtLimit(out, limit)) return;
-    if (std::binary_search(x.begin(), x.end(), doc.parent(*it))) {
-      PushOrdered(out, *it);
+  postings.Scan(begin, end, [&](NodeId id) {
+    if (AtLimit(out, limit)) return false;
+    if (std::binary_search(x.begin(), x.end(), doc.parent(id))) {
+      PushOrdered(out, id);
     }
-  }
+    return true;
+  });
 }
 
-void DescendantStep(const Document& doc, const std::vector<NodeId>& postings,
+template <typename Seq>
+void DescendantStep(const Document& doc, const Seq& postings,
                     std::span<const NodeId> x, bool or_self,
                     std::vector<NodeId>* out, uint64_t limit) {
   // The maximal subtree intervals of X are disjoint and ascending (nested
@@ -128,22 +178,25 @@ void DescendantStep(const Document& doc, const std::vector<NodeId>& postings,
   }
 }
 
-void AncestorStep(const Document& doc, const std::vector<NodeId>& postings,
+template <typename Seq>
+void AncestorStep(const Document& doc, const Seq& postings,
                   std::span<const NodeId> x, bool or_self,
                   std::vector<NodeId>* out, uint64_t limit) {
   // e is a proper ancestor of some x iff the first origin after e still
   // lies inside e's subtree (e < x < subtree_end(e)).
-  for (NodeId e : postings) {
-    if (AtLimit(out, limit)) return;
+  postings.Scan(0, postings.size(), [&](NodeId e) {
+    if (AtLimit(out, limit)) return false;
     auto it = std::upper_bound(x.begin(), x.end(), e);
     const bool proper = it != x.end() && *it < doc.subtree_end(e);
     if (proper || (or_self && std::binary_search(x.begin(), x.end(), e))) {
       PushOrdered(out, e);
     }
-  }
+    return true;
+  });
 }
 
-void AttributeStep(const Document& doc, const std::vector<NodeId>& postings,
+template <typename Seq>
+void AttributeStep(const Document& doc, const Seq& postings,
                    std::span<const NodeId> x, std::vector<NodeId>* out,
                    uint64_t limit) {
   // Attribute slots [x+1, AttrEnd(x)) of distinct elements are disjoint
@@ -171,7 +224,8 @@ void ParentStep(const Document& doc, Axis axis, const NodeTest& test,
   if (limit != kNoStepLimit && out->size() > limit) out->resize(limit);
 }
 
-void FollowingStep(const Document& doc, const std::vector<NodeId>& postings,
+template <typename Seq>
+void FollowingStep(const Document& doc, const Seq& postings,
                    std::span<const NodeId> x, std::vector<NodeId>* out,
                    uint64_t limit) {
   // y follows some x iff y >= min over X of subtree_end(x): a postings
@@ -184,79 +238,27 @@ void FollowingStep(const Document& doc, const std::vector<NodeId>& postings,
               limit);
 }
 
-void PrecedingStep(const Document& doc, const std::vector<NodeId>& postings,
+template <typename Seq>
+void PrecedingStep(const Document& doc, const Seq& postings,
                    std::span<const NodeId> x, std::vector<NodeId>* out,
                    uint64_t limit) {
   // y precedes some x iff subtree_end(y) <= max(X): a postings prefix
   // filtered by the subtree_end test (ancestors of max(X) fail it).
   const NodeId max_x = x.back();
-  auto end = std::lower_bound(postings.begin(), postings.end(), max_x);
-  for (auto it = postings.begin(); it != end; ++it) {
-    if (AtLimit(out, limit)) return;
-    if (doc.subtree_end(*it) <= max_x) PushOrdered(out, *it);
-  }
+  const size_t end = postings.LowerBound(max_x);
+  postings.Scan(0, end, [&](NodeId id) {
+    if (AtLimit(out, limit)) return false;
+    if (doc.subtree_end(id) <= max_x) PushOrdered(out, id);
+    return true;
+  });
 }
 
-}  // namespace
-
-bool NodeTestIndexable(const xpath::NodeTest& test) {
-  return test.kind == NodeTest::Kind::kName ||
-         test.kind == NodeTest::Kind::kAny;
-}
-
-const std::vector<NodeId>& StepPostings(const Document& doc,
-                                        const DocumentIndex& index, Axis axis,
-                                        const NodeTest& test) {
-  const bool attr = axis == Axis::kAttribute;
-  if (test.kind == NodeTest::Kind::kAny) {
-    return attr ? index.all_attributes() : index.all_elements();
-  }
-  const uint32_t name_id = doc.LookupNameId(test.name);
-  if (name_id == kNoString) return kEmptyPostings;
-  return attr ? index.AttributesNamed(name_id) : index.ElementsNamed(name_id);
-}
-
-bool IndexedStepWorthwhile(const Document& doc,
-                           const std::vector<NodeId>& postings, Axis axis,
-                           std::span<const NodeId> x) {
-  if (x.empty() || postings.empty()) return true;  // trivially cheap
-  switch (axis) {
-    case Axis::kChild: {
-      auto [begin, end] = ChildWindow(doc, postings, x);
-      return !ScanIsCheaper(static_cast<size_t>(end - begin), x.size(),
-                            doc.size());
-    }
-    case Axis::kAncestor:
-    case Axis::kAncestorOrSelf:
-      return !ScanIsCheaper(postings.size(), x.size(), doc.size());
-    default:
-      // Every other kernel is bounded by its output plus logarithmic
-      // probes, never by the postings size alone.
-      return true;
-  }
-}
-
-NodeSet IndexedStep(const Document& doc, const DocumentIndex& index,
-                    Axis axis, const NodeTest& test, const NodeSet& x) {
-  if (!xpath::StepIsIndexEligible(axis, test)) {
-    // Defensive fallback: stay correct for combinations the compile-time
-    // annotation should have filtered out.
-    return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
-  }
-  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
-  if (!IndexedStepWorthwhile(doc, postings, axis, x.ids())) {
-    return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
-  }
-  return IndexedStepOverPostings(doc, postings, axis, test, x);
-}
-
-void IndexedStepOverPostingsInto(const Document& doc,
-                                 const std::vector<NodeId>& postings,
-                                 Axis axis, const NodeTest& test,
-                                 std::span<const NodeId> x,
-                                 std::vector<NodeId>* out, uint64_t limit) {
-  out->clear();
-  if (x.empty() || postings.empty() || limit == 0) return;
+/// The tier-shared step dispatch: one instantiation per Seq shape,
+/// selected once per call in IndexedStepOverPostingsInto.
+template <typename Seq>
+void StepOverSeqInto(const Document& doc, const Seq& postings, Axis axis,
+                     const NodeTest& test, std::span<const NodeId> x,
+                     std::vector<NodeId>* out, uint64_t limit) {
   switch (axis) {
     case Axis::kSelf:
       IntersectSortedInto(postings, x, out, limit);
@@ -298,16 +300,124 @@ void IndexedStepOverPostingsInto(const Document& doc,
   }
 }
 
+}  // namespace
+
+bool NodeTestIndexable(const xpath::NodeTest& test) {
+  return test.kind == NodeTest::Kind::kName ||
+         test.kind == NodeTest::Kind::kAny;
+}
+
+const std::vector<NodeId>& StepPostings(const Document& doc,
+                                        const DocumentIndex& index, Axis axis,
+                                        const NodeTest& test) {
+  const bool attr = axis == Axis::kAttribute;
+  if (test.kind == NodeTest::Kind::kAny) {
+    return attr ? index.all_attributes() : index.all_elements();
+  }
+  const uint32_t name_id = doc.LookupNameId(test.name);
+  if (name_id == kNoString) return kEmptyPostings;
+  return attr ? index.AttributesNamed(name_id) : index.ElementsNamed(name_id);
+}
+
+PostingsView StepPostings(const Document& doc, const IndexView& index,
+                          Axis axis, const NodeTest& test) {
+  const bool attr = axis == Axis::kAttribute;
+  if (test.kind == NodeTest::Kind::kAny) {
+    return attr ? index.all_attributes() : index.all_elements();
+  }
+  const uint32_t name_id = doc.LookupNameId(test.name);
+  if (name_id == kNoString) {
+    return PostingsView(std::span<const NodeId>(kEmptyPostings));
+  }
+  return attr ? index.AttributesNamed(name_id) : index.ElementsNamed(name_id);
+}
+
+bool IndexedStepWorthwhile(const Document& doc, const PostingsView& postings,
+                           Axis axis, std::span<const NodeId> x) {
+  if (x.empty() || postings.empty()) return true;  // trivially cheap
+  switch (axis) {
+    case Axis::kChild: {
+      // Window bounds are two binary searches on either tier; the
+      // verdict depends on sizes only, so both tiers agree.
+      NodeId hi = 0;
+      for (NodeId origin : x) hi = std::max(hi, doc.subtree_end(origin));
+      const size_t begin = postings.LowerBound(x.front() + 1);
+      const size_t end = postings.LowerBound(hi);
+      return !ScanIsCheaper(end - begin, x.size(), doc.size());
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      return !ScanIsCheaper(postings.size(), x.size(), doc.size());
+    default:
+      // Every other kernel is bounded by its output plus logarithmic
+      // probes, never by the postings size alone.
+      return true;
+  }
+}
+
+bool IndexedStepWorthwhile(const Document& doc,
+                           const std::vector<NodeId>& postings, Axis axis,
+                           std::span<const NodeId> x) {
+  return IndexedStepWorthwhile(
+      doc, PostingsView(std::span<const NodeId>(postings)), axis, x);
+}
+
+NodeSet IndexedStep(const Document& doc, const DocumentIndex& index,
+                    Axis axis, const NodeTest& test, const NodeSet& x) {
+  if (!xpath::StepIsIndexEligible(axis, test)) {
+    // Defensive fallback: stay correct for combinations the compile-time
+    // annotation should have filtered out.
+    return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+  }
+  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
+  if (!IndexedStepWorthwhile(doc, postings, axis, x.ids())) {
+    return ApplyNodeTest(doc, axis, test, EvalAxis(doc, axis, x));
+  }
+  return IndexedStepOverPostings(doc, postings, axis, test, x);
+}
+
+void IndexedStepOverPostingsInto(const Document& doc,
+                                 const PostingsView& postings, Axis axis,
+                                 const NodeTest& test,
+                                 std::span<const NodeId> x,
+                                 std::vector<NodeId>* out, uint64_t limit) {
+  out->clear();
+  if (x.empty() || postings.empty() || limit == 0) return;
+  if (postings.is_flat()) {
+    StepOverSeqInto(doc, FlatSeq{postings.flat()}, axis, test, x, out, limit);
+  } else {
+    StepOverSeqInto(doc, DenseSeq{postings.dense()}, axis, test, x, out,
+                    limit);
+  }
+}
+
+void IndexedStepOverPostingsInto(const Document& doc,
+                                 const std::vector<NodeId>& postings,
+                                 Axis axis, const NodeTest& test,
+                                 std::span<const NodeId> x,
+                                 std::vector<NodeId>* out, uint64_t limit) {
+  IndexedStepOverPostingsInto(doc,
+                              PostingsView(std::span<const NodeId>(postings)),
+                              axis, test, x, out, limit);
+}
+
 NodeSet IndexedStepOverPostings(const Document& doc,
-                                const std::vector<NodeId>& postings,
-                                Axis axis, const NodeTest& test,
-                                const NodeSet& x) {
+                                const PostingsView& postings, Axis axis,
+                                const NodeTest& test, const NodeSet& x) {
   std::vector<NodeId> out;
   IndexedStepOverPostingsInto(doc, postings, axis, test, x.ids(), &out);
   return NodeSet::FromSorted(out);
 }
 
-void IndexedApplyNodeTestInto(const Document& doc, const DocumentIndex& index,
+NodeSet IndexedStepOverPostings(const Document& doc,
+                                const std::vector<NodeId>& postings,
+                                Axis axis, const NodeTest& test,
+                                const NodeSet& x) {
+  return IndexedStepOverPostings(
+      doc, PostingsView(std::span<const NodeId>(postings)), axis, test, x);
+}
+
+void IndexedApplyNodeTestInto(const Document& doc, const IndexView& index,
                               Axis axis, const xpath::NodeTest& test,
                               std::span<const NodeId> nodes,
                               std::vector<NodeId>* out) {
@@ -315,15 +425,27 @@ void IndexedApplyNodeTestInto(const Document& doc, const DocumentIndex& index,
     ApplyNodeTestInto(doc, axis, test, nodes, out);
     return;
   }
-  const std::vector<NodeId>& postings = StepPostings(doc, index, axis, test);
+  const PostingsView postings = StepPostings(doc, index, axis, test);
   out->clear();
   // The frequent backward-propagation case: testing against the universe
   // selects exactly the postings.
   if (nodes.size() == doc.size()) {
-    out->assign(postings.begin(), postings.end());
+    out->resize(postings.size());
+    postings.Decode(0, postings.size(), out->data());
     return;
   }
-  IntersectSortedInto(postings, nodes, out, kNoStepLimit);
+  if (postings.is_flat()) {
+    IntersectSortedInto(FlatSeq{postings.flat()}, nodes, out, kNoStepLimit);
+  } else {
+    IntersectSortedInto(DenseSeq{postings.dense()}, nodes, out, kNoStepLimit);
+  }
+}
+
+void IndexedApplyNodeTestInto(const Document& doc, const DocumentIndex& index,
+                              Axis axis, const xpath::NodeTest& test,
+                              std::span<const NodeId> nodes,
+                              std::vector<NodeId>* out) {
+  IndexedApplyNodeTestInto(doc, IndexView(&index), axis, test, nodes, out);
 }
 
 NodeSet IndexedApplyNodeTest(const Document& doc, const DocumentIndex& index,

@@ -5,6 +5,7 @@
 
 #include "src/axes/axis.h"
 #include "src/index/document_index.h"
+#include "src/index/index_tier.h"
 #include "src/xpath/ast.h"
 
 namespace xpe::index {
@@ -18,6 +19,14 @@ inline constexpr uint64_t kNoStepLimit = ~uint64_t{0};
 /// identical to the O(|D|) scan it replaces (same node set, same document
 /// order); they differ only in cost, which is driven by the postings size
 /// of the tested name — sublinear in |D| whenever the name is selective.
+///
+/// The kernels are tier-generic: postings arrive as a PostingsView
+/// (index_tier.h), which is either a flat span over the DocumentIndex
+/// vectors (kHot) or an Elias-Fano list from the succinct build
+/// (kDense). Dispatch happens once per call, and the per-tier loops are
+/// instantiated from one template — the hot instantiation compiles to
+/// the same array code as before the tier existed, which is what the
+/// bench_index gate measures.
 ///
 /// Eligibility is a static property of the (axis, node-test) pair and is
 /// decided at compile time by xpath::StepIsIndexEligible (see
@@ -55,6 +64,12 @@ NodeSet IndexedStep(const xml::Document& doc, const DocumentIndex& index,
 /// all-elements/all-attributes list for `*`, the empty list for names
 /// absent from the document. Per-origin loops resolve this once per step
 /// and call IndexedStepOverPostings, avoiding one name lookup per origin.
+PostingsView StepPostings(const xml::Document& doc, const IndexView& index,
+                          Axis axis, const xpath::NodeTest& test);
+
+/// Flat-tier convenience: the same resolution as a direct reference into
+/// the DocumentIndex vectors (the pre-tier signature; tests and
+/// single-tier callers keep using it).
 const std::vector<xml::NodeId>& StepPostings(const xml::Document& doc,
                                              const DocumentIndex& index,
                                              Axis axis,
@@ -65,6 +80,9 @@ const std::vector<xml::NodeId>& StepPostings(const xml::Document& doc,
 /// index-eligible (xpath::StepIsIndexEligible). Always takes the indexed
 /// path; consult IndexedStepWorthwhile first so dense-postings shapes go
 /// to the scan instead.
+NodeSet IndexedStepOverPostings(const xml::Document& doc,
+                                const PostingsView& postings, Axis axis,
+                                const xpath::NodeTest& test, const NodeSet& x);
 NodeSet IndexedStepOverPostings(const xml::Document& doc,
                                 const std::vector<xml::NodeId>& postings,
                                 Axis axis, const xpath::NodeTest& test,
@@ -83,6 +101,12 @@ NodeSet IndexedStepOverPostings(const xml::Document& doc,
 /// the end and therefore truncates post-hoc; it is output-bounded by
 /// |x| anyway.)
 void IndexedStepOverPostingsInto(const xml::Document& doc,
+                                 const PostingsView& postings, Axis axis,
+                                 const xpath::NodeTest& test,
+                                 std::span<const xml::NodeId> x,
+                                 std::vector<xml::NodeId>* out,
+                                 uint64_t limit = kNoStepLimit);
+void IndexedStepOverPostingsInto(const xml::Document& doc,
                                  const std::vector<xml::NodeId>& postings,
                                  Axis axis, const xpath::NodeTest& test,
                                  std::span<const xml::NodeId> x,
@@ -93,7 +117,12 @@ void IndexedStepOverPostingsInto(const xml::Document& doc,
 /// do their own dispatch (StepKernel) can account indexed vs. scan steps
 /// truthfully: false when the candidate-postings × log|X| estimate for
 /// `axis` exceeds the O(|D|) scan (child/ancestor over dense postings
-/// and broad frontiers); true for every other axis.
+/// and broad frontiers); true for every other axis. The verdict is
+/// driven by sizes only, so it is identical across tiers — the stats
+/// parity the differential suite asserts depends on this.
+bool IndexedStepWorthwhile(const xml::Document& doc,
+                           const PostingsView& postings, Axis axis,
+                           std::span<const xml::NodeId> x);
 bool IndexedStepWorthwhile(const xml::Document& doc,
                            const std::vector<xml::NodeId>& postings,
                            Axis axis, std::span<const xml::NodeId> x);
@@ -115,6 +144,11 @@ NodeSet IndexedApplyNodeTest(const xml::Document& doc,
                              const NodeSet& nodes);
 
 /// IndexedApplyNodeTest into a caller-owned buffer (cleared first).
+void IndexedApplyNodeTestInto(const xml::Document& doc,
+                              const IndexView& index, Axis axis,
+                              const xpath::NodeTest& test,
+                              std::span<const xml::NodeId> nodes,
+                              std::vector<xml::NodeId>* out);
 void IndexedApplyNodeTestInto(const xml::Document& doc,
                               const DocumentIndex& index, Axis axis,
                               const xpath::NodeTest& test,

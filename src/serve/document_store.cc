@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/index/document_index.h"
+#include "src/succinct/succinct_index.h"
+
 namespace xpe::serve {
 
 DocumentStore::DocumentStore(obs::Registry* registry) {
@@ -9,11 +12,17 @@ DocumentStore::DocumentStore(obs::Registry* registry) {
   puts_total_ = r.GetCounter("xpe_serve_doc_puts_total");
   swaps_total_ = r.GetCounter("xpe_serve_doc_swaps_total");
   docs_peak_ = r.GetCounter("xpe_serve_docs_peak");
+  hot_puts_total_ = r.GetCounter("xpe_index_tier_hot_puts_total");
+  dense_puts_total_ = r.GetCounter("xpe_index_tier_dense_puts_total");
 }
 
-DocumentHandle DocumentStore::Put(std::string_view name, xml::Document doc) {
-  // Warm outside the lock: the O(|D|) cache builds must block neither
-  // concurrent lookups nor other publications.
+DocumentHandle DocumentStore::Put(std::string_view name, xml::Document doc,
+                                  index::IndexTier tier) {
+  // Configure the tier before warming: WarmCaches builds (only) the
+  // configured tier's index, so a dense document never pays the flat
+  // postings' memory. Warm outside the lock: the O(|D|) cache builds
+  // must block neither concurrent lookups nor other publications.
+  doc.set_index_tier(tier);
   doc.WarmCaches();
 
   auto version = std::make_shared<DocumentVersion>();
@@ -26,6 +35,8 @@ DocumentHandle DocumentStore::Put(std::string_view name, xml::Document doc) {
   auto [it, inserted] = docs_.insert_or_assign(version->name,
                                                DocumentHandle(version));
   puts_total_->Increment();
+  (tier == index::IndexTier::kDense ? dense_puts_total_ : hot_puts_total_)
+      ->Increment();
   if (!inserted) swaps_total_->Increment();
   docs_peak_->MaxWith(docs_.size());
   return it->second;
@@ -50,7 +61,14 @@ std::vector<DocumentStore::Info> DocumentStore::List() const {
   std::vector<Info> out;
   out.reserve(docs_.size());
   for (const auto& [name, handle] : docs_) {
-    out.push_back(Info{name, handle->version, handle->doc.size()});
+    const index::IndexTier tier = handle->doc.index_tier();
+    // The configured tier is already warm (Put built it), so these
+    // accessors are pure reads — no lazy build under the store lock.
+    const uint64_t bytes =
+        tier == index::IndexTier::kDense
+            ? handle->doc.succinct_index().MemoryUsageBytes()
+            : handle->doc.index().MemoryUsageBytes();
+    out.push_back(Info{name, handle->version, handle->doc.size(), tier, bytes});
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/index/index_tier.h"
 #include "src/obs/metrics.h"
 #include "src/xml/document.h"
 
@@ -56,9 +57,13 @@ class DocumentStore {
   DocumentStore& operator=(const DocumentStore&) = delete;
 
   /// Publishes `doc` under `name`, replacing (hot-swapping) any current
-  /// version. Warms the document's lazy caches before publication.
-  /// Returns the handle just published (version 1 for a new name).
-  DocumentHandle Put(std::string_view name, xml::Document doc);
+  /// version. Warms the document's lazy caches before publication —
+  /// `tier` picks which index build is warmed and served by default
+  /// (kHot: flat postings, fastest; kDense: the succinct tier at a
+  /// fraction of the memory). Returns the handle just published
+  /// (version 1 for a new name).
+  DocumentHandle Put(std::string_view name, xml::Document doc,
+                     index::IndexTier tier = index::IndexTier::kHot);
 
   /// The current version of `name`, or nullptr when unknown. The handle
   /// pins that version for as long as the caller holds it.
@@ -74,6 +79,10 @@ class DocumentStore {
     std::string name;
     uint64_t version = 0;
     uint64_t nodes = 0;  // |dom| of the current version
+    /// The tier this version warms and serves by default, and that
+    /// tier's index footprint (what the operator traded).
+    index::IndexTier index_tier = index::IndexTier::kHot;
+    uint64_t index_bytes = 0;
   };
   /// Current documents, sorted by name (deterministic /documents body).
   std::vector<Info> List() const;
@@ -84,6 +93,10 @@ class DocumentStore {
   obs::Counter* puts_total_;   // publications, first versions included
   obs::Counter* swaps_total_;  // publications that replaced a version
   obs::Counter* docs_peak_;    // high-water mark of resident documents
+  /// Publications per tier (xpe_index_tier_{hot,dense}_puts_total):
+  /// operators watch the mix to see what the corpus actually serves.
+  obs::Counter* hot_puts_total_;
+  obs::Counter* dense_puts_total_;
 
   mutable std::mutex mu_;
   std::map<std::string, DocumentHandle, std::less<>> docs_;

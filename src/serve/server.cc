@@ -58,6 +58,27 @@ HttpResponse ErrorResponse(const Status& status) {
                        StatusCodeToString(status.code()), status.ToString());
 }
 
+/// Value of `key` in the request target's query string
+/// ("/documents/a?index_tier=dense" → "dense"), or empty when absent.
+/// No %-decoding: the parameters this API accepts are plain tokens.
+std::string_view QueryParam(std::string_view target, std::string_view key) {
+  const size_t q = target.find('?');
+  if (q == std::string_view::npos) return {};
+  std::string_view rest = target.substr(q + 1);
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
 bool ParseResultMode(std::string_view name, ResultMode* mode) {
   if (name == "full") {
     *mode = ResultMode::kFull;
@@ -403,6 +424,8 @@ HttpResponse Server::Route(const HttpRequest& request) {
       body.Set("name", Json::Str(handle->name));
       body.Set("version", Json::Number(static_cast<double>(handle->version)));
       body.Set("nodes", Json::Number(static_cast<double>(handle->doc.size())));
+      body.Set("index_tier",
+               Json::Str(index::IndexTierToString(handle->doc.index_tier())));
       HttpResponse response;
       response.body = body.Dump();
       return response;
@@ -439,6 +462,7 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
   }
 
   std::string doc_name, xpath, mode_name = "full", tenant = "default";
+  std::string tier_name;
   uint64_t limit = 0, budget = 0;
   bool parallel = options_.eval.parallel.enabled;
   std::string field_error;
@@ -447,6 +471,8 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
       !FieldString(*body, "mode", /*required=*/false, &mode_name,
                    &field_error) ||
       !FieldString(*body, "tenant", /*required=*/false, &tenant,
+                   &field_error) ||
+      !FieldString(*body, "index_tier", /*required=*/false, &tier_name,
                    &field_error) ||
       !FieldUint(*body, "limit", &limit, &field_error) ||
       !FieldUint(*body, "budget", &budget, &field_error) ||
@@ -458,6 +484,19 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
     return ErrorResponse(400, "BadRequest",
                          "unknown mode \"" + mode_name +
                              "\" (full|first|exists|count|limit)");
+  }
+  // Per-request tier override; the document's configured tier answers
+  // when absent. An unconfigured tier builds lazily on first use, so
+  // this is a latency knob, never an error.
+  std::optional<index::IndexTier> tier_override;
+  if (!tier_name.empty()) {
+    index::IndexTier tier;
+    if (!index::ParseIndexTier(tier_name, &tier)) {
+      return ErrorResponse(400, "BadRequest",
+                           "unknown index_tier \"" + tier_name +
+                               "\" (hot|dense)");
+    }
+    tier_override = tier;
   }
   if (mode == ResultMode::kLimit && limit == 0) {
     return ErrorResponse(400, "BadRequest",
@@ -496,6 +535,7 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
   EvalOptions eval = options_.eval;
   eval.budget = admission_.EffectiveBudget(budget);
   eval.parallel.enabled = parallel;
+  if (tier_override.has_value()) eval.index_tier = tier_override;
   job.item.eval = eval;
   job.enqueue_ns = obs::MonotonicNanos();
 
@@ -559,6 +599,10 @@ HttpResponse Server::HandleDocumentList() {
     entry.Set("name", Json::Str(info.name));
     entry.Set("version", Json::Number(static_cast<double>(info.version)));
     entry.Set("nodes", Json::Number(static_cast<double>(info.nodes)));
+    entry.Set("index_tier",
+              Json::Str(index::IndexTierToString(info.index_tier)));
+    entry.Set("index_bytes",
+              Json::Number(static_cast<double>(info.index_bytes)));
     list.push_back(std::move(entry));
   }
   Json body = Json::Obj();
@@ -570,17 +614,27 @@ HttpResponse Server::HandleDocumentList() {
 
 HttpResponse Server::HandleDocumentPut(std::string_view name,
                                        const HttpRequest& request) {
+  // ?index_tier=hot|dense picks the index build this document warms and
+  // serves by default (docs/http_api.md); hot when absent.
+  index::IndexTier tier = index::IndexTier::kHot;
+  const std::string_view tier_name = QueryParam(request.target, "index_tier");
+  if (!tier_name.empty() && !index::ParseIndexTier(tier_name, &tier)) {
+    return ErrorResponse(400, "BadRequest",
+                         "unknown index_tier \"" + std::string(tier_name) +
+                             "\" (hot|dense)");
+  }
   StatusOr<xml::Document> doc = xml::Parse(request.body);
   if (!doc.ok()) {
     return ErrorResponse(400, StatusCodeToString(doc.status().code()),
                          doc.status().ToString());
   }
   const DocumentHandle handle =
-      documents_.Put(name, std::move(doc).value());
+      documents_.Put(name, std::move(doc).value(), tier);
   Json body = Json::Obj();
   body.Set("name", Json::Str(handle->name));
   body.Set("version", Json::Number(static_cast<double>(handle->version)));
   body.Set("nodes", Json::Number(static_cast<double>(handle->doc.size())));
+  body.Set("index_tier", Json::Str(index::IndexTierToString(tier)));
   HttpResponse response;
   response.status = handle->version == 1 ? 201 : 200;
   response.body = body.Dump();

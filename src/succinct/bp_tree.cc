@@ -1,0 +1,179 @@
+#include "src/succinct/bp_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xpe::succinct {
+
+using xml::kInvalidNodeId;
+using xml::NodeId;
+
+BpTree::BpTree(const xml::Document& doc) : n_(doc.size()) {
+  if (n_ == 0) return;
+  bits_ = BitVector(2 * n_);
+  // NodeIds are preorder and subtrees are the contiguous intervals
+  // [id, subtree_end(id)), so one left-to-right pass with a stack of
+  // pending subtree ends emits the parenthesization: close everything
+  // whose subtree ends at id, then open id. Closes are 0 bits — only
+  // opens need a Set.
+  std::vector<NodeId> pending;
+  size_t pos = 0;
+  for (NodeId id = 0; id < n_; ++id) {
+    while (!pending.empty() && pending.back() == id) {
+      pending.pop_back();
+      ++pos;
+    }
+    bits_.Set(pos++);
+    pending.push_back(doc.subtree_end(id));
+  }
+  bits_.Finish();
+
+  const size_t n_bits = 2 * n_;
+  const size_t n_blocks = (n_bits + 63) / 64;
+  block_exc_.resize(n_blocks);
+  block_min_.resize(n_blocks);
+  int64_t exc = 0;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    block_exc_[b] = static_cast<int32_t>(exc);
+    int64_t mn = std::numeric_limits<int64_t>::max();
+    const size_t end = std::min((b + 1) << 6, n_bits);
+    for (size_t j = b << 6; j < end; ++j) {
+      exc += bits_.Get(j) ? 1 : -1;
+      mn = std::min(mn, exc);
+    }
+    block_min_[b] = static_cast<int32_t>(mn);
+  }
+
+  tree_leaves_ = 1;
+  while (tree_leaves_ < n_blocks) tree_leaves_ <<= 1;
+  tree_.assign(2 * tree_leaves_, std::numeric_limits<int32_t>::max());
+  for (size_t b = 0; b < n_blocks; ++b) {
+    tree_[tree_leaves_ + b] = block_min_[b];
+  }
+  for (size_t i = tree_leaves_ - 1; i >= 1; --i) {
+    tree_[i] = std::min(tree_[2 * i], tree_[2 * i + 1]);
+  }
+}
+
+uint32_t BpTree::Depth(NodeId id) const {
+  // Excess(p + 1) - 1 with Rank1(p + 1) == id + 1 folded in.
+  return static_cast<uint32_t>(2 * static_cast<size_t>(id) - OpenPos(id));
+}
+
+NodeId BpTree::SubtreeEnd(NodeId id) const {
+  // Opens are preorder ids, so the ids before the matching close are
+  // exactly the subtree.
+  return static_cast<NodeId>(bits_.Rank1(FindClose(OpenPos(id))));
+}
+
+NodeId BpTree::Parent(NodeId id) const {
+  if (id == 0) return kInvalidNodeId;
+  return static_cast<NodeId>(bits_.Rank1(Enclose(OpenPos(id))));
+}
+
+size_t BpTree::FindClose(size_t p) const {
+  const int64_t target = Excess(p);
+  // In-block scan first: run tracks Excess(pos + 1).
+  const size_t b = p >> 6;
+  const size_t block_end = std::min((b + 1) << 6, 2 * n_);
+  int64_t run = target + 1;
+  for (size_t pos = p + 1; pos < block_end; ++pos) {
+    run += bits_.Get(pos) ? 1 : -1;
+    if (run == target) return pos;
+  }
+  // Excess stays > target until the matching close, so the first later
+  // block whose min dips to <= target contains it — and the first
+  // boundary there that reaches target is it (unit steps).
+  const size_t nb = FindBlockFwd(b + 1, target);
+  run = block_exc_[nb];
+  for (size_t pos = nb << 6;; ++pos) {
+    run += bits_.Get(pos) ? 1 : -1;
+    if (run == target) return pos;
+  }
+}
+
+size_t BpTree::Enclose(size_t p) const {
+  const int64_t target = Excess(p) - 1;
+  // Largest boundary j < p with Excess(j) == target. In-block: scan
+  // boundaries (64b, p] left to right keeping the last hit; the block's
+  // first boundary 64b (owned by the previous block's min range) is
+  // checked explicitly.
+  const size_t b = p >> 6;
+  int64_t run = block_exc_[b];
+  size_t best = run == target ? b << 6 : kNoBlock;
+  for (size_t j = (b << 6) + 1; j <= p; ++j) {
+    run += bits_.Get(j - 1) ? 1 : -1;
+    if (run == target) best = j;
+  }
+  if (best != kNoBlock) return best;
+  // Every boundary between the answer and p has excess > target, so the
+  // answer lives in the last earlier block whose min is <= target; its
+  // rightmost boundary at excess <= target hits target exactly.
+  const size_t pb = b == 0 ? kNoBlock : FindBlockBwd(b - 1, target);
+  if (pb == kNoBlock) return 0;  // root open: Excess(0) == 0 == target
+  run = block_exc_[pb];
+  best = run == target ? pb << 6 : kNoBlock;
+  const size_t block_end = std::min((pb + 1) << 6, 2 * n_);
+  for (size_t j = (pb << 6) + 1; j <= block_end; ++j) {
+    run += bits_.Get(j - 1) ? 1 : -1;
+    if (run == target) best = j;
+  }
+  return best;
+}
+
+size_t BpTree::FindBlockFwd(size_t b0, int64_t target) const {
+  const size_t n_blocks = block_min_.size();
+  if (b0 >= n_blocks) return n_blocks;
+  size_t i = tree_leaves_ + b0;
+  for (;;) {
+    if (tree_[i] <= target) {
+      while (i < tree_leaves_) {
+        i <<= 1;
+        if (tree_[i] > target) ++i;
+      }
+      const size_t found = i - tree_leaves_;
+      return found < n_blocks ? found : n_blocks;
+    }
+    for (;;) {
+      if (i == 1) return n_blocks;
+      if ((i & 1) == 0) {
+        ++i;  // left child: try the right sibling's subtree
+        break;
+      }
+      i >>= 1;  // right child: climb before moving right
+    }
+  }
+}
+
+size_t BpTree::FindBlockBwd(size_t b0, int64_t target) const {
+  const size_t n_blocks = block_min_.size();
+  if (n_blocks == 0) return kNoBlock;
+  if (b0 >= n_blocks) b0 = n_blocks - 1;
+  size_t i = tree_leaves_ + b0;
+  for (;;) {
+    if (tree_[i] <= target) {
+      while (i < tree_leaves_) {
+        i = (i << 1) + 1;
+        if (tree_[i] > target) --i;
+      }
+      return i - tree_leaves_;
+    }
+    for (;;) {
+      if (i == 1) return kNoBlock;
+      if (i & 1) {
+        --i;  // right child: try the left sibling's subtree
+        break;
+      }
+      i >>= 1;  // left child: climb before moving left
+    }
+  }
+}
+
+size_t BpTree::MemoryUsageBytes() const {
+  return bits_.MemoryUsageBytes() +
+         (block_exc_.capacity() + block_min_.capacity() +
+          tree_.capacity()) *
+             sizeof(int32_t);
+}
+
+}  // namespace xpe::succinct

@@ -1,0 +1,92 @@
+#ifndef XPE_SUCCINCT_BP_TREE_H_
+#define XPE_SUCCINCT_BP_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/succinct/bitvector.h"
+#include "src/xml/document.h"
+
+namespace xpe::succinct {
+
+/// A balanced-parentheses encoding of the document tree: 2n bits, one
+/// open (1) and one close (0) per node, opens in preorder. Because the
+/// arena's NodeIds are themselves preorder, node id and open-paren rank
+/// coincide: OpenPos(id) = Select1(id), and every tree operation the
+/// step kernels need — Depth, Parent, SubtreeEnd, IsAncestor — reads
+/// off paren excess, replacing the flat tier's 4-bytes-per-node depth
+/// array with ~2.3 bits per node.
+///
+/// Navigation is the classic range-min-over-excess scheme (the rmM-tree
+/// of Navarro & Sadakane, as used by the SXSI XPath engine): per 64-bit
+/// block we store the excess entering the block and the minimum prefix
+/// excess inside it, with a segment tree over block minima. FindClose /
+/// Enclose are then one in-block scan plus an O(log(2n/64)) tree walk
+/// plus one final in-block scan.
+///
+/// Immutable after construction; safe for concurrent reads.
+class BpTree {
+ public:
+  BpTree() = default;
+  explicit BpTree(const xml::Document& doc);
+
+  /// Number of nodes encoded.
+  size_t size() const { return n_; }
+
+  /// Root is depth 0; attributes sit one below their owner, matching
+  /// the flat index's parent-chain depths.
+  uint32_t Depth(xml::NodeId id) const;
+
+  /// Parent node, kInvalidNodeId for the root.
+  xml::NodeId Parent(xml::NodeId id) const;
+
+  /// One past the last preorder descendant: the [id, SubtreeEnd(id))
+  /// interval is the subtree, exactly Document::subtree_end.
+  xml::NodeId SubtreeEnd(xml::NodeId id) const;
+
+  /// Proper ancestry, same semantics as Document::IsAncestor.
+  bool IsAncestor(xml::NodeId a, xml::NodeId b) const {
+    return a < b && b < SubtreeEnd(a);
+  }
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  /// Paren position of node id's open.
+  size_t OpenPos(xml::NodeId id) const { return bits_.Select1(id); }
+  /// Prefix excess: opens minus closes in bit positions [0, j).
+  int64_t Excess(size_t j) const {
+    return 2 * static_cast<int64_t>(bits_.Rank1(j)) -
+           static_cast<int64_t>(j);
+  }
+
+  /// Position of the close matching the open at p: the smallest q > p
+  /// with Excess(q + 1) == Excess(p).
+  size_t FindClose(size_t p) const;
+  /// Open position of the parent of the open at p (p > 0): the largest
+  /// boundary q < p with Excess(q) == Excess(p) - 1 is always an open
+  /// paren, and it is the nearest enclosing one.
+  size_t Enclose(size_t p) const;
+
+  /// First block >= b0 whose min prefix excess is <= target (n_blocks
+  /// when none), and the symmetric last block <= b0.
+  size_t FindBlockFwd(size_t b0, int64_t target) const;
+  size_t FindBlockBwd(size_t b0, int64_t target) const;
+
+  static constexpr size_t kNoBlock = ~size_t{0};
+
+  size_t n_ = 0;
+  BitVector bits_;
+  /// Per 64-bit block: prefix excess at the block's first boundary, and
+  /// the minimum prefix excess over boundaries (64b, 64(b+1)].
+  std::vector<int32_t> block_exc_;
+  std::vector<int32_t> block_min_;
+  /// Min segment tree over block_min_ (iterative, power-of-two leaves).
+  std::vector<int32_t> tree_;
+  size_t tree_leaves_ = 0;
+};
+
+}  // namespace xpe::succinct
+
+#endif  // XPE_SUCCINCT_BP_TREE_H_

@@ -1,0 +1,66 @@
+#ifndef XPE_SUCCINCT_SUCCINCT_INDEX_H_
+#define XPE_SUCCINCT_SUCCINCT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/succinct/bp_tree.h"
+#include "src/succinct/ef_postings.h"
+#include "src/xml/document.h"
+
+namespace xpe::succinct {
+
+/// The dense index tier: what index::DocumentIndex answers, in a
+/// fraction of the space. Per-name element/attribute postings and the
+/// all-elements/all-attributes lists are Elias-Fano encoded; the
+/// per-node depth array is replaced by the balanced-parentheses tree
+/// (depth = paren excess). There are no kind bitmaps — those are an
+/// internal of the flat build; the kernel-facing surface
+/// (index::IndexView) never needed them.
+///
+/// Build cost is one preorder pass plus transient flat postings (freed
+/// before the constructor returns). Immutable afterward; safe for
+/// concurrent reads, published by Document through a once_flag exactly
+/// like the flat index.
+class SuccinctDocumentIndex {
+ public:
+  explicit SuccinctDocumentIndex(const xml::Document& doc);
+
+  /// Elements with name `name_id`, ascending (= document order).
+  /// Out-of-range ids (including xml::kNoString) yield the empty list.
+  const EliasFanoList& ElementsNamed(uint32_t name_id) const {
+    return name_id < element_postings_.size() ? element_postings_[name_id]
+                                              : empty_;
+  }
+  const EliasFanoList& AttributesNamed(uint32_t name_id) const {
+    return name_id < attribute_postings_.size()
+               ? attribute_postings_[name_id]
+               : empty_;
+  }
+
+  const EliasFanoList& all_elements() const { return elements_; }
+  const EliasFanoList& all_attributes() const { return attributes_; }
+
+  const BpTree& tree() const { return tree_; }
+  uint32_t depth(xml::NodeId id) const { return tree_.Depth(id); }
+
+  xml::NodeId size() const { return static_cast<xml::NodeId>(tree_.size()); }
+  uint32_t name_count() const {
+    return static_cast<uint32_t>(element_postings_.size());
+  }
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  BpTree tree_;
+  std::vector<EliasFanoList> element_postings_;
+  std::vector<EliasFanoList> attribute_postings_;
+  EliasFanoList elements_;
+  EliasFanoList attributes_;
+  EliasFanoList empty_;
+};
+
+}  // namespace xpe::succinct
+
+#endif  // XPE_SUCCINCT_SUCCINCT_INDEX_H_

@@ -8,6 +8,8 @@
 #include "src/common/numeric.h"
 #include "src/common/str_util.h"
 #include "src/index/document_index.h"
+#include "src/index/index_tier.h"
+#include "src/succinct/succinct_index.h"
 
 namespace xpe::xml {
 
@@ -16,8 +18,10 @@ namespace xpe::xml {
 struct Document::LazyCaches {
   std::once_flag id_axis_once;
   std::once_flag index_once;
+  std::once_flag succinct_once;
   std::once_flag number_once;
   std::unique_ptr<index::DocumentIndex> document_index;
+  std::unique_ptr<succinct::SuccinctDocumentIndex> succinct_index;
 };
 
 Document::Document() : caches_(std::make_unique<LazyCaches>()) {}
@@ -164,12 +168,34 @@ const index::DocumentIndex& Document::index() const {
   return *caches_->document_index;
 }
 
+const succinct::SuccinctDocumentIndex& Document::succinct_index() const {
+  std::call_once(caches_->succinct_once, [this] {
+    caches_->succinct_index =
+        std::make_unique<succinct::SuccinctDocumentIndex>(*this);
+  });
+  return *caches_->succinct_index;
+}
+
+index::IndexView Document::index_view(index::IndexTier tier) const {
+  return tier == index::IndexTier::kDense ? index::IndexView(&succinct_index())
+                                          : index::IndexView(&index());
+}
+
 void Document::WarmCaches() const {
   // First-touch under contention is already safe (once_flags / per-entry
   // atomics), but a server that warms before fan-out gets a fully
   // read-only document: no worker ever pays a lazy O(|D|) build mid-query
   // or serializes behind another's call_once.
-  index();
+  //
+  // Only the configured tier is warmed: a dense document must not pull
+  // the ~9x larger flat index into memory just by being warmed — that
+  // would defeat the tier's point. A per-evaluation tier override still
+  // works (the other tier builds lazily, under its own once_flag).
+  if (index_tier_ == index::IndexTier::kDense) {
+    succinct_index();
+  } else {
+    index();
+  }
   if (size() > 0) IdAxisForward(0);  // one call builds both directions
   EnsureNumberCache();
 }

@@ -14,7 +14,13 @@
 
 namespace xpe::index {
 class DocumentIndex;
+class IndexView;
+enum class IndexTier : uint8_t;
 }  // namespace xpe::index
+
+namespace xpe::succinct {
+class SuccinctDocumentIndex;
+}  // namespace xpe::succinct
 
 namespace xpe::xml {
 
@@ -92,12 +98,32 @@ class Document {
   /// fully built index.
   const index::DocumentIndex& index() const;
 
-  /// Force-builds every lazy cache (search index, id-axis tables, the
-  /// number-cache arrays) so that all subsequent use is pure reads.
-  /// Servers call this once per document before fanning evaluations out
-  /// to a worker pool: first-touch under contention is safe without it
-  /// (see the class comment), but warming keeps the O(|D|) builds out of
-  /// query latency. Idempotent, thread-safe.
+  /// The compressed counterpart of index(): Elias-Fano postings plus a
+  /// balanced-parentheses tree (src/succinct/succinct_index.h), ~10% of
+  /// the flat index's bytes. Same lazy once_flag build discipline.
+  const succinct::SuccinctDocumentIndex& succinct_index() const;
+
+  /// The tier-erased handle the step kernels evaluate against: wraps
+  /// index() for kHot, succinct_index() for kDense (building the chosen
+  /// one on first use).
+  index::IndexView index_view(index::IndexTier tier) const;
+
+  /// The index tier this document warms and serves by default
+  /// (index::IndexTier::kHot unless configured). Set it before
+  /// publishing the document to readers — it is plain configuration
+  /// state, not synchronized; EvalOptions::index_tier can still override
+  /// it per evaluation (the non-configured tier is then built lazily on
+  /// first use).
+  index::IndexTier index_tier() const { return index_tier_; }
+  void set_index_tier(index::IndexTier tier) { index_tier_ = tier; }
+
+  /// Force-builds every lazy cache (the search index of the configured
+  /// tier, id-axis tables, the number-cache arrays) so that all
+  /// subsequent use is pure reads. Servers call this once per document
+  /// before fanning evaluations out to a worker pool: first-touch under
+  /// contention is safe without it (see the class comment), but warming
+  /// keeps the O(|D|) builds out of query latency. Idempotent,
+  /// thread-safe.
   void WarmCaches() const;
 
   /// Attribute nodes of an element: the id range
@@ -161,6 +187,9 @@ class Document {
   std::unordered_map<std::string, NodeId, StringViewHash, std::equal_to<>>
       id_index_;
   std::string id_attribute_name_ = "id";
+  // Value-initialized to index::IndexTier::kHot (= 0); the enum is only
+  // forward-declared here.
+  index::IndexTier index_tier_{};
 
   // Lazy caches (see class comment re. thread-safety). The id-axis
   // vectors are published through the once_flag in caches_; the number

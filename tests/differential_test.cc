@@ -69,6 +69,29 @@ const char* kQueryCorpus[] = {
     "//b[../c]",
 };
 
+/// The index axis every differential loop sweeps: no index at all, the
+/// flat hot tier, and the succinct dense tier. The tiers must be
+/// mutually bit-identical — in results AND in EvalStats (same kernels,
+/// same counting) — and all three must agree with the naive engine.
+struct IndexConfig {
+  const char* label;
+  bool use_index;
+  index::IndexTier tier;  // meaningful only when use_index
+};
+constexpr IndexConfig kIndexConfigs[] = {
+    {"scan", false, index::IndexTier::kHot},
+    {"hot", true, index::IndexTier::kHot},
+    {"dense", true, index::IndexTier::kDense},
+};
+
+EvalOptions ConfigOptions(const IndexConfig& config, EngineKind engine) {
+  EvalOptions opts;
+  opts.engine = engine;
+  opts.use_index = config.use_index;
+  if (config.use_index) opts.index_tier = config.tier;
+  return opts;
+}
+
 class DifferentialTest : public testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, AllEnginesAgreeWithNaive) {
@@ -91,12 +114,15 @@ TEST_P(DifferentialTest, AllEnginesAgreeWithNaive) {
       engines.push_back(EngineKind::kCoreXPath);
     }
     for (EngineKind engine : engines) {
-      // Indexed step kernels must be invisible in the results: every
-      // engine agrees with the (index-free) naive engine both ways.
-      for (bool use_index : {false, true}) {
-        EvalOptions opts;
-        opts.engine = engine;
-        opts.use_index = use_index;
+      // Indexed step kernels (and the tier backing them) must be
+      // invisible in the results: every engine agrees with the
+      // (index-free) naive engine under all three index configs, and
+      // the two indexed tiers also agree on every stats counter.
+      std::string hot_stats, dense_stats;
+      for (const IndexConfig& config : kIndexConfigs) {
+        EvalOptions opts = ConfigOptions(config, engine);
+        EvalStats stats;
+        opts.stats = &stats;
         StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
         ASSERT_TRUE(actual.ok())
             << query << " on " << EngineKindToString(engine) << ": "
@@ -104,11 +130,18 @@ TEST_P(DifferentialTest, AllEnginesAgreeWithNaive) {
         EXPECT_TRUE(actual->StructurallyEquals(*expected))
             << "query:    " << query << "\nengine:   "
             << EngineKindToString(engine)
-            << "\nuse_index " << use_index
+            << "\nindex:    " << config.label
             << "\nseed:     " << GetParam()
             << "\nexpected: " << expected->Repr()
             << "\nactual:   " << actual->Repr();
+        if (config.use_index) {
+          (config.tier == index::IndexTier::kHot ? hot_stats : dense_stats) =
+              stats.ToString();
+        }
       }
+      EXPECT_EQ(hot_stats, dense_stats)
+          << "stats diverged across tiers: " << query << " on "
+          << EngineKindToString(engine) << " seed " << GetParam();
     }
   }
 }
@@ -140,15 +173,13 @@ TEST_P(RelativeDifferentialTest, AgreeFromEveryContextNode) {
       for (EngineKind engine :
            {EngineKind::kTopDown, EngineKind::kMinContext,
             EngineKind::kOptMinContext, EngineKind::kBottomUp}) {
-        for (bool use_index : {false, true}) {
-          EvalOptions opts;
-          opts.engine = engine;
-          opts.use_index = use_index;
+        for (const IndexConfig& config : kIndexConfigs) {
+          EvalOptions opts = ConfigOptions(config, engine);
           StatusOr<Value> actual = Evaluate(compiled, doc, ctx, opts);
           ASSERT_TRUE(actual.ok()) << query;
           EXPECT_TRUE(actual->StructurallyEquals(*expected))
               << "query: " << query << " cn=" << cn << " engine "
-              << EngineKindToString(engine) << " use_index " << use_index
+              << EngineKindToString(engine) << " index " << config.label
               << "\nexpected " << expected->Repr() << "\nactual "
               << actual->Repr();
         }
@@ -215,15 +246,13 @@ TEST_P(AuctionDifferentialTest, EnginesAgreeOnJoins) {
     for (EngineKind engine : {EngineKind::kTopDown, EngineKind::kMinContext,
                               EngineKind::kOptMinContext,
                               EngineKind::kBottomUp}) {
-      for (bool use_index : {false, true}) {
-        EvalOptions opts;
-        opts.engine = engine;
-        opts.use_index = use_index;
+      for (const IndexConfig& config : kIndexConfigs) {
+        EvalOptions opts = ConfigOptions(config, engine);
         StatusOr<Value> actual = Evaluate(compiled, doc, EvalContext{}, opts);
         ASSERT_TRUE(actual.ok()) << query;
         EXPECT_TRUE(actual->StructurallyEquals(*expected))
-            << query << " on " << EngineKindToString(engine) << " use_index "
-            << use_index << " seed " << GetParam() << "\nexpected "
+            << query << " on " << EngineKindToString(engine) << " index "
+            << config.label << " seed " << GetParam() << "\nexpected "
             << expected->Repr() << "\nactual " << actual->Repr();
       }
     }
@@ -269,7 +298,8 @@ TEST_P(SessionDifferentialTest, ReusedSessionAgreesWithNaive) {
             << "query:   " << query << "\nengine:  "
             << EngineKindToString(engine) << " (reused session)"
             << "\nseed:    " << GetParam()
-            << "\nexpected " << expected->Repr() << "\nactual " << actual->Repr();
+            << "\nexpected " << expected->Repr() << "\nactual "
+            << actual->Repr();
       }
     }
   }

@@ -220,10 +220,13 @@ TEST(EvalStatsTest, ToStringRendersEveryField) {
   s.indexed_steps = 6;
   s.nodes_visited = 7;
   s.arena_bytes_peak = 8;
+  s.count_fast_path = 9;
+  s.budget_trips = 10;
   EXPECT_EQ(s.ToString(),
             "cells_allocated=1 cells_live=2 cells_peak=3 "
             "contexts_evaluated=4 axis_evals=5 indexed_steps=6 "
-            "nodes_visited=7 arena_bytes_peak=8");
+            "nodes_visited=7 arena_bytes_peak=8 count_fast_path=9 "
+            "budget_trips=10");
 }
 
 // --- profiler -------------------------------------------------------------

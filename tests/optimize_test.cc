@@ -393,6 +393,41 @@ TEST(BudgetParityTest, TinyBudgetTripsEveryEngine) {
   }
 }
 
+TEST(BudgetParityTest, CountAndLimitModesSurfaceBudgetTripsUniformly) {
+  // Regression (ISSUE 9 satellite): kCount used to report budget
+  // exhaustion only through the error status while kLimit also left a
+  // trace in EvalStats, so stats-parity checks across result modes
+  // broke the moment a budget tripped. The dispatcher now records
+  // EvalStats::budget_trips centrally — every engine, tier, and result
+  // mode identically.
+  xml::Document doc = xml::MakeRandomDocument(90, {"a", "b"}, /*seed=*/7);
+  for (EngineKind engine : AllEngines()) {
+    const char* query =
+        engine == EngineKind::kCoreXPath ? "//a//b" : "//a[b]";
+    for (index::IndexTier tier :
+         {index::IndexTier::kHot, index::IndexTier::kDense}) {
+      for (ResultMode mode : {ResultMode::kCount, ResultMode::kLimit}) {
+        EvalOptions options;
+        options.engine = engine;
+        options.index_tier = tier;
+        options.budget = 1;
+        options.result.mode = mode;
+        if (mode == ResultMode::kLimit) options.result.limit = 3;
+        EvalStats stats;
+        options.stats = &stats;
+        StatusOr<Value> v =
+            Evaluate(MustCompile(query), doc, EvalContext{}, options);
+        const std::string label = std::string(EngineKindToString(engine)) +
+                                  "/" + index::IndexTierToString(tier) + "/" +
+                                  ResultModeToString(mode);
+        ASSERT_FALSE(v.ok()) << label;
+        EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted) << label;
+        EXPECT_EQ(stats.budget_trips, 1u) << label;
+      }
+    }
+  }
+}
+
 TEST(BudgetParityTest, GenerousBudgetPassesEveryEngine) {
   xml::Document doc = xml::MakeRandomDocument(90, {"a", "b"}, /*seed=*/7);
   for (EngineKind engine : AllEngines()) {

@@ -200,6 +200,10 @@ const char* kAttributeCorpus[] = {
 struct ParallelDiffCase {
   EngineKind engine;
   bool use_index;
+  /// The tier serving the indexed kernels (ignored for scan cases):
+  /// the partitioned parallel paths must be bit-identical across flat
+  /// and succinct postings, results and stats both.
+  index::IndexTier tier = index::IndexTier::kHot;
 };
 
 /// The table-filling engines pay |D|²-and-worse per evaluation, so they
@@ -247,6 +251,7 @@ void ExpectParallelMatchesSequential(const xml::Document& doc,
       EvalOptions opts;
       opts.engine = c.engine;
       opts.use_index = c.use_index;
+      if (c.use_index) opts.index_tier = c.tier;
       opts.result.mode = mode.mode;
       opts.result.limit = mode.limit;
       opts.stats = &want_stats;
@@ -254,11 +259,13 @@ void ExpectParallelMatchesSequential(const xml::Document& doc,
       ASSERT_TRUE(want.ok()) << query << ": " << want.status().ToString();
 
       for (uint32_t workers : {1u, 2u, 4u, 8u}) {
-        const std::string label = std::string(query) + " on " +
-                                  EngineKindToString(c.engine) +
-                                  (c.use_index ? " +index" : " -index") +
-                                  " mode " + ResultModeToString(mode.mode) +
-                                  " workers " + std::to_string(workers);
+        const std::string label =
+            std::string(query) + " on " + EngineKindToString(c.engine) +
+            (c.use_index ? std::string(" +index:") +
+                               index::IndexTierToString(c.tier)
+                         : std::string(" -index")) +
+            " mode " + ResultModeToString(mode.mode) + " workers " +
+            std::to_string(workers);
         EvalStats got_stats;
         EvalOptions popts = opts;
         popts.stats = &got_stats;
@@ -289,23 +296,33 @@ TEST_P(ParallelDifferentialTest, AttributeStepsMatchSequential) {
 
 INSTANTIATE_TEST_SUITE_P(
     Engines, ParallelDifferentialTest,
-    testing::Values(ParallelDiffCase{EngineKind::kNaive, false},
-                    ParallelDiffCase{EngineKind::kBottomUp, false},
-                    ParallelDiffCase{EngineKind::kBottomUp, true},
-                    ParallelDiffCase{EngineKind::kTopDown, false},
-                    ParallelDiffCase{EngineKind::kTopDown, true},
-                    ParallelDiffCase{EngineKind::kMinContext, false},
-                    ParallelDiffCase{EngineKind::kMinContext, true},
-                    ParallelDiffCase{EngineKind::kOptMinContext, false},
-                    ParallelDiffCase{EngineKind::kOptMinContext, true},
-                    ParallelDiffCase{EngineKind::kCoreXPath, false},
-                    ParallelDiffCase{EngineKind::kCoreXPath, true}),
+    testing::Values(
+        ParallelDiffCase{EngineKind::kNaive, false},
+        ParallelDiffCase{EngineKind::kBottomUp, false},
+        ParallelDiffCase{EngineKind::kBottomUp, true},
+        ParallelDiffCase{EngineKind::kBottomUp, true, index::IndexTier::kDense},
+        ParallelDiffCase{EngineKind::kTopDown, false},
+        ParallelDiffCase{EngineKind::kTopDown, true},
+        ParallelDiffCase{EngineKind::kTopDown, true, index::IndexTier::kDense},
+        ParallelDiffCase{EngineKind::kMinContext, false},
+        ParallelDiffCase{EngineKind::kMinContext, true},
+        ParallelDiffCase{EngineKind::kMinContext, true,
+                         index::IndexTier::kDense},
+        ParallelDiffCase{EngineKind::kOptMinContext, false},
+        ParallelDiffCase{EngineKind::kOptMinContext, true},
+        ParallelDiffCase{EngineKind::kOptMinContext, true,
+                         index::IndexTier::kDense},
+        ParallelDiffCase{EngineKind::kCoreXPath, false},
+        ParallelDiffCase{EngineKind::kCoreXPath, true},
+        ParallelDiffCase{EngineKind::kCoreXPath, true,
+                         index::IndexTier::kDense}),
     [](const testing::TestParamInfo<ParallelDiffCase>& info) {
       std::string name = EngineKindToString(info.param.engine);
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + (info.param.use_index ? "_indexed" : "_scan");
+      if (!info.param.use_index) return name + "_scan";
+      return name + "_" + index::IndexTierToString(info.param.tier);
     });
 
 // --- early termination under parallel eval ----------------------------------

@@ -411,6 +411,50 @@ TEST_F(ServeTest, DocumentCrudOverHttp) {
   EXPECT_EQ(del->status, 404);
 }
 
+TEST_F(ServeTest, IndexTierSelectionOverHttp) {
+  StartServer();
+  // ?index_tier=dense publishes under the succinct tier; the response
+  // and both document views echo it.
+  StatusOr<HttpResponse> put =
+      client_.RoundTrip("PUT", "/documents/packed?index_tier=dense",
+                        "<r><x/><x/><y/></r>", "application/xml");
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put->status, 201);
+  EXPECT_EQ(MustJson(*put).Find("index_tier")->string(), "dense");
+
+  StatusOr<HttpResponse> info = client_.RoundTrip("GET", "/documents/packed");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(MustJson(*info).Find("index_tier")->string(), "dense");
+
+  StatusOr<HttpResponse> list = client_.RoundTrip("GET", "/documents");
+  ASSERT_TRUE(list.ok());
+  const Json listing = MustJson(*list);
+  for (const Json& entry : listing.Find("documents")->array()) {
+    const bool dense = entry.Find("name")->string() == "packed";
+    EXPECT_EQ(entry.Find("index_tier")->string(), dense ? "dense" : "hot");
+    EXPECT_GT(entry.Find("index_bytes")->number(), 0);
+  }
+
+  // An unknown tier never publishes.
+  StatusOr<HttpResponse> bad = client_.RoundTrip(
+      "PUT", "/documents/nope?index_tier=warm", "<r/>", "application/xml");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_EQ(client_.RoundTrip("GET", "/documents/nope")->status, 404);
+
+  // Per-request override: the same query answers identically through
+  // either tier, whatever the document's default.
+  Json body = QueryBody("count(//x)", "packed");
+  for (const char* tier : {"hot", "dense"}) {
+    body.Set("index_tier", Json::Str(tier));
+    const HttpResponse response = Query(body);
+    ASSERT_EQ(response.status, 200) << tier << ": " << response.body;
+    EXPECT_EQ(MustJson(response).Find("value")->number(), 2) << tier;
+  }
+  body.Set("index_tier", Json::Str("warm"));
+  EXPECT_EQ(Query(body).status, 400);
+}
+
 TEST_F(ServeTest, TenantsShareOneCanonicalPlan) {
   StartServer();
   Json t1 = QueryBody("//book/title");
