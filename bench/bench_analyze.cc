@@ -1,0 +1,233 @@
+// The static analyzer (src/analyze/): DataGuide summary construction and
+// summary-based emptiness pruning on a large random document. Three
+// claims are measured and, under --smoke, gated:
+//
+//   1. pruning — `//nosuch/x` in full-materialization mode with analysis
+//      on is answered from the summary (EvalStats::pruned_by_summary)
+//      and visits ≥ 1000× fewer nodes than the unpruned scan (analysis
+//      off AND use_index off — the counter wall-clock can't fake);
+//   2. build cost — Summarize() takes ≤ 20% of the hot tier's index
+//      warm-up on the same document (everything WarmCaches builds for
+//      the hot tier besides the summary itself: the flat DocumentIndex,
+//      the id-axis maps, the number cache). The summary rides along
+//      WarmCaches, so it must stay a small fraction of what publication
+//      already pays;
+//   3. bit-identity — a satisfiable query returns structurally equal
+//      results and identical stats with analysis on and off (asserted
+//      always, not just under --smoke; the full engine × tier × mode
+//      matrix lives in analyze_test.cc).
+//
+// --json PATH writes the numbers for the uploaded perf-trajectory
+// artifact.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analyze/summary.h"
+#include "src/index/document_index.h"
+
+namespace xpe::bench {
+namespace {
+
+Value EvalWithStats(const xpath::CompiledQuery& query,
+                    const xml::Document& doc, EvalOptions options,
+                    EvalStats* stats) {
+  options.stats = stats;
+  StatusOr<Value> v = Evaluate(query, doc, EvalContext{}, options);
+  if (!v.ok()) {
+    fprintf(stderr, "eval(%s): %s\n", query.source().c_str(),
+            v.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(v).value();
+}
+
+/// Median-of-three wall clock of `build()`, in microseconds. The builds
+/// under test (Summarize, DocumentIndex) are pure functions of the
+/// document, so repeated construction is safe.
+template <typename F>
+double TimeBuildUs(F build) {
+  double samples[3];
+  for (double& sample : samples) {
+    auto t0 = std::chrono::steady_clock::now();
+    build();
+    auto t1 = std::chrono::steady_clock::now();
+    sample = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  }
+  std::sort(samples, samples + 3);
+  return samples[1];
+}
+
+}  // namespace
+}  // namespace xpe::bench
+
+int main(int argc, char** argv) {
+  using namespace xpe;
+  using namespace xpe::bench;
+
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  // The auction corpus is schema-regular — a few dozen distinct label
+  // paths however large the document — which is the shape DataGuides are
+  // built for (a uniformly random tree would have nearly one label path
+  // per node and no summary worth consulting). No element anywhere is
+  // named "nosuch", so `//nosuch/x` is provably empty from the summary
+  // while the unpruned scan still walks the whole document looking for
+  // it.
+  const int n_people = 15'000;
+  printf("generating auction document (%d people)...\n", n_people);
+  const xml::Document doc = xml::MakeAuctionDocument(n_people, /*seed=*/2003);
+  printf("document: %zu nodes\n", static_cast<size_t>(doc.size()));
+  bool ok = true;
+
+  // --- build cost: summary vs. hot-tier index warm-up ---------------------
+  // WarmCaches' builds run once per document (call_once), so the warm-up
+  // is timed on fresh copies of the same deterministic document; the
+  // summary's own share is subtracted out of the denominator.
+  const double summary_us =
+      TimeBuildUs([&doc] { analyze::Summarize(doc); });
+  const double flat_index_us =
+      TimeBuildUs([&doc] { index::DocumentIndex built(doc); });
+  const double warm_us = TimeBuildUs([n_people] {
+    const xml::Document fresh = xml::MakeAuctionDocument(n_people,
+                                                         /*seed=*/2003);
+    fresh.WarmCaches();
+  }) - TimeBuildUs([n_people] {
+    xml::MakeAuctionDocument(n_people, /*seed=*/2003);
+  });
+  const double build_pct = 100.0 * summary_us / (warm_us - summary_us);
+  const analyze::StructuralSummary& summary = doc.summary();
+  printf("\nbuild:        summary %8.0f us  hot warm-up %8.0f us  (%.1f%%)"
+         "  [flat index alone %8.0f us]\n",
+         summary_us, warm_us, build_pct, flat_index_us);
+  printf("summary:      %u label paths, %llu bytes (index: %llu bytes)\n",
+         summary.size(),
+         static_cast<unsigned long long>(summary.MemoryUsageBytes()),
+         static_cast<unsigned long long>(doc.index().MemoryUsageBytes()));
+  if (smoke && build_pct > 20.0) {
+    fprintf(stderr, "FAIL: summary build is %.1f%% of the hot tier's "
+                    "index warm-up (gate: 20%%)\n", build_pct);
+    ok = false;
+  }
+
+  // --- pruning: proven-empty query vs. the unpruned scan -----------------
+  const xpath::CompiledQuery empty_query = MustCompile("//nosuch/x");
+  EvalOptions pruned_options;
+  pruned_options.engine = EngineKind::kOptMinContext;
+  pruned_options.analyze = true;
+  EvalOptions scan_options;
+  scan_options.engine = EngineKind::kOptMinContext;
+  scan_options.analyze = false;
+  scan_options.use_index = false;
+
+  EvalStats pruned_stats, scan_stats;
+  const Value pruned = EvalWithStats(empty_query, doc, pruned_options,
+                                     &pruned_stats);
+  const Value scanned = EvalWithStats(empty_query, doc, scan_options,
+                                      &scan_stats);
+  if (pruned_stats.pruned_by_summary != 1) {
+    fprintf(stderr, "FAIL: //nosuch/x was not answered by the analyzer "
+                    "(stats: %s)\n", pruned_stats.ToString().c_str());
+    ok = false;
+  }
+  if (!pruned.StructurallyEquals(scanned)) {
+    fprintf(stderr, "FAIL: pruned //nosuch/x result differs from the "
+                    "scanned one\n");
+    ok = false;
+  }
+  const double visit_ratio =
+      static_cast<double>(scan_stats.nodes_visited) /
+      static_cast<double>(std::max<uint64_t>(pruned_stats.nodes_visited, 1));
+  const double pruned_us = TimeEvalUs(empty_query, doc, pruned_options);
+  const double scan_us = TimeEvalUs(empty_query, doc, scan_options);
+  printf("\n//nosuch/x:   pruned %llu nodes_visited vs %llu scanning "
+         "(%.0fx fewer)\n",
+         static_cast<unsigned long long>(pruned_stats.nodes_visited),
+         static_cast<unsigned long long>(scan_stats.nodes_visited),
+         visit_ratio);
+  printf("//nosuch/x:   pruned %9.0f us  scan %9.0f us\n", pruned_us,
+         scan_us);
+  if (smoke && visit_ratio < 1000.0) {
+    fprintf(stderr, "FAIL: prune visited %llu nodes, not >=1000x fewer "
+                    "than the %llu-node scan\n",
+            static_cast<unsigned long long>(pruned_stats.nodes_visited),
+            static_cast<unsigned long long>(scan_stats.nodes_visited));
+    ok = false;
+  }
+
+  // --- bit-identity: analysis must be invisible when it can't prune -----
+  const xpath::CompiledQuery live_query = MustCompile("//person");
+  for (ResultMode mode : {ResultMode::kFull, ResultMode::kCount,
+                          ResultMode::kExists}) {
+    EvalOptions on, off;
+    on.engine = off.engine = EngineKind::kOptMinContext;
+    on.result.mode = off.result.mode = mode;
+    on.analyze = true;
+    off.analyze = false;
+    EvalStats on_stats, off_stats;
+    const Value with = EvalWithStats(live_query, doc, on, &on_stats);
+    const Value without = EvalWithStats(live_query, doc, off, &off_stats);
+    if (!with.StructurallyEquals(without)) {
+      fprintf(stderr, "FAIL: //person (%s) diverged with analysis on\n",
+              ResultModeToString(mode));
+      ok = false;
+    }
+    if (on_stats.ToString() != off_stats.ToString()) {
+      fprintf(stderr,
+              "FAIL: //person (%s) stats diverged with analysis on\n"
+              "  on:  %s\n  off: %s\n",
+              ResultModeToString(mode), on_stats.ToString().c_str(),
+              off_stats.ToString().c_str());
+      ok = false;
+    }
+  }
+  printf("bit-identity: //person equal with analysis on/off across "
+         "3 modes\n");
+
+  if (json_path != nullptr) {
+    FILE* f = fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      ok = false;
+    } else {
+      fprintf(f,
+              "{\n  \"bench\": \"bench_analyze\",\n"
+              "  \"document_nodes\": %zu,\n"
+              "  \"summary_paths\": %u,\n  \"summary_bytes\": %llu,\n"
+              "  \"summary_build_us\": %.0f,\n  \"hot_warm_us\": %.0f,\n"
+              "  \"flat_index_build_us\": %.0f,\n"
+              "  \"summary_pct_of_warm\": %.1f,\n"
+              "  \"pruned_nodes_visited\": %llu,\n"
+              "  \"scan_nodes_visited\": %llu,\n"
+              "  \"visit_ratio\": %.0f,\n"
+              "  \"pruned_us\": %.0f,\n  \"scan_us\": %.0f,\n"
+              "  \"ok\": %s\n}\n",
+              static_cast<size_t>(doc.size()), summary.size(),
+              static_cast<unsigned long long>(summary.MemoryUsageBytes()),
+              summary_us, warm_us, flat_index_us, build_pct,
+              static_cast<unsigned long long>(pruned_stats.nodes_visited),
+              static_cast<unsigned long long>(scan_stats.nodes_visited),
+              visit_ratio, pruned_us, scan_us, ok ? "true" : "false");
+      fclose(f);
+      printf("wrote %s\n", json_path);
+    }
+  }
+
+  if (!ok) return 1;
+  printf("%s\n", smoke ? "smoke OK: summary build cheap, proven-empty "
+                         "queries O(1), analysis otherwise invisible"
+                       : "done");
+  return 0;
+}

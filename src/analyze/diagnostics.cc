@@ -1,0 +1,177 @@
+#include "src/analyze/diagnostics.h"
+
+#include <utility>
+
+#include "src/axes/axis.h"
+#include "src/xpath/ast.h"
+
+namespace xpe::analyze {
+
+const char* DiagnosticCodeToString(DiagnosticCode code) {
+  switch (code) {
+    case DiagnosticCode::kAlwaysEmptyStep:
+      return "always-empty-step";
+    case DiagnosticCode::kAttributeContextStep:
+      return "attribute-context-step";
+    case DiagnosticCode::kConstantFalsePredicate:
+      return "constant-false-predicate";
+    case DiagnosticCode::kRedundantSelfStep:
+      return "redundant-self-step";
+    case DiagnosticCode::kDescendantUnderLeaf:
+      return "descendant-under-leaf";
+  }
+  return "?";
+}
+
+namespace {
+
+using xpath::AstId;
+using xpath::AstNode;
+using xpath::ExprKind;
+using xpath::NodeTest;
+using xpath::QueryTree;
+
+bool IsFalseCall(const AstNode& n) {
+  return n.kind == ExprKind::kFunctionCall &&
+         n.fn == xpath::FunctionId::kFalse && n.children.empty();
+}
+
+/// Syntactic sweep: predicate-free self::node() steps inside multi-step
+/// paths, and literal false() predicates. Both survive only when the
+/// query was compiled with optimize=false (the optimizer rewrites them
+/// away and records having done so — reported separately below), but
+/// the lint surface must not depend on which pipeline produced the tree.
+void SweepTree(const QueryTree& tree, AstId id,
+               std::vector<Diagnostic>* out) {
+  const AstNode& n = tree.node(id);
+  if (n.kind == ExprKind::kPath) {
+    const size_t first_step = n.has_head ? 1 : 0;
+    const size_t step_count = n.children.size() - first_step;
+    for (size_t i = first_step; i < n.children.size(); ++i) {
+      const AstNode& step = tree.node(n.children[i]);
+      if (step.kind == ExprKind::kStep && step.axis == Axis::kSelf &&
+          step.test.kind == NodeTest::Kind::kNode && step.children.empty() &&
+          step_count > 1) {
+        Diagnostic d;
+        d.code = DiagnosticCode::kRedundantSelfStep;
+        d.node = n.children[i];
+        d.subject = tree.ToString(n.children[i]);
+        d.message =
+            "predicate-free self::node() restricts nothing; drop the step";
+        out->push_back(std::move(d));
+      }
+    }
+  }
+  const size_t pred_begin =
+      n.kind == ExprKind::kStep ? 0 : (n.kind == ExprKind::kFilter ? 1 : ~0u);
+  if (pred_begin != ~0u) {
+    for (size_t i = pred_begin; i < n.children.size(); ++i) {
+      if (IsFalseCall(tree.node(n.children[i]))) {
+        Diagnostic d;
+        d.code = DiagnosticCode::kConstantFalsePredicate;
+        d.node = n.children[i];
+        d.subject = tree.ToString(id);
+        d.message = "predicate is constant false; the step selects nothing";
+        out->push_back(std::move(d));
+      }
+    }
+  }
+  for (AstId child : n.children) SweepTree(tree, child, out);
+}
+
+Diagnostic FromStep(const QueryTree& tree, const StepAnalysis& step) {
+  const AstNode& n = tree.node(step.step);
+  Diagnostic d;
+  d.node = step.step;
+  d.subject = tree.ToString(step.step);
+  d.nearest_path = step.nearest_path;
+  switch (step.cause) {
+    case EmptyCause::kAttributeContext:
+      d.code = DiagnosticCode::kAttributeContextStep;
+      d.message = std::string(AxisToString(n.axis)) +
+                  " step from an attribute context can never match: "
+                  "attributes have no children or attributes";
+      break;
+    case EmptyCause::kUnderLeaf:
+      d.code = DiagnosticCode::kDescendantUnderLeaf;
+      d.message = std::string(AxisToString(n.axis)) + " step under '" +
+                  step.nearest_path +
+                  "' can never match: elements at that path have no element "
+                  "children";
+      break;
+    case EmptyCause::kFalsePredicate:
+      d.code = DiagnosticCode::kConstantFalsePredicate;
+      d.message =
+          "predicate is constant false against this document; the step "
+          "selects nothing";
+      break;
+    default:
+      d.code = DiagnosticCode::kAlwaysEmptyStep;
+      d.message = "step can never match this document";
+      if (!step.nearest_path.empty()) {
+        d.message += "; nearest existing path is '" + step.nearest_path + "'";
+      }
+      break;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Lint(const xpath::CompiledQuery& query,
+                             const xml::Document& doc,
+                             const StructuralSummary& summary,
+                             xml::NodeId context_node) {
+  std::vector<Diagnostic> out;
+  const QueryAnalysis analysis =
+      AnalyzeQuery(query, doc, summary, context_node);
+  for (const StepAnalysis& step : analysis.steps) {
+    if (step.verdict != StepVerdict::kEmpty) continue;
+    // The first empty step carries the cause; everything downstream is
+    // kEmptyInput fallout and would only repeat it.
+    if (step.cause == EmptyCause::kEmptyInput) continue;
+    out.push_back(FromStep(query.tree(), step));
+  }
+  SweepTree(query.tree(), query.tree().root(), &out);
+  if (query.optimize_stats().removed_self_steps > 0) {
+    Diagnostic d;
+    d.code = DiagnosticCode::kRedundantSelfStep;
+    d.message =
+        "the optimizer removed " +
+        std::to_string(query.optimize_stats().removed_self_steps) +
+        " redundant self::node() step(s) from '" + query.source() + "'";
+    out.push_back(std::move(d));
+  }
+  // A predicate can be flagged both by the analysis (kFalsePredicate)
+  // and the syntactic sweep; keep the first of each (code, node) pair.
+  std::vector<Diagnostic> deduped;
+  for (Diagnostic& d : out) {
+    bool seen = false;
+    for (const Diagnostic& kept : deduped) {
+      if (kept.code == d.code && kept.node == d.node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) deduped.push_back(std::move(d));
+  }
+  return deduped;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += "warning: [";
+    out += DiagnosticCodeToString(d.code);
+    out += "] ";
+    if (!d.subject.empty()) {
+      out += d.subject;
+      out += ": ";
+    }
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xpe::analyze

@@ -1,0 +1,75 @@
+#ifndef XPE_ANALYZE_DIAGNOSTICS_H_
+#define XPE_ANALYZE_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analyze/satisfiability.h"
+#include "src/analyze/summary.h"
+#include "src/xml/document.h"
+#include "src/xpath/compile.h"
+
+namespace xpe::analyze {
+
+/// The lint catalog (docs/analysis.md documents each with examples).
+/// Diagnostics are warnings, never errors: every flagged query is legal
+/// XPath that evaluates fine — it just provably returns nothing, or
+/// carries dead weight the author probably didn't intend.
+enum class DiagnosticCode : uint8_t {
+  /// A step that can never match against this document: the label path
+  /// it requires has no instance. `nearest_path` names the deepest path
+  /// that does exist.
+  kAlwaysEmptyStep = 0,
+  /// A downward step (child/descendant/attribute) where the context can
+  /// only hold attribute nodes — `@a/@b`, `@a/x`. Attributes have no
+  /// children or attributes.
+  kAttributeContextStep,
+  /// A predicate that is constant false after folding: a literal
+  /// false() (or a predicate the optimizer collapsed to one), or an
+  /// existence test boolean(π) whose π is proven empty.
+  kConstantFalsePredicate,
+  /// A predicate-free self::node() step that restricts nothing — either
+  /// still in the tree (compiled with optimize=false) or reported via
+  /// the optimizer's removed_self_steps count.
+  kRedundantSelfStep,
+  /// child/descendant under label paths that provably have no element
+  /// children (summary leaves) — e.g. //price/x where <price> only ever
+  /// holds text.
+  kDescendantUnderLeaf,
+};
+
+/// Kebab-case identifier ("always-empty-step", ...) used by the JSON
+/// surface (POST /analyze) and the golden tests.
+const char* DiagnosticCodeToString(DiagnosticCode code);
+
+struct Diagnostic {
+  DiagnosticCode code = DiagnosticCode::kAlwaysEmptyStep;
+  /// The offending parse-tree node; kInvalidAstId for plan-level
+  /// diagnostics (e.g. optimizer-removed self steps).
+  xpath::AstId node = xpath::kInvalidAstId;
+  /// The offending subexpression rendered back to XPath (Explain's
+  /// rendering of `node`); empty for plan-level diagnostics.
+  std::string subject;
+  /// One human-readable sentence.
+  std::string message;
+  /// For emptiness lints: the deepest label path that does exist.
+  std::string nearest_path;
+};
+
+/// Runs the satisfiability analysis plus the syntactic lints and returns
+/// the combined catalog, in evaluation order. Cheap — O(|Q| · |summary|)
+/// — and read-only on all arguments; Query::Diagnostics() and the serve
+/// tier's POST /analyze are the ergonomic surfaces over it.
+std::vector<Diagnostic> Lint(const xpath::CompiledQuery& query,
+                             const xml::Document& doc,
+                             const StructuralSummary& summary,
+                             xml::NodeId context_node = 0);
+
+/// Renders diagnostics the way Explain renders plans: one "warning:"
+/// line per entry, subject first.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace xpe::analyze
+
+#endif  // XPE_ANALYZE_DIAGNOSTICS_H_

@@ -1,0 +1,747 @@
+#include "src/analyze/satisfiability.h"
+
+#include <algorithm>
+
+#include "src/axes/axis.h"
+#include "src/xpath/ast.h"
+
+namespace xpe::analyze {
+
+const char* StepVerdictToString(StepVerdict verdict) {
+  switch (verdict) {
+    case StepVerdict::kSatisfiable:
+      return "satisfiable";
+    case StepVerdict::kEmpty:
+      return "empty";
+    case StepVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+const char* EmptyCauseToString(EmptyCause cause) {
+  switch (cause) {
+    case EmptyCause::kNone:
+      return "none";
+    case EmptyCause::kNoSuchPath:
+      return "no-such-path";
+    case EmptyCause::kAttributeContext:
+      return "attribute-context";
+    case EmptyCause::kUnderLeaf:
+      return "under-leaf";
+    case EmptyCause::kFalsePredicate:
+      return "false-predicate";
+    case EmptyCause::kEmptyInput:
+      return "empty-input";
+  }
+  return "?";
+}
+
+namespace {
+
+using xpath::AstId;
+using xpath::AstNode;
+using xpath::ExprKind;
+using xpath::NodeTest;
+using xpath::QueryTree;
+
+/// The set of label paths an expression's value may reach, plus what the
+/// analyzer knows about its precision.
+///
+///   kEmpty    — provably no nodes. The one verdict evaluation trusts.
+///   kAny      — could be anything (id(), steps from an unknown set):
+///               membership checks degrade to "does the document contain
+///               any node matching the test at all".
+///   kConcrete — elems / attr_owners / other_owners list the summary
+///               nodes the value's nodes (or their owner elements) map
+///               to. Always a superset of the truth, so kEmpty stays
+///               sound.
+///
+/// `exact` strengthens kConcrete: the value is *precisely* the union of
+/// the full instance sets of `elems` (attr/other members excluded by
+/// invariant). Only then may a step verdict claim kSatisfiable, because
+/// only then does a summary child/attribute record guarantee a witness
+/// under some node actually in the set.
+struct Frontier {
+  enum class Kind : uint8_t { kEmpty = 0, kAny, kConcrete };
+  Kind kind = Kind::kEmpty;
+  std::vector<SummaryId> elems;        // sorted unique; may hold the root
+  std::vector<SummaryId> attr_owners;  // owners of attribute members
+  std::vector<SummaryId> other_owners;  // parents of text/comment/PI members
+  bool has_text = false;     // kinds present among other_owners' members
+  bool has_comment = false;
+  bool has_pi = false;
+  bool exact = false;
+
+  bool empty() const {
+    return kind == Kind::kEmpty ||
+           (kind == Kind::kConcrete && elems.empty() && attr_owners.empty() &&
+            other_owners.empty());
+  }
+  static Frontier Empty() { return Frontier{}; }
+  static Frontier Any() {
+    Frontier f;
+    f.kind = Kind::kAny;
+    return f;
+  }
+};
+
+void SortUnique(std::vector<SummaryId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+class Analyzer {
+ public:
+  Analyzer(const QueryTree& tree, const xml::Document& doc,
+           const StructuralSummary& summary, xml::NodeId context_node)
+      : tree_(tree), doc_(doc), summary_(summary),
+        context_node_(context_node) {
+    for (SummaryId s = 0; s < summary_.size(); ++s) {
+      if (!summary_.node(s).attributes.empty()) {
+        any_attribute_ = true;
+        break;
+      }
+    }
+  }
+
+  QueryAnalysis Run() {
+    const Frontier ctx = ContextFrontier();
+    const AstId root = tree_.root();
+    const AstNode& r = tree_.node(root);
+    if (r.type == xpath::ValueType::kNodeSet) {
+      const Frontier f = AnalyzeNodeSet(root, ctx);
+      if (f.empty()) {
+        result_.verdict = StepVerdict::kEmpty;
+      } else {
+        result_.verdict = f.kind == Frontier::Kind::kConcrete && f.exact
+                              ? StepVerdict::kSatisfiable
+                              : StepVerdict::kUnknown;
+      }
+    } else if (r.type == xpath::ValueType::kBoolean) {
+      result_.constant_boolean = StaticBool(root, ctx);
+    } else if (r.type == xpath::ValueType::kNumber &&
+               r.kind == ExprKind::kFunctionCall &&
+               r.fn == xpath::FunctionId::kCount && r.children.size() == 1 &&
+               tree_.node(r.children[0]).type == xpath::ValueType::kNodeSet) {
+      if (AnalyzeNodeSet(r.children[0], ctx).empty()) {
+        result_.constant_number = 0.0;
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  const StructuralSummary::Node& snode(SummaryId s) const {
+    return summary_.node(s);
+  }
+
+  /// The frontier of the evaluation context node: its summary node with
+  /// full-instance-set exactness when that is knowable (the root is its
+  /// path's only instance; so is any path with element_count == 1).
+  Frontier ContextFrontier() const {
+    Frontier f;
+    f.kind = Frontier::Kind::kConcrete;
+    if (context_node_ >= doc_.size()) return Frontier::Any();
+    const std::optional<SummaryId> s = summary_.Resolve(doc_, context_node_);
+    if (!s.has_value()) return Frontier::Any();
+    switch (doc_.kind(context_node_)) {
+      case xml::NodeKind::kRoot:
+      case xml::NodeKind::kElement:
+        f.elems.push_back(*s);
+        f.exact = snode(*s).element_count == 1;
+        break;
+      case xml::NodeKind::kAttribute:
+        f.attr_owners.push_back(*s);
+        break;
+      case xml::NodeKind::kText:
+        f.other_owners.push_back(*s);
+        f.has_text = true;
+        break;
+      case xml::NodeKind::kComment:
+        f.other_owners.push_back(*s);
+        f.has_comment = true;
+        break;
+      case xml::NodeKind::kProcessingInstruction:
+        f.other_owners.push_back(*s);
+        f.has_pi = true;
+        break;
+    }
+    return f;
+  }
+
+  Frontier RootFrontier() const {
+    Frontier f;
+    f.kind = Frontier::Kind::kConcrete;
+    f.elems.push_back(kRootSummaryId);
+    f.exact = true;  // the document node is its path's only instance
+    return f;
+  }
+
+  /// Interned name of a kName/kPi test; xml::kNoString when the document
+  /// never uses the name (no node can match).
+  uint32_t TestNameId(const NodeTest& test) const {
+    if (test.name.empty()) return xml::kNoString;
+    return doc_.LookupNameId(test.name);
+  }
+
+  /// Does element summary node `s` match `test` with element principal
+  /// type? The summary root (the document node) is not an element: it
+  /// matches node() only.
+  bool ElementMatches(SummaryId s, const NodeTest& test,
+                      uint32_t test_name) const {
+    switch (test.kind) {
+      case NodeTest::Kind::kNode:
+        return true;
+      case NodeTest::Kind::kAny:
+        return s != kRootSummaryId;
+      case NodeTest::Kind::kName:
+        return s != kRootSummaryId && snode(s).name_id == test_name;
+      default:
+        return false;
+    }
+  }
+
+  /// Can any node in the document match `test` under `axis` at all? The
+  /// kAny-frontier fallback: one global-vocabulary check instead of path
+  /// tracking.
+  bool GloballyMatchable(Axis axis, const NodeTest& test,
+                         uint32_t test_name) const {
+    if (axis == Axis::kAttribute) {
+      switch (test.kind) {
+        case NodeTest::Kind::kAny:
+        case NodeTest::Kind::kNode:
+          return any_attribute_;
+        case NodeTest::Kind::kName:
+          return test_name != xml::kNoString &&
+                 summary_.AnyAttributeNamed(test_name);
+        default:
+          return false;
+      }
+    }
+    switch (test.kind) {
+      case NodeTest::Kind::kNode:
+        return true;  // the root always exists
+      case NodeTest::Kind::kAny:
+        return summary_.size() > 1;  // any element at all
+      case NodeTest::Kind::kName:
+        return test_name != xml::kNoString &&
+               summary_.AnyElementNamed(test_name);
+      case NodeTest::Kind::kText:
+        return summary_.any_text();
+      case NodeTest::Kind::kComment:
+        return summary_.any_comment();
+      case NodeTest::Kind::kPi:
+        return summary_.any_pi();  // targets are not summarized
+    }
+    return true;
+  }
+
+  /// Adds every element of the summary matching `test` to `out` — the
+  /// over-approximation used for following/preceding and id().
+  void AddAllMatching(const NodeTest& test, uint32_t test_name,
+                      Frontier* out) const {
+    for (SummaryId s = 1; s < summary_.size(); ++s) {
+      if (ElementMatches(s, test, test_name)) out->elems.push_back(s);
+    }
+  }
+
+  void AddKindMatchesUnder(SummaryId s, bool include_self, bool descend,
+                           const NodeTest& test, Frontier* out) const {
+    // Non-element children (text/comment/PI) of `s` and, when
+    // descending, of every path below it.
+    auto visit = [&](SummaryId v, auto&& self) -> void {
+      if (test.kind == NodeTest::Kind::kText && snode(v).has_text) {
+        out->other_owners.push_back(v);
+        out->has_text = true;
+      }
+      if (test.kind == NodeTest::Kind::kComment && snode(v).has_comment) {
+        out->other_owners.push_back(v);
+        out->has_comment = true;
+      }
+      if (test.kind == NodeTest::Kind::kPi && snode(v).has_pi) {
+        out->other_owners.push_back(v);
+        out->has_pi = true;
+      }
+      if (test.kind == NodeTest::Kind::kNode) {
+        if (snode(v).has_text) out->has_text = true;
+        if (snode(v).has_comment) out->has_comment = true;
+        if (snode(v).has_pi) out->has_pi = true;
+        if (snode(v).has_text || snode(v).has_comment || snode(v).has_pi) {
+          out->other_owners.push_back(v);
+        }
+      }
+      if (descend) {
+        for (SummaryId c : snode(v).children) self(c, self);
+      }
+    };
+    if (include_self || !descend) {
+      visit(s, visit);
+    } else {
+      for (SummaryId c : snode(s).children) visit(c, visit);
+    }
+  }
+
+  /// χ(frontier) over the summary, filtered by `test`. Returns the
+  /// (over-approximated) result frontier; `*verdict_exact` reports
+  /// whether a non-empty result licenses kSatisfiable for this step.
+  Frontier ApplyAxis(const Frontier& in, Axis axis, const NodeTest& test,
+                     bool* verdict_exact) const {
+    *verdict_exact = false;
+    const uint32_t test_name = TestNameId(test);
+    if (in.empty()) return Frontier::Empty();
+    if (in.kind == Frontier::Kind::kAny) {
+      return GloballyMatchable(axis, test, test_name) ? Frontier::Any()
+                                                      : Frontier::Empty();
+    }
+    Frontier out;
+    out.kind = Frontier::Kind::kConcrete;
+    const bool in_pure_elems =
+        in.attr_owners.empty() && in.other_owners.empty();
+    switch (axis) {
+      case Axis::kSelf:
+        for (SummaryId s : in.elems) {
+          if (ElementMatches(s, test, test_name)) out.elems.push_back(s);
+        }
+        if (test.kind == NodeTest::Kind::kNode) {
+          out.attr_owners = in.attr_owners;
+          out.other_owners = in.other_owners;
+          out.has_text = in.has_text;
+          out.has_comment = in.has_comment;
+          out.has_pi = in.has_pi;
+        } else if (test.kind == NodeTest::Kind::kText && in.has_text) {
+          out.other_owners = in.other_owners;
+          out.has_text = true;
+        } else if (test.kind == NodeTest::Kind::kComment && in.has_comment) {
+          out.other_owners = in.other_owners;
+          out.has_comment = true;
+        } else if (test.kind == NodeTest::Kind::kPi && in.has_pi) {
+          out.other_owners = in.other_owners;
+          out.has_pi = true;
+        }
+        out.exact = in.exact && in_pure_elems &&
+                    test.kind != NodeTest::Kind::kText &&
+                    test.kind != NodeTest::Kind::kComment &&
+                    test.kind != NodeTest::Kind::kPi &&
+                    out.other_owners.empty() && out.attr_owners.empty();
+        *verdict_exact = in.exact;
+        break;
+      case Axis::kChild:
+        for (SummaryId s : in.elems) {
+          for (SummaryId c : snode(s).children) {
+            if (ElementMatches(c, test, test_name)) out.elems.push_back(c);
+          }
+          AddKindMatchesUnder(s, /*include_self=*/true, /*descend=*/false,
+                              test, &out);
+        }
+        out.exact = in.exact && out.attr_owners.empty() &&
+                    out.other_owners.empty();
+        *verdict_exact = in.exact;
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        const bool or_self = axis == Axis::kDescendantOrSelf;
+        for (SummaryId s : in.elems) {
+          if (or_self && ElementMatches(s, test, test_name)) {
+            out.elems.push_back(s);
+          }
+          // All proper descendants.
+          std::vector<SummaryId> stack(snode(s).children);
+          while (!stack.empty()) {
+            const SummaryId d = stack.back();
+            stack.pop_back();
+            if (ElementMatches(d, test, test_name)) out.elems.push_back(d);
+            for (SummaryId c : snode(d).children) stack.push_back(c);
+          }
+          AddKindMatchesUnder(s, /*include_self=*/true, /*descend=*/true,
+                              test, &out);
+        }
+        if (or_self && test.kind == NodeTest::Kind::kNode) {
+          out.attr_owners = in.attr_owners;
+          out.other_owners.insert(out.other_owners.end(),
+                                  in.other_owners.begin(),
+                                  in.other_owners.end());
+          out.has_text = out.has_text || in.has_text;
+          out.has_comment = out.has_comment || in.has_comment;
+          out.has_pi = out.has_pi || in.has_pi;
+        }
+        out.exact = in.exact && out.attr_owners.empty() &&
+                    out.other_owners.empty();
+        *verdict_exact = in.exact;
+        break;
+      }
+      case Axis::kParent: {
+        auto add_parent_of_elem = [&](SummaryId s) {
+          if (s == kRootSummaryId) return;  // the root has no parent
+          const SummaryId p = snode(s).parent;
+          if (p == kRootSummaryId
+                  ? test.kind == NodeTest::Kind::kNode
+                  : ElementMatches(p, test, test_name)) {
+            out.elems.push_back(p);
+          }
+        };
+        for (SummaryId s : in.elems) add_parent_of_elem(s);
+        // The parent of an attribute/text member is its owner, which the
+        // frontier already names.
+        auto add_owner = [&](SummaryId o) {
+          if (o == kRootSummaryId ? test.kind == NodeTest::Kind::kNode
+                                  : ElementMatches(o, test, test_name)) {
+            out.elems.push_back(o);
+          }
+        };
+        for (SummaryId o : in.attr_owners) add_owner(o);
+        for (SummaryId o : in.other_owners) add_owner(o);
+        *verdict_exact = in.exact;  // every instance has this parent path
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        auto add_chain = [&](SummaryId from, bool include_from) {
+          SummaryId s = from;
+          if (!include_from) {
+            if (s == kRootSummaryId) return;
+            s = snode(s).parent;
+          }
+          while (true) {
+            if (s == kRootSummaryId) {
+              if (test.kind == NodeTest::Kind::kNode) {
+                out.elems.push_back(s);
+              }
+              break;
+            }
+            if (ElementMatches(s, test, test_name)) out.elems.push_back(s);
+            s = snode(s).parent;
+          }
+        };
+        const bool or_self = axis == Axis::kAncestorOrSelf;
+        for (SummaryId s : in.elems) add_chain(s, or_self);
+        // Owners are ancestors of their attribute/text members.
+        for (SummaryId o : in.attr_owners) add_chain(o, true);
+        for (SummaryId o : in.other_owners) add_chain(o, true);
+        if (or_self && test.kind == NodeTest::Kind::kNode) {
+          out.attr_owners = in.attr_owners;
+          out.other_owners = in.other_owners;
+          out.has_text = in.has_text;
+          out.has_comment = in.has_comment;
+          out.has_pi = in.has_pi;
+        }
+        // Every instance realizes its whole ancestor chain, so a match
+        // along it is a witness — but the result's instance sets are
+        // restricted (not full), hence no exactness downstream.
+        *verdict_exact = in.exact;
+        break;
+      }
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling: {
+        auto add_siblings_under = [&](SummaryId parent) {
+          for (SummaryId c : snode(parent).children) {
+            if (ElementMatches(c, test, test_name)) out.elems.push_back(c);
+          }
+          AddKindMatchesUnder(parent, /*include_self=*/true,
+                              /*descend=*/false, test, &out);
+        };
+        for (SummaryId s : in.elems) {
+          if (s == kRootSummaryId) continue;  // the root has no siblings
+          add_siblings_under(snode(s).parent);
+        }
+        // Text/comment/PI members have element siblings under their
+        // owner; attribute members have none, but over-approximating
+        // with the owner's children stays sound.
+        for (SummaryId o : in.other_owners) add_siblings_under(o);
+        for (SummaryId o : in.attr_owners) add_siblings_under(o);
+        break;
+      }
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        // Document-order constraints are not tracked: over-approximate
+        // with every matching node in the document.
+        AddAllMatching(test, test_name, &out);
+        if (test.kind == NodeTest::Kind::kText ||
+            test.kind == NodeTest::Kind::kComment ||
+            test.kind == NodeTest::Kind::kPi ||
+            test.kind == NodeTest::Kind::kNode) {
+          AddKindMatchesUnder(kRootSummaryId, /*include_self=*/true,
+                              /*descend=*/true, test, &out);
+        }
+        break;
+      case Axis::kAttribute:
+        if (test.kind == NodeTest::Kind::kName) {
+          if (test_name != xml::kNoString) {
+            for (SummaryId s : in.elems) {
+              if (summary_.HasAttribute(s, test_name)) {
+                out.attr_owners.push_back(s);
+              }
+            }
+          }
+        } else if (test.kind == NodeTest::Kind::kAny ||
+                   test.kind == NodeTest::Kind::kNode) {
+          for (SummaryId s : in.elems) {
+            if (!snode(s).attributes.empty()) out.attr_owners.push_back(s);
+          }
+        }
+        *verdict_exact = in.exact;  // attr records are per-path witnesses
+        break;
+      case Axis::kId:
+        // id() dereferences string content — invisible to the summary.
+        return GloballyMatchable(Axis::kChild, test, test_name)
+                   ? Frontier::Any()
+                   : Frontier::Empty();
+    }
+    SortUnique(&out.elems);
+    SortUnique(&out.attr_owners);
+    SortUnique(&out.other_owners);
+    if (out.empty()) return Frontier::Empty();
+    return out;
+  }
+
+  /// Classifies why a step with non-empty input produced nothing.
+  EmptyCause ClassifyEmpty(const Frontier& in, Axis axis,
+                           const NodeTest& test) const {
+    const bool downward = axis == Axis::kChild || axis == Axis::kDescendant ||
+                          axis == Axis::kDescendantOrSelf ||
+                          axis == Axis::kAttribute;
+    if (downward && in.elems.empty() && !in.attr_owners.empty()) {
+      return EmptyCause::kAttributeContext;
+    }
+    if ((axis == Axis::kChild || axis == Axis::kDescendant) &&
+        test.kind != NodeTest::Kind::kText &&
+        test.kind != NodeTest::Kind::kComment &&
+        test.kind != NodeTest::Kind::kPi) {
+      bool all_leaves = !in.elems.empty();
+      for (SummaryId s : in.elems) {
+        if (!snode(s).children.empty()) {
+          all_leaves = false;
+          break;
+        }
+      }
+      if (all_leaves) return EmptyCause::kUnderLeaf;
+    }
+    return EmptyCause::kNoSuchPath;
+  }
+
+  std::string NearestPath(const Frontier& in) const {
+    if (in.kind != Frontier::Kind::kConcrete) return std::string();
+    if (!in.elems.empty()) return summary_.LabelPath(in.elems.front());
+    if (!in.attr_owners.empty()) {
+      return summary_.LabelPath(in.attr_owners.front());
+    }
+    if (!in.other_owners.empty()) {
+      return summary_.LabelPath(in.other_owners.front());
+    }
+    return std::string();
+  }
+
+  /// One location step: axis + test + predicates. Records a StepAnalysis
+  /// and returns the surviving frontier.
+  Frontier ApplyStep(AstId sid, const Frontier& in) {
+    const AstNode& s = tree_.node(sid);
+    ++result_.steps_analyzed;
+    StepAnalysis rec;
+    rec.step = sid;
+    if (in.empty()) {
+      rec.verdict = StepVerdict::kEmpty;
+      rec.cause = EmptyCause::kEmptyInput;
+      result_.steps.push_back(std::move(rec));
+      return Frontier::Empty();
+    }
+    bool verdict_exact = false;
+    Frontier out = ApplyAxis(in, s.axis, s.test, &verdict_exact);
+    if (out.empty()) {
+      rec.verdict = StepVerdict::kEmpty;
+      rec.cause = in.kind == Frontier::Kind::kConcrete
+                      ? ClassifyEmpty(in, s.axis, s.test)
+                      : EmptyCause::kNoSuchPath;
+      rec.nearest_path = NearestPath(in);
+      result_.steps.push_back(std::move(rec));
+      return Frontier::Empty();
+    }
+    bool pred_unknown = false;
+    for (AstId pred : s.children) {
+      const std::optional<bool> v = StaticBool(pred, out);
+      if (v.has_value() && !*v) {
+        rec.verdict = StepVerdict::kEmpty;
+        rec.cause = EmptyCause::kFalsePredicate;
+        rec.nearest_path = NearestPath(in);
+        result_.steps.push_back(std::move(rec));
+        return Frontier::Empty();
+      }
+      if (!v.has_value()) pred_unknown = true;
+    }
+    if (pred_unknown) {
+      out.exact = false;
+      rec.verdict = StepVerdict::kUnknown;
+    } else {
+      rec.verdict = verdict_exact ? StepVerdict::kSatisfiable
+                                  : StepVerdict::kUnknown;
+    }
+    result_.steps.push_back(std::move(rec));
+    return out;
+  }
+
+  Frontier AnalyzePath(AstId id, const Frontier& context) {
+    const AstNode& n = tree_.node(id);
+    Frontier cur;
+    size_t first_step = 0;
+    if (n.has_head) {
+      cur = AnalyzeNodeSet(n.children[0], context);
+      first_step = 1;
+    } else if (n.absolute) {
+      cur = RootFrontier();
+    } else {
+      cur = context;
+    }
+    for (size_t i = first_step; i < n.children.size(); ++i) {
+      cur = ApplyStep(n.children[i], cur);
+    }
+    return cur;
+  }
+
+  /// Any node-set-typed expression: paths, unions, filters, id().
+  Frontier AnalyzeNodeSet(AstId id, const Frontier& context) {
+    const AstNode& n = tree_.node(id);
+    switch (n.kind) {
+      case ExprKind::kPath:
+        return AnalyzePath(id, context);
+      case ExprKind::kUnion: {
+        Frontier merged;
+        merged.kind = Frontier::Kind::kConcrete;
+        merged.exact = true;
+        for (AstId child : n.children) {
+          Frontier f = AnalyzeNodeSet(child, context);
+          if (f.kind == Frontier::Kind::kAny) return Frontier::Any();
+          if (f.empty()) continue;
+          merged.elems.insert(merged.elems.end(), f.elems.begin(),
+                              f.elems.end());
+          merged.attr_owners.insert(merged.attr_owners.end(),
+                                    f.attr_owners.begin(),
+                                    f.attr_owners.end());
+          merged.other_owners.insert(merged.other_owners.end(),
+                                     f.other_owners.begin(),
+                                     f.other_owners.end());
+          merged.has_text = merged.has_text || f.has_text;
+          merged.has_comment = merged.has_comment || f.has_comment;
+          merged.has_pi = merged.has_pi || f.has_pi;
+          merged.exact = merged.exact && f.exact;
+        }
+        SortUnique(&merged.elems);
+        SortUnique(&merged.attr_owners);
+        SortUnique(&merged.other_owners);
+        if (merged.empty()) return Frontier::Empty();
+        merged.exact = merged.exact && merged.attr_owners.empty() &&
+                       merged.other_owners.empty();
+        return merged;
+      }
+      case ExprKind::kFilter: {
+        Frontier f = AnalyzeNodeSet(n.children[0], context);
+        if (f.empty()) return Frontier::Empty();
+        for (size_t i = 1; i < n.children.size(); ++i) {
+          const std::optional<bool> v = StaticBool(n.children[i], f);
+          if (v.has_value() && !*v) return Frontier::Empty();
+          if (!v.has_value()) f.exact = false;
+        }
+        return f;
+      }
+      case ExprKind::kFunctionCall:
+        // id(...) and other node-set builders: unseen by the summary.
+        return Frontier::Any();
+      default:
+        return Frontier::Any();
+    }
+  }
+
+  /// Statically decides a boolean-typed expression where the summary
+  /// can: boolean(π) with π proven empty is false (the normalizer's
+  /// existence-path shape), comparisons against a proven-empty node-set
+  /// are false (no witness pair), and/or/not fold over decided operands,
+  /// true()/false() are themselves. std::nullopt = undecided.
+  std::optional<bool> StaticBool(AstId id, const Frontier& context) {
+    const AstNode& n = tree_.node(id);
+    switch (n.kind) {
+      case ExprKind::kFunctionCall:
+        if (n.fn == xpath::FunctionId::kTrue) return true;
+        if (n.fn == xpath::FunctionId::kFalse) return false;
+        if (n.fn == xpath::FunctionId::kNot && n.children.size() == 1) {
+          const std::optional<bool> v = StaticBool(n.children[0], context);
+          if (v.has_value()) return !*v;
+          return std::nullopt;
+        }
+        if (n.fn == xpath::FunctionId::kBoolean && n.children.size() == 1) {
+          const AstNode& arg = tree_.node(n.children[0]);
+          if (arg.type == xpath::ValueType::kNodeSet) {
+            if (AnalyzeNodeSet(n.children[0], context).empty()) return false;
+            return std::nullopt;
+          }
+          if (arg.type == xpath::ValueType::kBoolean) {
+            return StaticBool(n.children[0], context);
+          }
+          return std::nullopt;
+        }
+        return std::nullopt;
+      case ExprKind::kBinaryOp: {
+        if (n.op == xpath::BinOp::kAnd || n.op == xpath::BinOp::kOr) {
+          const std::optional<bool> l = StaticBool(n.children[0], context);
+          const std::optional<bool> r = StaticBool(n.children[1], context);
+          if (n.op == xpath::BinOp::kAnd) {
+            if ((l.has_value() && !*l) || (r.has_value() && !*r)) {
+              return false;
+            }
+            if (l.has_value() && r.has_value()) return *l && *r;
+            return std::nullopt;
+          }
+          if ((l.has_value() && *l) || (r.has_value() && *r)) return true;
+          if (l.has_value() && r.has_value()) return *l || *r;
+          return std::nullopt;
+        }
+        if (xpath::BinOpIsComparison(n.op)) {
+          // A comparison with a node-set operand is an existential over
+          // that set — unless the other side is a boolean, in which case
+          // XPath compares boolean(set) to it instead ("//nothing =
+          // false()" is true). A proven-empty side therefore decides:
+          //   vs number/string/node-set — false (no witness node);
+          //   vs boolean b, = or !=    — boolean(∅) is false, so the
+          //                              answer is decided by b when b is.
+          for (size_t i = 0; i < n.children.size(); ++i) {
+            const AstId side = n.children[i];
+            if (tree_.node(side).type != xpath::ValueType::kNodeSet ||
+                !AnalyzeNodeSet(side, context).empty()) {
+              continue;
+            }
+            const AstId other = n.children[1 - i];
+            if (tree_.node(other).type != xpath::ValueType::kBoolean) {
+              return false;
+            }
+            if (n.op == xpath::BinOp::kEq || n.op == xpath::BinOp::kNeq) {
+              const std::optional<bool> v = StaticBool(other, context);
+              if (v.has_value()) {
+                return n.op == xpath::BinOp::kEq ? !*v : *v;
+              }
+            }
+            return std::nullopt;
+          }
+          return std::nullopt;
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  const QueryTree& tree_;
+  const xml::Document& doc_;
+  const StructuralSummary& summary_;
+  const xml::NodeId context_node_;
+  bool any_attribute_ = false;
+  QueryAnalysis result_;
+};
+
+}  // namespace
+
+QueryAnalysis AnalyzeQuery(const xpath::CompiledQuery& query,
+                           const xml::Document& doc,
+                           const StructuralSummary& summary,
+                           xml::NodeId context_node) {
+  return Analyzer(query.tree(), doc, summary, context_node).Run();
+}
+
+}  // namespace xpe::analyze

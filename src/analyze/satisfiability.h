@@ -1,0 +1,106 @@
+#ifndef XPE_ANALYZE_SATISFIABILITY_H_
+#define XPE_ANALYZE_SATISFIABILITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analyze/summary.h"
+#include "src/xml/document.h"
+#include "src/xpath/compile.h"
+
+namespace xpe::analyze {
+
+/// Per-step satisfiability against a document's structural summary.
+///
+///   kEmpty       — the step provably selects nothing for *every*
+///                  evaluation of the query over this document. Always
+///                  sound: the analyzer tracks an over-approximation of
+///                  the reachable label paths, so an empty frontier means
+///                  the real node-set is empty too.
+///   kSatisfiable — the step provably selects at least one node for some
+///                  context. Claimed only while the analysis is exact
+///                  (the frontier is precisely the full instance sets of
+///                  its label paths — the strong-DataGuide guarantee).
+///   kUnknown     — neither provable: the frontier over-approximates
+///                  (reverse/sideways axes, predicates, id()).
+enum class StepVerdict : uint8_t { kSatisfiable = 0, kEmpty, kUnknown };
+
+const char* StepVerdictToString(StepVerdict verdict);
+
+/// Why a step came back kEmpty — the key the lint catalog
+/// (diagnostics.h) switches on.
+enum class EmptyCause : uint8_t {
+  kNone = 0,
+  /// The required label path has no instance in this document.
+  kNoSuchPath,
+  /// A downward axis (child/descendant/attribute) applied where the
+  /// context can only hold attribute nodes — attributes have no
+  /// children or attributes of their own.
+  kAttributeContext,
+  /// child/descendant under label paths that provably have no element
+  /// children (leaves of the summary).
+  kUnderLeaf,
+  /// A predicate is statically false: a constant false() (surviving
+  /// because optimization was off), or an existence path — the
+  /// normalizer's boolean(π) — whose π is proven empty.
+  kFalsePredicate,
+  /// The incoming frontier was already empty; the real culprit is an
+  /// earlier step (which carries its own cause).
+  kEmptyInput,
+};
+
+const char* EmptyCauseToString(EmptyCause cause);
+
+/// The analysis record of one location step, in evaluation order
+/// (steps inside predicates included).
+struct StepAnalysis {
+  xpath::AstId step = xpath::kInvalidAstId;
+  StepVerdict verdict = StepVerdict::kUnknown;
+  EmptyCause cause = EmptyCause::kNone;
+  /// For kEmpty steps: the label path of the deepest point the analyzer
+  /// could still reach before this step ("" when the context was
+  /// unknown) — the "nearest existing path" shown by diagnostics.
+  std::string nearest_path;
+};
+
+/// Whole-query analysis result.
+struct QueryAnalysis {
+  /// Emptiness of the query's top-level node-set (node-set-typed roots
+  /// only; kUnknown otherwise). kEmpty here means every engine, tier and
+  /// result mode returns the empty set / false / 0 — the dispatcher's
+  /// pruning license.
+  StepVerdict verdict = StepVerdict::kUnknown;
+  /// When the root is boolean-typed and statically decidable from the
+  /// summary (boolean(π)/not(...)/and/or over proven-empty operands,
+  /// comparisons with a proven-empty node-set side), its value.
+  std::optional<bool> constant_boolean;
+  /// When the root is count(π) with π proven empty: 0.
+  std::optional<double> constant_number;
+  /// One record per analyzed location step, evaluation order.
+  std::vector<StepAnalysis> steps;
+  /// Total work performed, in steps (the nodes_visited charge when the
+  /// dispatcher prunes: O(|Q|), independent of |D|).
+  uint32_t steps_analyzed = 0;
+
+  bool proves_empty() const { return verdict == StepVerdict::kEmpty; }
+  bool proves_constant() const {
+    return constant_boolean.has_value() || constant_number.has_value();
+  }
+};
+
+/// Walks the compiled AST against the summary and classifies every
+/// location step (forward and reverse axes, unions, filter expressions,
+/// predicate existence paths). O(|Q| · |summary|) worst case, no
+/// document access beyond name interning. `context_node` is the
+/// evaluation context the verdicts are relative to (relative paths start
+/// there; absolute paths are context-independent).
+QueryAnalysis AnalyzeQuery(const xpath::CompiledQuery& query,
+                           const xml::Document& doc,
+                           const StructuralSummary& summary,
+                           xml::NodeId context_node = 0);
+
+}  // namespace xpe::analyze
+
+#endif  // XPE_ANALYZE_SATISFIABILITY_H_

@@ -1,0 +1,228 @@
+#include "src/analyze/summary.h"
+
+#include <algorithm>
+
+namespace xpe::analyze {
+
+namespace {
+
+/// Binary search over a sorted-by-name_id children list.
+std::optional<SummaryId> FindChildIn(const std::vector<SummaryId>& children,
+                                     const std::vector<StructuralSummary::Node>& nodes,
+                                     uint32_t name_id) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), name_id,
+      [&nodes](SummaryId c, uint32_t n) { return nodes[c].name_id < n; });
+  if (it == children.end() || nodes[*it].name_id != name_id) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+}  // namespace
+
+std::optional<SummaryId> StructuralSummary::FindChild(SummaryId parent,
+                                                      uint32_t name_id) const {
+  return FindChildIn(nodes_[parent].children, nodes_, name_id);
+}
+
+bool StructuralSummary::HasAttribute(SummaryId id, uint32_t name_id) const {
+  const std::vector<Node::Attribute>& attrs = nodes_[id].attributes;
+  auto it = std::lower_bound(attrs.begin(), attrs.end(), name_id,
+                             [](const Node::Attribute& a, uint32_t n) {
+                               return a.name_id < n;
+                             });
+  return it != attrs.end() && it->name_id == name_id;
+}
+
+std::optional<SummaryId> StructuralSummary::Resolve(const xml::Document& doc,
+                                                    xml::NodeId id) const {
+  // Collect the element names on the ancestor-or-self chain (attributes
+  // and text map to their owner element's path), then walk them down
+  // from the summary root.
+  xml::NodeId cur = id;
+  if (!doc.IsElement(cur) && cur != doc.root()) {
+    cur = doc.parent(cur);
+  }
+  std::vector<uint32_t> names;
+  while (cur != doc.root()) {
+    names.push_back(doc.name_id(cur));
+    cur = doc.parent(cur);
+  }
+  SummaryId s = kRootSummaryId;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    std::optional<SummaryId> child = FindChild(s, *it);
+    if (!child.has_value()) return std::nullopt;
+    s = *child;
+  }
+  return s;
+}
+
+std::string StructuralSummary::LabelPath(SummaryId id) const {
+  if (id == kRootSummaryId) return "/";
+  std::vector<SummaryId> chain;
+  for (SummaryId s = id; s != kRootSummaryId; s = nodes_[s].parent) {
+    chain.push_back(s);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out += '/';
+    out += NameOf(nodes_[*it].name_id);
+  }
+  return out;
+}
+
+std::string StructuralSummary::NearestExistingPath(
+    SummaryId from, const std::vector<uint32_t>& names) const {
+  SummaryId s = from;
+  for (uint32_t n : names) {
+    std::optional<SummaryId> child = FindChild(s, n);
+    if (!child.has_value()) break;
+    s = *child;
+  }
+  return LabelPath(s);
+}
+
+uint64_t StructuralSummary::MemoryUsageBytes() const {
+  uint64_t bytes = sizeof(*this);
+  bytes += nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(SummaryId);
+    bytes += n.attributes.capacity() * sizeof(Node::Attribute);
+  }
+  bytes += element_names_.capacity() + attribute_names_.capacity();
+  bytes += names_.capacity() * sizeof(std::string);
+  for (const std::string& n : names_) bytes += n.capacity();
+  return bytes;
+}
+
+StructuralSummary Summarize(const xml::Document& doc) {
+  StructuralSummary summary;
+  summary.element_names_.assign(doc.name_count(), 0);
+  summary.attribute_names_.assign(doc.name_count(), 0);
+  summary.names_.assign(doc.name_count(), std::string());
+
+  StructuralSummary::Node root;
+  root.element_count = doc.size() > 0 ? 1 : 0;
+  summary.nodes_.push_back(std::move(root));
+  if (doc.size() == 0) return summary;
+
+  // One preorder pass. Nodes are stored in document order with parent
+  // links, so a transient per-node map resolves each node's summary
+  // target in O(1); the map is dropped when the build returns. Only
+  // element entries are ever read back (nothing is parented to an
+  // attribute or a text node), so non-elements skip the store.
+  //
+  // Schema-regular documents resolve the same (parent path, name) pair
+  // once per instance — millions of times on megabyte inputs — so a
+  // name-indexed memo short-circuits the repeat case to two loads. The
+  // attribute memo caches a position into a vector that insertions
+  // shift, so it carries an epoch that any insertion (rare: one per
+  // distinct path × attribute pair) invalidates wholesale.
+  struct ElementMemo {
+    SummaryId parent = kInvalidSummaryId;
+    SummaryId child = kInvalidSummaryId;
+  };
+  struct AttributeMemo {
+    SummaryId parent = kInvalidSummaryId;
+    uint32_t epoch = 0;
+    uint32_t index = 0;
+  };
+  std::vector<ElementMemo> element_memo(doc.name_count());
+  std::vector<AttributeMemo> attribute_memo(doc.name_count());
+  uint32_t attribute_epoch = 1;
+  std::vector<SummaryId> node_to_summary(doc.size(), kInvalidSummaryId);
+  node_to_summary[doc.root()] = kRootSummaryId;
+  for (xml::NodeId id = 1; id < doc.size(); ++id) {
+    const SummaryId parent = node_to_summary[doc.parent(id)];
+    switch (doc.kind(id)) {
+      case xml::NodeKind::kElement: {
+        const uint32_t name = doc.name_id(id);
+        ElementMemo& memo = element_memo[name];
+        SummaryId s;
+        if (memo.parent == parent) {
+          s = memo.child;
+        } else {
+          summary.element_names_[name] = 1;
+          if (summary.names_[name].empty()) {
+            summary.names_[name] = doc.name(id);
+          }
+          std::vector<SummaryId>& siblings = summary.nodes_[parent].children;
+          auto it = std::lower_bound(
+              siblings.begin(), siblings.end(), name,
+              [&summary](SummaryId c, uint32_t n) {
+                return summary.nodes_[c].name_id < n;
+              });
+          if (it != siblings.end() && summary.nodes_[*it].name_id == name) {
+            s = *it;
+          } else {
+            s = static_cast<SummaryId>(summary.nodes_.size());
+            StructuralSummary::Node fresh;
+            fresh.name_id = name;
+            fresh.parent = parent;
+            fresh.depth = summary.nodes_[parent].depth + 1;
+            summary.nodes_.push_back(std::move(fresh));
+            // push_back may have reallocated nodes_; recompute the
+            // insert position against the parent's children vector.
+            std::vector<SummaryId>& sibs = summary.nodes_[parent].children;
+            auto pos = std::lower_bound(
+                sibs.begin(), sibs.end(), name,
+                [&summary](SummaryId c, uint32_t n) {
+                  return summary.nodes_[c].name_id < n;
+                });
+            sibs.insert(pos, s);
+          }
+          memo.parent = parent;
+          memo.child = s;
+        }
+        ++summary.nodes_[s].element_count;
+        node_to_summary[id] = s;
+        break;
+      }
+      case xml::NodeKind::kAttribute: {
+        const uint32_t name = doc.name_id(id);
+        AttributeMemo& memo = attribute_memo[name];
+        if (memo.parent == parent && memo.epoch == attribute_epoch) {
+          ++summary.nodes_[parent].attributes[memo.index].count;
+          break;
+        }
+        summary.attribute_names_[name] = 1;
+        if (summary.names_[name].empty()) summary.names_[name] = doc.name(id);
+        std::vector<StructuralSummary::Node::Attribute>& attrs =
+            summary.nodes_[parent].attributes;
+        auto it = std::lower_bound(
+            attrs.begin(), attrs.end(), name,
+            [](const StructuralSummary::Node::Attribute& a, uint32_t n) {
+              return a.name_id < n;
+            });
+        if (it != attrs.end() && it->name_id == name) {
+          ++it->count;
+        } else {
+          it = attrs.insert(it, {name, 1});
+          ++attribute_epoch;
+        }
+        memo.parent = parent;
+        memo.epoch = attribute_epoch;
+        memo.index = static_cast<uint32_t>(it - attrs.begin());
+        break;
+      }
+      case xml::NodeKind::kText:
+        summary.any_text_ = true;
+        summary.nodes_[parent].has_text = true;
+        break;
+      case xml::NodeKind::kComment:
+        summary.any_comment_ = true;
+        summary.nodes_[parent].has_comment = true;
+        break;
+      case xml::NodeKind::kProcessingInstruction:
+        summary.any_pi_ = true;
+        summary.nodes_[parent].has_pi = true;
+        break;
+      case xml::NodeKind::kRoot:
+        break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace xpe::analyze

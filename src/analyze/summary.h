@@ -1,0 +1,139 @@
+#ifndef XPE_ANALYZE_SUMMARY_H_
+#define XPE_ANALYZE_SUMMARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xml/document.h"
+#include "src/xml/node.h"
+
+namespace xpe::analyze {
+
+/// Index of a node in the structural summary. The root label path (the
+/// document node) is always kRootSummaryId.
+using SummaryId = uint32_t;
+inline constexpr SummaryId kRootSummaryId = 0;
+inline constexpr SummaryId kInvalidSummaryId = 0xFFFFFFFFu;
+
+/// A strong DataGuide over a document's element/attribute label paths:
+/// one summary node per *distinct* element label path (e.g. /site/people/
+/// person), annotated with the attribute names and non-element child
+/// kinds that occur somewhere on that path. Because documents are trees,
+/// the summary is a tree too and every document node maps to exactly one
+/// summary node — the two properties the satisfiability analyzer
+/// (satisfiability.h) relies on:
+///
+///   1. (soundness) if label path p has no summary node, no document
+///      node has label path p;
+///   2. (strength) if summary node s exists, at least one document node
+///      has label path s — and it records how many do (element_count).
+///
+/// Summaries are tiny relative to their documents (|summary| = number of
+/// distinct label paths, typically a few dozen for megabyte documents)
+/// and build in one O(|D|) preorder pass. Document::summary() builds one
+/// lazily under the same once_flag discipline as Document::index();
+/// WarmCaches() includes it.
+class StructuralSummary {
+ public:
+  struct Node {
+    /// Interned element name id (Document::name_id vocabulary);
+    /// xml::kNoString for the root summary node (the document node has
+    /// no name).
+    uint32_t name_id = xml::kNoString;
+    SummaryId parent = kInvalidSummaryId;
+    uint32_t depth = 0;  // root = 0, document element = 1
+    /// Document nodes with exactly this label path (>= 1 by strength).
+    uint64_t element_count = 0;
+    /// Non-element children observed somewhere on this path.
+    bool has_text = false;
+    bool has_comment = false;
+    bool has_pi = false;
+    /// Child summary nodes, sorted by name_id (distinct by construction).
+    std::vector<SummaryId> children;
+    /// One entry per distinct attribute name on this path.
+    struct Attribute {
+      uint32_t name_id = xml::kNoString;
+      uint64_t count = 0;  // occurrences across all instances of the path
+    };
+    /// Sorted by name_id.
+    std::vector<Attribute> attributes;
+  };
+
+  const Node& node(SummaryId id) const { return nodes_[id]; }
+  SummaryId size() const { return static_cast<SummaryId>(nodes_.size()); }
+
+  /// Child of `parent` with element name `name_id`, if that label path
+  /// exists. O(log fanout).
+  std::optional<SummaryId> FindChild(SummaryId parent, uint32_t name_id) const;
+
+  /// True iff some instance of path `id` carries an attribute named
+  /// `name_id`. O(log attrs).
+  bool HasAttribute(SummaryId id, uint32_t name_id) const;
+
+  /// True iff any element anywhere in the document has this name
+  /// (attribute-only names return false).
+  bool AnyElementNamed(uint32_t name_id) const {
+    return name_id < element_names_.size() && element_names_[name_id];
+  }
+  /// True iff any attribute anywhere in the document has this name.
+  bool AnyAttributeNamed(uint32_t name_id) const {
+    return name_id < attribute_names_.size() && attribute_names_[name_id];
+  }
+  bool any_text() const { return any_text_; }
+  bool any_comment() const { return any_comment_; }
+  bool any_pi() const { return any_pi_; }
+
+  /// The summary node a document node's label path maps to: the node
+  /// itself for elements and the root, the owner element for attributes
+  /// and text/comment/PI children. O(depth · log fanout) — resolved by
+  /// walking the ancestor chain, so no per-document-node mapping is
+  /// stored.
+  std::optional<SummaryId> Resolve(const xml::Document& doc,
+                                   xml::NodeId id) const;
+
+  /// Renders the label path of `id` ("/" for the root, else
+  /// "/site/people/person"). For diagnostics and the /analyze surface.
+  std::string LabelPath(SummaryId id) const;
+
+  /// The label path of the deepest existing prefix of `path` under
+  /// `from`: walks the names in order, stopping at the first missing
+  /// child, and returns how far it got. Diagnostics use it to say "no
+  /// /a/b/x in this document; nearest existing path is /a/b".
+  std::string NearestExistingPath(SummaryId from,
+                                  const std::vector<uint32_t>& names) const;
+
+  /// Heap bytes held by the summary (reported next to index_bytes).
+  uint64_t MemoryUsageBytes() const;
+
+  /// The element/attribute name behind an interned id ("" when the id is
+  /// unused). The summary keeps its own copy of the name table so label
+  /// paths render without a Document in hand (the /analyze response
+  /// outlives the store's shared_ptr pin, and Documents are movable).
+  std::string_view NameOf(uint32_t name_id) const {
+    return name_id < names_.size() ? std::string_view(names_[name_id])
+                                   : std::string_view();
+  }
+
+ private:
+  friend StructuralSummary Summarize(const xml::Document& doc);
+
+  std::vector<Node> nodes_;
+  /// Indexed by interned name id: does any element / attribute use it?
+  std::vector<uint8_t> element_names_;
+  std::vector<uint8_t> attribute_names_;
+  /// Interned id -> name, for names used by elements or attributes.
+  std::vector<std::string> names_;
+  bool any_text_ = false;
+  bool any_comment_ = false;
+  bool any_pi_ = false;
+};
+
+/// Builds the strong DataGuide of `doc` in one O(|D|) preorder pass.
+/// Most callers want Document::summary(), which builds once and caches.
+StructuralSummary Summarize(const xml::Document& doc);
+
+}  // namespace xpe::analyze
+
+#endif  // XPE_ANALYZE_SUMMARY_H_

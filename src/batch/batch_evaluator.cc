@@ -24,6 +24,7 @@ void MergeEvalStats(EvalStats* agg, const EvalStats& s) {
   agg->nodes_visited += s.nodes_visited;
   agg->arena_bytes_peak = std::max(agg->arena_bytes_peak, s.arena_bytes_peak);
   agg->count_fast_path += s.count_fast_path;
+  agg->pruned_by_summary += s.pruned_by_summary;
   agg->budget_trips += s.budget_trips;
 }
 

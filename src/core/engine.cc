@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/analyze/satisfiability.h"
+#include "src/analyze/summary.h"
 #include "src/core/engine_internal.h"
 #include "src/core/evaluator.h"
 #include "src/core/stats.h"
@@ -71,6 +73,7 @@ std::string EvalStats::ToString() const {
          " nodes_visited=" + std::to_string(nodes_visited) +
          " arena_bytes_peak=" + std::to_string(arena_bytes_peak) +
          " count_fast_path=" + std::to_string(count_fast_path) +
+         " pruned_by_summary=" + std::to_string(pruned_by_summary) +
          " budget_trips=" + std::to_string(budget_trips);
 }
 
@@ -189,6 +192,82 @@ bool TryCountFastPath(const xpath::CompiledQuery& query,
   return true;
 }
 
+/// The summary prune: before any engine runs, walk the compiled AST
+/// against the document's structural summary (src/analyze/). If the
+/// top-level node-set is provably empty — or the boolean/count root
+/// provably constant — answer directly: the empty set / false / 0 is
+/// the result under *every* engine, tier and result mode, so nothing
+/// downstream can disagree. Costs O(|Q| · |summary|), charged to
+/// nodes_visited as the analyzer's step count; when the analysis cannot
+/// prove anything it touches no stats at all, keeping satisfiable
+/// evaluations bit-identical with analyze on and off. Returns true and
+/// sets `*out` (already in the result mode's shape — ApplyResultSpec
+/// must not run again) when the prune fires.
+bool TrySummaryPrune(const xpath::CompiledQuery& query,
+                     const xml::Document& doc, const EvalContext& context,
+                     const EvalOptions& options, Value* out) {
+  // The naive engine stays the analysis-free executable specification.
+  if (!options.analyze || options.engine == EngineKind::kNaive) return false;
+  // The Core XPath engine rejects queries outside its fragment; a prune
+  // must not mask that error (ok-ness would then depend on `analyze`).
+  if (options.engine == EngineKind::kCoreXPath &&
+      query.fragment() != xpath::Fragment::kCoreXPath) {
+    return false;
+  }
+  const uint64_t t0 = options.profile != nullptr ? obs::MonotonicNanos() : 0;
+  const analyze::QueryAnalysis analysis =
+      analyze::AnalyzeQuery(query, doc, doc.summary(), context.node);
+  Value answer;
+  if (analysis.proves_empty()) {
+    switch (options.result.mode) {
+      case ResultMode::kExists:
+        answer = Value::Boolean(false);
+        break;
+      case ResultMode::kCount:
+        answer = Value::Number(0.0);
+        break;
+      default:  // kFull / kFirst / kLimit: the empty node-set; a sink
+                // has nothing to stream.
+        answer = Value::Nodes(NodeSet());
+        break;
+    }
+  } else if (analysis.constant_boolean.has_value()) {
+    answer = Value::Boolean(*analysis.constant_boolean);
+  } else if (analysis.constant_number.has_value()) {
+    answer = Value::Number(*analysis.constant_number);
+  } else {
+    return false;
+  }
+  if (options.stats != nullptr) {
+    ++options.stats->contexts_evaluated;
+    options.stats->nodes_visited += analysis.steps_analyzed;
+    ++options.stats->pruned_by_summary;
+  }
+  if (options.profile != nullptr) {
+    // One row, keyed to the step the analysis failed at (the root when
+    // the verdict came from a constant boolean/count root), carrying
+    // the same O(|Q|) visited charge as the stats — the profiler's
+    // rows-account-for-stats invariant holds through the prune.
+    xpath::AstId culprit = query.tree().root();
+    for (const analyze::StepAnalysis& s : analysis.steps) {
+      if (s.verdict == analyze::StepVerdict::kEmpty) {
+        culprit = s.step;
+        break;
+      }
+    }
+    options.profile->RecordPhase("summary", obs::MonotonicNanos() - t0);
+    options.profile->RecordStep(culprit, obs::MonotonicNanos() - t0,
+                                /*frontier=*/1, /*produced=*/0,
+                                /*nodes_visited=*/analysis.steps_analyzed,
+                                /*indexed=*/false);
+  }
+  static obs::Counter* pruned_total =
+      obs::Registry::Global().GetCounter("xpe_analyze_pruned_total");
+  pruned_total->Increment();
+  *out = std::move(answer);
+  return true;
+}
+
 }  // namespace
 
 StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
@@ -240,6 +319,20 @@ StatusOr<Value> internal::EvaluateWith(EvalWorkspace& ws,
     if (!result.ok()) return result;
     return ApplyResultSpec(std::move(result).value(), spec);
   };
+  // The summary prune bypasses the engines entirely: a proven-empty (or
+  // proven-constant) query is answered in O(|Q|) with the result already
+  // in the mode's shape, so ApplyResultSpec must not run. It still
+  // records the eval phase and arena peak, like the count fast path.
+  if (Value pruned; TrySummaryPrune(query, doc, context, options, &pruned)) {
+    if (options.profile != nullptr) {
+      options.profile->RecordPhase("eval", obs::MonotonicNanos() - eval_t0);
+    }
+    if (options.stats != nullptr) {
+      options.stats->arena_bytes_peak = std::max<uint64_t>(
+          options.stats->arena_bytes_peak, ws.arena()->bytes_peak());
+    }
+    return StatusOr<Value>(std::move(pruned));
+  }
   // The count fast path bypasses the engines entirely (its answer is a
   // Number already, so ApplyResultSpec must not run — kCount's reduction
   // expects a node-set); it still records the eval phase and arena peak.

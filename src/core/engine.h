@@ -152,6 +152,17 @@ struct EvalOptions {
   /// evaluation. The naive engine ignores this — it stays the index-free
   /// executable specification the differential tests compare against.
   bool use_index = true;
+  /// Prove queries empty before running them: the dispatcher walks the
+  /// compiled AST against the document's structural summary
+  /// (Document::summary(), src/analyze/) and, when the top-level
+  /// node-set is provably empty — or a boolean/count root provably
+  /// constant — answers directly with O(|Q|) work
+  /// (EvalStats::pruned_by_summary; xpe_analyze_pruned_total). Sound
+  /// for every engine, tier and result mode: the analysis only
+  /// over-approximates, so a prune never changes a result, only its
+  /// cost. The naive engine ignores this like use_index — it stays the
+  /// executable specification the differential tests compare against.
+  bool analyze = true;
   /// Which index storage tier answers indexed steps: kHot (flat postings
   /// arrays, fastest) or kDense (the succinct tier of src/succinct/ —
   /// Elias-Fano postings over a balanced-parentheses tree, a fraction of

@@ -141,6 +141,11 @@ std::string RenderProfileReport(const xpath::CompiledQuery& plan,
     out += line;
   }
   out += "\n  " + report.stats.ToString() + "\n";
+  if (report.stats.pruned_by_summary > 0) {
+    out +=
+        "  answered by the static analyzer: the structural summary proved "
+        "the query empty/constant before any engine ran\n";
+  }
   return out;
 }
 
@@ -162,6 +167,11 @@ StatusOr<obs::ProfileReport> Query::Profile(const xml::Document& doc,
   (void)v;
   report.text = RenderProfileReport(*plan_, report);
   return report;
+}
+
+std::vector<analyze::Diagnostic> Query::Diagnostics(const xml::Document& doc,
+                                                    const EvalContext& ctx) {
+  return analyze::Lint(*plan_, doc, doc.summary(), ctx.node);
 }
 
 const std::string& Query::source() const { return plan_->source(); }

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <utility>
 
+#include "src/analyze/diagnostics.h"
 #include "src/core/engine.h"
 #include "src/core/evaluator.h"
 #include "src/obs/profiler.h"
@@ -97,6 +98,13 @@ class Query {
     options_.parallel = parallel;
     return *this;
   }
+  /// Summary-based pruning for subsequent evaluations (on by default;
+  /// see EvalOptions::analyze). Turning it off is mainly for
+  /// differential testing — results never change, only cost.
+  Query& WithAnalyze(bool analyze) {
+    options_.analyze = analyze;
+    return *this;
+  }
 
   // --- typed result verbs ----------------------------------------------
   /// The full XPath 1.0 result Value (ResultMode::kFull).
@@ -159,6 +167,16 @@ class Query {
   /// clock reads per kernel call — don't put it on a serving path.
   StatusOr<obs::ProfileReport> Profile(const xml::Document& doc,
                                        const EvalContext& ctx = {});
+
+  /// The static analyzer's lint catalog for this plan over `doc`
+  /// (src/analyze/diagnostics.h): always-empty steps with the nearest
+  /// existing label path, downward steps from attribute contexts,
+  /// constant-false predicates, redundant self::node(), child/descendant
+  /// under summary leaves. Warnings, never errors — every flagged query
+  /// still evaluates fine. Cheap (O(|Q| · |summary|)); the serve tier's
+  /// POST /analyze is the remote surface over the same call.
+  std::vector<analyze::Diagnostic> Diagnostics(const xml::Document& doc,
+                                               const EvalContext& ctx = {});
 
   const xpath::CompiledQuery& plan() const { return *plan_; }
   /// The shared plan, e.g. for seeding another facade or a cache.

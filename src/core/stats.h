@@ -47,6 +47,13 @@ struct EvalStats {
   /// 1 + ⌈log2(postings)⌉ for the binary searches instead of the
   /// materialized set.
   uint64_t count_fast_path = 0;
+  /// Evaluations answered by the static analyzer before any engine ran:
+  /// the structural summary (Document::summary()) proved the query's
+  /// node-set empty — or its boolean/count root constant — so the
+  /// dispatcher returned the empty/constant answer directly. When this
+  /// fires, nodes_visited charges the analyzer's O(|Q|) step count
+  /// instead of a document scan. EvalOptions::analyze gates it.
+  uint64_t pruned_by_summary = 0;
   /// Evaluations aborted by EvalOptions::budget (the evaluation returned
   /// kResourceExhausted). Set centrally by the dispatcher, so it is
   /// uniform across engines, tiers and result modes: any reduced reading

@@ -14,7 +14,6 @@ namespace {
 using xml::Document;
 using xml::kNoString;
 using xml::NodeId;
-using xml::NodeKind;
 using xpath::NodeTest;
 
 const std::vector<NodeId> kEmptyPostings;

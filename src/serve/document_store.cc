@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/analyze/summary.h"
 #include "src/index/document_index.h"
 #include "src/succinct/succinct_index.h"
 
@@ -68,7 +69,8 @@ std::vector<DocumentStore::Info> DocumentStore::List() const {
         tier == index::IndexTier::kDense
             ? handle->doc.succinct_index().MemoryUsageBytes()
             : handle->doc.index().MemoryUsageBytes();
-    out.push_back(Info{name, handle->version, handle->doc.size(), tier, bytes});
+    out.push_back(Info{name, handle->version, handle->doc.size(), tier, bytes,
+                       handle->doc.summary().MemoryUsageBytes()});
   }
   return out;
 }

@@ -83,6 +83,9 @@ class DocumentStore {
     /// tier's index footprint (what the operator traded).
     index::IndexTier index_tier = index::IndexTier::kHot;
     uint64_t index_bytes = 0;
+    /// Footprint of the structural summary the analyzer reads
+    /// (Document::summary(), warmed at Put like the index).
+    uint64_t summary_bytes = 0;
   };
   /// Current documents, sorted by name (deterministic /documents body).
   std::vector<Info> List() const;

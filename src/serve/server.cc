@@ -7,6 +7,9 @@
 #include <cstring>
 #include <utility>
 
+#include "src/analyze/diagnostics.h"
+#include "src/analyze/satisfiability.h"
+#include "src/analyze/summary.h"
 #include "src/obs/clock.h"
 #include "src/obs/export.h"
 #include "src/serve/json.h"
@@ -387,6 +390,12 @@ HttpResponse Server::Route(const HttpRequest& request) {
     }
     return HandleQuery(request);
   }
+  if (path == "/analyze") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "MethodNotAllowed", "use POST /analyze");
+    }
+    return HandleAnalyze(request);
+  }
   if (path == "/healthz") {
     if (request.method != "GET") {
       return ErrorResponse(405, "MethodNotAllowed", "use GET /healthz");
@@ -426,6 +435,9 @@ HttpResponse Server::Route(const HttpRequest& request) {
       body.Set("nodes", Json::Number(static_cast<double>(handle->doc.size())));
       body.Set("index_tier",
                Json::Str(index::IndexTierToString(handle->doc.index_tier())));
+      body.Set("summary_bytes",
+               Json::Number(static_cast<double>(
+                   handle->doc.summary().MemoryUsageBytes())));
       HttpResponse response;
       response.body = body.Dump();
       return response;
@@ -570,6 +582,78 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
   return response;
 }
 
+HttpResponse Server::HandleAnalyze(const HttpRequest& request) {
+  StatusOr<Json> body = Json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  if (!body->is_object()) {
+    return ErrorResponse(400, "BadRequest", "request body must be an object");
+  }
+
+  std::string doc_name, xpath, tenant = "default";
+  std::string field_error;
+  if (!FieldString(*body, "doc", /*required=*/true, &doc_name, &field_error) ||
+      !FieldString(*body, "xpath", /*required=*/true, &xpath, &field_error) ||
+      !FieldString(*body, "tenant", /*required=*/false, &tenant,
+                   &field_error)) {
+    return ErrorResponse(400, "BadRequest", field_error);
+  }
+
+  const DocumentHandle handle = documents_.Get(doc_name);
+  if (handle == nullptr) {
+    return ErrorResponse(404, "NotFound",
+                         "unknown document \"" + doc_name + '"');
+  }
+
+  // Same compile path as /query — a lint of query Q warms the cache the
+  // subsequent POST /query of Q will hit.
+  bool cache_hit = false;
+  StatusOr<batch::SharedPlan> plan =
+      TenantCache(tenant).GetOrCompile(xpath, &cache_hit);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+
+  // The analysis itself is O(|Q| · |summary|) — cheap enough to answer
+  // on the handler thread, no admission ticket or worker dispatch.
+  const xml::Document& doc = handle->doc;
+  const analyze::StructuralSummary& summary = doc.summary();
+  const analyze::QueryAnalysis analysis =
+      analyze::AnalyzeQuery(**plan, doc, summary);
+  const std::vector<analyze::Diagnostic> diagnostics =
+      analyze::Lint(**plan, doc, summary);
+
+  Json out = Json::Obj();
+  out.Set("doc", Json::Str(handle->name));
+  out.Set("doc_version", Json::Number(static_cast<double>(handle->version)));
+  out.Set("xpath", Json::Str(xpath));
+  out.Set("verdict", Json::Str(analyze::StepVerdictToString(analysis.verdict)));
+  if (analysis.constant_boolean.has_value()) {
+    out.Set("constant_boolean", Json::Bool(*analysis.constant_boolean));
+  }
+  if (analysis.constant_number.has_value()) {
+    out.Set("constant_number", Json::Number(*analysis.constant_number));
+  }
+  out.Set("steps_analyzed",
+          Json::Number(static_cast<double>(analysis.steps_analyzed)));
+  out.Set("summary_bytes",
+          Json::Number(static_cast<double>(summary.MemoryUsageBytes())));
+  out.Set("cache_hit", Json::Bool(cache_hit));
+  Json::Array warnings;
+  warnings.reserve(diagnostics.size());
+  for (const analyze::Diagnostic& d : diagnostics) {
+    Json w = Json::Obj();
+    w.Set("code", Json::Str(analyze::DiagnosticCodeToString(d.code)));
+    if (!d.subject.empty()) w.Set("subject", Json::Str(d.subject));
+    w.Set("message", Json::Str(d.message));
+    if (!d.nearest_path.empty()) {
+      w.Set("nearest_path", Json::Str(d.nearest_path));
+    }
+    warnings.push_back(std::move(w));
+  }
+  out.Set("warnings", Json::Arr(std::move(warnings)));
+  HttpResponse response;
+  response.body = out.Dump();
+  return response;
+}
+
 HttpResponse Server::HandleHealth() {
   Json body = Json::Obj();
   body.Set("status", Json::Str("ok"));
@@ -603,6 +687,8 @@ HttpResponse Server::HandleDocumentList() {
               Json::Str(index::IndexTierToString(info.index_tier)));
     entry.Set("index_bytes",
               Json::Number(static_cast<double>(info.index_bytes)));
+    entry.Set("summary_bytes",
+              Json::Number(static_cast<double>(info.summary_bytes)));
     list.push_back(std::move(entry));
   }
   Json body = Json::Obj();

@@ -164,6 +164,7 @@ class Server {
   void ServeConnection(int fd);
   HttpResponse Route(const HttpRequest& request);
   HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleAnalyze(const HttpRequest& request);
   HttpResponse HandleHealth();
   HttpResponse HandleMetrics(bool json);
   HttpResponse HandleDocumentList();

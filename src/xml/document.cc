@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "src/analyze/summary.h"
 #include "src/common/numeric.h"
 #include "src/common/str_util.h"
 #include "src/index/document_index.h"
@@ -19,9 +20,11 @@ struct Document::LazyCaches {
   std::once_flag id_axis_once;
   std::once_flag index_once;
   std::once_flag succinct_once;
+  std::once_flag summary_once;
   std::once_flag number_once;
   std::unique_ptr<index::DocumentIndex> document_index;
   std::unique_ptr<succinct::SuccinctDocumentIndex> succinct_index;
+  std::unique_ptr<analyze::StructuralSummary> summary;
 };
 
 Document::Document() : caches_(std::make_unique<LazyCaches>()) {}
@@ -181,6 +184,14 @@ index::IndexView Document::index_view(index::IndexTier tier) const {
                                           : index::IndexView(&index());
 }
 
+const analyze::StructuralSummary& Document::summary() const {
+  std::call_once(caches_->summary_once, [this] {
+    caches_->summary =
+        std::make_unique<analyze::StructuralSummary>(analyze::Summarize(*this));
+  });
+  return *caches_->summary;
+}
+
 void Document::WarmCaches() const {
   // First-touch under contention is already safe (once_flags / per-entry
   // atomics), but a server that warms before fan-out gets a fully
@@ -198,6 +209,7 @@ void Document::WarmCaches() const {
   }
   if (size() > 0) IdAxisForward(0);  // one call builds both directions
   EnsureNumberCache();
+  summary();  // the analyzer's DataGuide — tiny, and read on every query
 }
 
 std::string Document::DebugDump() const {

@@ -22,6 +22,10 @@ namespace xpe::succinct {
 class SuccinctDocumentIndex;
 }  // namespace xpe::succinct
 
+namespace xpe::analyze {
+class StructuralSummary;
+}  // namespace xpe::analyze
+
 namespace xpe::xml {
 
 /// Heterogeneous-lookup hash for the string-keyed maps below: lets
@@ -107,6 +111,14 @@ class Document {
   /// index() for kHot, succinct_index() for kDense (building the chosen
   /// one on first use).
   index::IndexView index_view(index::IndexTier tier) const;
+
+  /// The document's structural summary (strong DataGuide over label
+  /// paths; src/analyze/summary.h): the static analyzer proves paths
+  /// empty against it and the dispatcher prunes them before any engine
+  /// runs. Tiny (one node per distinct label path) and built lazily in
+  /// O(|D|) under the same once_flag discipline as index();
+  /// WarmCaches() includes it.
+  const analyze::StructuralSummary& summary() const;
 
   /// The index tier this document warms and serves by default
   /// (index::IndexTier::kHot unless configured). Set it before

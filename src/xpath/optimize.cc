@@ -385,12 +385,19 @@ class Optimizer {
     return id;
   }
 
-  /// self/parent candidate lists hold at most one node, so position()
-  /// there is identically 1: `[position() = 1]` is vacuous and
-  /// `[position() = n]` for integer n >= 2 can never hold.
+  /// self/parent candidate lists hold at most one node, and so does a
+  /// *named* attribute step (attribute names are unique per element), so
+  /// position() there is identically 1: `[position() = 1]` is vacuous
+  /// and `[position() = n]` for integer n >= 2 can never hold.
+  /// `attribute::*` stays untouched — its candidate list is the whole
+  /// attribute record.
   void TightenSingleCandidatePositions(AstId id) {
     const Axis axis = node(id).axis;
-    if (axis != Axis::kSelf && axis != Axis::kParent) return;
+    const bool named_attribute = axis == Axis::kAttribute &&
+                                 node(id).test.kind == NodeTest::Kind::kName;
+    if (axis != Axis::kSelf && axis != Axis::kParent && !named_attribute) {
+      return;
+    }
     const size_t pred_count = node(id).children.size();
     for (size_t i = 0; i < pred_count; ++i) {
       const AstId pred = node(id).children[i];

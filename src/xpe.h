@@ -51,6 +51,9 @@
 #ifndef XPE_XPE_H_
 #define XPE_XPE_H_
 
+#include "src/analyze/diagnostics.h"  // query lint catalog (Lint)
+#include "src/analyze/satisfiability.h"  // summary-based emptiness proofs
+#include "src/analyze/summary.h"    // structural summary (DataGuide)
 #include "src/axes/arena.h"         // EvalArena session allocator
 #include "src/batch/batch_evaluator.h"  // concurrent batch evaluation
 #include "src/batch/plan_cache.h"   // shared query-plan cache

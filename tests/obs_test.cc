@@ -221,12 +221,13 @@ TEST(EvalStatsTest, ToStringRendersEveryField) {
   s.nodes_visited = 7;
   s.arena_bytes_peak = 8;
   s.count_fast_path = 9;
-  s.budget_trips = 10;
+  s.pruned_by_summary = 10;
+  s.budget_trips = 11;
   EXPECT_EQ(s.ToString(),
             "cells_allocated=1 cells_live=2 cells_peak=3 "
             "contexts_evaluated=4 axis_evals=5 indexed_steps=6 "
             "nodes_visited=7 arena_bytes_peak=8 count_fast_path=9 "
-            "budget_trips=10");
+            "pruned_by_summary=10 budget_trips=11");
 }
 
 // --- profiler -------------------------------------------------------------

@@ -121,6 +121,18 @@ TEST(OptimizeRuleTest, SingleCandidateAxesDropVacuousPositions) {
   EXPECT_EQ(OptimizedKey("a/b[1]"), "child::a/child::b[(position() = 1)]");
 }
 
+TEST(OptimizeRuleTest, NamedAttributeStepsDropVacuousPositions) {
+  // Attribute names are unique per element, so a *named* attribute step
+  // has at most one candidate too.
+  EXPECT_EQ(OptimizedKey("a/attribute::b[1]"), "child::a/attribute::b");
+  EXPECT_EQ(OptimizedKey("a/@b[1]"), "child::a/attribute::b");
+  EXPECT_EQ(OptimizedKey("a/attribute::b[2]"),
+            "child::a/attribute::b[false()]");
+  // attribute::* can hold many candidates: no tightening.
+  EXPECT_EQ(OptimizedKey("a/attribute::*[2]"),
+            "child::a/attribute::*[(position() = 2)]");
+}
+
 TEST(OptimizeRuleTest, BooleanConstantsFold) {
   EXPECT_EQ(OptimizedKey("true() and false()"), "false()");
   EXPECT_EQ(OptimizedKey("true() or false()"), "true()");

@@ -411,6 +411,74 @@ TEST_F(ServeTest, DocumentCrudOverHttp) {
   EXPECT_EQ(del->status, 404);
 }
 
+TEST_F(ServeTest, AnalyzeEndpointReportsWarnings) {
+  StartServer();
+  Json body = Json::Obj();
+  body.Set("doc", Json::Str("catalog"));
+  body.Set("xpath", Json::Str("//book/chapter"));
+  StatusOr<HttpResponse> response =
+      client_.RoundTrip("POST", "/analyze", body.Dump());
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  const Json out = MustJson(*response);
+  EXPECT_EQ(out.Find("verdict")->string(), "empty");
+  EXPECT_GT(out.Find("summary_bytes")->number(), 0);
+  EXPECT_GT(out.Find("steps_analyzed")->number(), 0);
+  const Json::Array& warnings = out.Find("warnings")->array();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].Find("code")->string(), "always-empty-step");
+  EXPECT_EQ(warnings[0].Find("nearest_path")->string(), "/catalog/book");
+  EXPECT_FALSE(warnings[0].Find("message")->string().empty());
+
+  // A clean query: satisfiable, no warnings.
+  body.Set("xpath", Json::Str("//book/title"));
+  response = client_.RoundTrip("POST", "/analyze", body.Dump());
+  ASSERT_TRUE(response.ok());
+  const Json clean = MustJson(*response);
+  EXPECT_EQ(clean.Find("verdict")->string(), "satisfiable");
+  EXPECT_TRUE(clean.Find("warnings")->array().empty());
+
+  // A provably-constant scalar root reports its value.
+  body.Set("xpath", Json::Str("count(//chapter)"));
+  response = client_.RoundTrip("POST", "/analyze", body.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(MustJson(*response).Find("constant_number")->number(), 0);
+}
+
+TEST_F(ServeTest, AnalyzeEndpointErrors) {
+  StartServer();
+  Json body = Json::Obj();
+  body.Set("doc", Json::Str("nope"));
+  body.Set("xpath", Json::Str("//x"));
+  StatusOr<HttpResponse> response =
+      client_.RoundTrip("POST", "/analyze", body.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 404);
+
+  body.Set("doc", Json::Str("catalog"));
+  body.Set("xpath", Json::Str("//["));
+  response = client_.RoundTrip("POST", "/analyze", body.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+
+  response = client_.RoundTrip("GET", "/analyze");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 405);
+}
+
+TEST_F(ServeTest, AnalyzeSharesThePlanCacheWithQuery) {
+  StartServer();
+  Json body = QueryBody("//book/price");
+  StatusOr<HttpResponse> lint =
+      client_.RoundTrip("POST", "/analyze", body.Dump());
+  ASSERT_TRUE(lint.ok());
+  EXPECT_FALSE(MustJson(*lint).Find("cache_hit")->boolean());
+  // The lint compiled (and cached) the plan; the query hits it.
+  const HttpResponse query = Query(body);
+  ASSERT_EQ(query.status, 200);
+  EXPECT_TRUE(MustJson(query).Find("cache_hit")->boolean());
+}
+
 TEST_F(ServeTest, IndexTierSelectionOverHttp) {
   StartServer();
   // ?index_tier=dense publishes under the succinct tier; the response
@@ -433,6 +501,7 @@ TEST_F(ServeTest, IndexTierSelectionOverHttp) {
     const bool dense = entry.Find("name")->string() == "packed";
     EXPECT_EQ(entry.Find("index_tier")->string(), dense ? "dense" : "hot");
     EXPECT_GT(entry.Find("index_bytes")->number(), 0);
+    EXPECT_GT(entry.Find("summary_bytes")->number(), 0);
   }
 
   // An unknown tier never publishes.

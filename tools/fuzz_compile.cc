@@ -1,0 +1,81 @@
+// libFuzzer entry point over the two front doors untrusted bytes reach
+// first: the XPath compiler and the XML parser + DataGuide summarizer.
+//
+// Input layout: bytes up to the first NUL are an XPath expression, the
+// remainder (if any) is an XML document. Each half exercises its
+// pipeline independently, so a corpus member with only one half still
+// makes progress:
+//
+//   1. xpath::Compile must never crash, whatever the expression; when it
+//      accepts, the canonical key must be stable under re-compilation
+//      (Compile(canonical_key) yields the same canonical_key — the
+//      PlanCache keys on it, so instability would split cache entries).
+//   2. xml::Parse must never crash; when it accepts, Summarize and a
+//      Lint of a fixed query over the summary must hold the analyzer's
+//      invariants (every summary node reachable, counts positive).
+//
+// Build with -DXPE_FUZZ=ON (Clang only: libFuzzer ships with it); CI
+// runs a 60-second smoke with the checked-in corpus under
+// tools/corpus/fuzz_compile/.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/analyze/diagnostics.h"
+#include "src/analyze/satisfiability.h"
+#include "src/analyze/summary.h"
+#include "src/xml/parser.h"
+#include "src/xpath/compile.h"
+
+namespace {
+
+void FuzzXPath(std::string_view expr) {
+  xpe::StatusOr<xpe::xpath::CompiledQuery> compiled =
+      xpe::xpath::Compile(expr);
+  if (!compiled.ok()) return;
+  const std::string& key = compiled.value().canonical_key();
+  xpe::StatusOr<xpe::xpath::CompiledQuery> again = xpe::xpath::Compile(key);
+  if (!again.ok() || again.value().canonical_key() != key) {
+    std::abort();  // canonical keys must re-compile to themselves
+  }
+}
+
+void FuzzXml(std::string_view xml) {
+  xpe::StatusOr<xpe::xml::Document> parsed = xpe::xml::Parse(xml);
+  if (!parsed.ok()) return;
+  const xpe::xml::Document& doc = parsed.value();
+  const xpe::analyze::StructuralSummary summary =
+      xpe::analyze::Summarize(doc);
+  // Strength: every summary path has at least one instance.
+  for (xpe::analyze::SummaryId s = 1; s < summary.size(); ++s) {
+    if (summary.node(s).element_count == 0) std::abort();
+    if (summary.node(s).parent >= s) std::abort();  // parents precede
+  }
+  // Soundness: every document node resolves to a summary node.
+  for (xpe::xml::NodeId id = 0; id < doc.size(); ++id) {
+    if (!summary.Resolve(doc, id).has_value()) std::abort();
+  }
+  // The analyzer and linter must accept any (query, document) pair.
+  static const xpe::xpath::CompiledQuery* probe = [] {
+    auto q = xpe::xpath::Compile("//a/b[@c]");
+    return new xpe::xpath::CompiledQuery(std::move(q).value());
+  }();
+  xpe::analyze::AnalyzeQuery(*probe, doc, summary);
+  xpe::analyze::Lint(*probe, doc, summary);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const size_t nul = input.find('\0');
+  if (nul == std::string_view::npos) {
+    FuzzXPath(input);
+  } else {
+    FuzzXPath(input.substr(0, nul));
+    FuzzXml(input.substr(nul + 1));
+  }
+  return 0;
+}
